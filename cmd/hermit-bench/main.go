@@ -1,0 +1,74 @@
+// Command hermit-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hermit-bench -list
+//	hermit-bench -exp fig4
+//	hermit-bench -exp all -scale 0.05
+//	hermit-bench -exp fig16,fig17,fig18 -scale 0.1 -measure 1s
+//
+// -scale 1.0 restores the paper's dataset sizes (20M-row synthetic sweeps);
+// the default 0.02 completes the full suite on a laptop in minutes. Shapes
+// (who wins, by what factor, where crossovers fall) are preserved across
+// scales; absolute numbers are machine-dependent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hermit/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper size)")
+		measure = flag.Duration("measure", 300*time.Millisecond, "measurement time per plotted point")
+		seed    = flag.Int64("seed", 1, "workload generation seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Registry {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id>[,<id>...] or -exp all")
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig(os.Stdout)
+	cfg.Scale = *scale
+	cfg.MeasureFor = *measure
+	cfg.Seed = *seed
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range bench.Registry {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := bench.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,70 @@
+// Sensor: the paper's disk-based scenario (§7.2, §7.8). Sixteen gas-sensor
+// channels are each nonlinearly correlated with the average-reading column.
+// The base table and host index live on disk behind a small buffer pool
+// (the PostgreSQL-style engine); Hermit's TRS-Tree stays in memory and
+// routes range queries on an unindexed channel through the average's index.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hermitdb "hermit"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hermit-sensor-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	spec := hermitdb.DefaultSensorSpec(200_000)
+	dt, err := hermitdb.OpenDiskTable(dir, spec.Columns(), spec.PKCol(), 256 /* pool pages */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dt.Close()
+
+	if err := spec.Generate(func(row []float64) error {
+		_, err := dt.Insert(row)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Host index on the average column (disk B+-tree), then a Hermit index
+	// on sensor 5 whose TRS-Tree is memory-resident.
+	if _, err := dt.CreateDiskBTreeIndex(spec.AvgCol()); err != nil {
+		log.Fatal(err)
+	}
+	hx, err := dt.CreateDiskHermitIndex(spec.ReadingCol(5), spec.AvgCol(), hermitdb.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dt.SetProfile(true)
+	dt.Pool().ResetStats()
+
+	// "During which period did sensor 5 read between 40 and 60?"
+	rids, stats, err := dt.RangeQuery(spec.ReadingCol(5), 40, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor 5 in [40, 60]: %d rows (%d candidates)\n", stats.Rows, stats.Candidates)
+	_ = rids
+
+	fr := stats.Breakdown.Fractions()
+	fmt.Printf("time breakdown: trs-tree %.1f%% | host index %.1f%% | validation %.1f%%\n",
+		fr[0]*100, fr[1]*100, fr[3]*100)
+
+	ps := dt.Pool().Stats()
+	fmt.Printf("buffer pool: %d hits, %d misses, %d evictions\n", ps.Hits, ps.Misses, ps.Evictions)
+
+	heap, idx, trs := dt.DiskMemory()
+	fmt.Printf("footprint: heap %.1f MB on disk | index %.1f MB on disk | TRS-Tree %.1f KB in memory\n",
+		float64(heap)/(1<<20), float64(idx)/(1<<20), float64(trs)/1024)
+	st := hx.Tree().Stats()
+	fmt.Printf("TRS-Tree: height=%d leaves=%d outliers=%d\n", st.Height, st.Leaves, st.Outliers)
+}

@@ -1,0 +1,138 @@
+// Package hermitdb is the public API of the Hermit reproduction: a
+// main-memory (and disk-based) embedded relational engine whose secondary
+// indexes can be built as Hermit indexes — succinct TRS-Tree structures
+// that exploit column correlations to answer queries through an existing
+// index on a correlated host column, as described in "Designing Succinct
+// Secondary Indexing Mechanism by Exploiting Column Correlations"
+// (SIGMOD 2019).
+//
+// # Quick start
+//
+//	db := hermitdb.NewDB(hermitdb.PhysicalPointers)
+//	tb, _ := db.CreateTable("stocks", []string{"day", "low", "high"}, 0)
+//	// ... insert rows ...
+//	tb.CreateBTreeIndex(1, false)  // complete index on "low" (the host)
+//	tb.CreateHermitIndex(2, 1)     // succinct Hermit index on "high"
+//	rids, stats, _ := tb.RangeQuery(2, 100, 120)
+//
+// Or let the engine decide from the data, as the paper's workflow does:
+//
+//	kind, _ := tb.CreateIndexAuto(2, hermitdb.DefaultDiscovery())
+//	// kind == hermitdb.KindHermit when a usable correlation exists.
+//
+// The subpackages under internal/ contain the full implementation: the
+// TRS-Tree (internal/trstree), the Hermit lookup mechanism
+// (internal/hermit), the B+-tree and storage substrates, the disk engine
+// (internal/pager), the Correlation Maps baseline (internal/cm), and the
+// experiment harness (internal/bench, driven by cmd/hermit-bench).
+package hermitdb
+
+import (
+	"hermit/internal/correlation"
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/trstree"
+	"hermit/internal/workload"
+)
+
+// Core engine types.
+type (
+	// DB is a catalog of tables sharing one tuple-identifier scheme.
+	DB = engine.DB
+	// Table is one relation plus its indexes.
+	Table = engine.Table
+	// DiskTable is the disk-based engine (buffer pool + page B+-trees).
+	DiskTable = engine.DiskTable
+	// DurableDB wraps the engine with WAL + checkpoint persistence (§6).
+	DurableDB = engine.DurableDB
+	// IndexDef records how to rebuild one index during recovery.
+	IndexDef = engine.IndexDef
+	// QueryStats describes one query's execution.
+	QueryStats = engine.QueryStats
+	// InsertStats breaks an insert's cost into index-maintenance classes.
+	InsertStats = engine.InsertStats
+	// MemoryStats is the space breakdown of a table and its indexes.
+	MemoryStats = engine.MemoryStats
+	// IndexKind identifies which mechanism serves a column.
+	IndexKind = engine.IndexKind
+	// HermitOption customises Hermit index creation.
+	HermitOption = engine.HermitOption
+)
+
+// Index mechanism kinds.
+const (
+	KindNone    = engine.KindNone
+	KindBTree   = engine.KindBTree
+	KindHermit  = engine.KindHermit
+	KindCM      = engine.KindCM
+	KindPrimary = engine.KindPrimary
+)
+
+// Tuple-identifier schemes (paper §5.1).
+type PointerScheme = hermit.PointerScheme
+
+const (
+	// PhysicalPointers stores record locations in indexes (PostgreSQL-style).
+	PhysicalPointers = hermit.PhysicalPointers
+	// LogicalPointers stores primary keys in indexes (MySQL-style).
+	LogicalPointers = hermit.LogicalPointers
+)
+
+// TRS-Tree configuration (paper §4.5).
+type Params = trstree.Params
+
+// Correlation discovery configuration (paper §2.2, App. D.1).
+type Discovery = correlation.Config
+
+// Constructors and options, re-exported so callers need only this package.
+var (
+	// NewDB creates a database using the given tuple-identifier scheme.
+	NewDB = engine.NewDB
+	// OpenDiskTable creates a disk-backed table (the PostgreSQL-style engine).
+	OpenDiskTable = engine.OpenDiskTable
+	// OpenDurable opens a WAL + checkpoint durable database in a directory.
+	OpenDurable = engine.OpenDurable
+	// DefaultParams returns the paper's default TRS-Tree parameters
+	// (fanout 8, max height 10, outlier ratio 0.1, error bound 2).
+	DefaultParams = trstree.DefaultParams
+	// DefaultDiscovery returns correlation-discovery thresholds suitable
+	// for the paper's workloads.
+	DefaultDiscovery = correlation.DefaultConfig
+	// WithParams overrides TRS-Tree parameters at index creation.
+	WithParams = engine.WithParams
+	// WithBuildWorkers enables parallel TRS-Tree construction (App. D.2).
+	WithBuildWorkers = engine.WithBuildWorkers
+	// WithProfile enables per-phase lookup timing.
+	WithProfile = engine.WithProfile
+)
+
+// Workload generators for the paper's three applications (Appendix A).
+type (
+	// SyntheticSpec generates the Synthetic application.
+	SyntheticSpec = workload.SyntheticSpec
+	// StockSpec generates the Stock application.
+	StockSpec = workload.StockSpec
+	// SensorSpec generates the Sensor application.
+	SensorSpec = workload.SensorSpec
+	// CorrelationKind selects the Synthetic correlation function.
+	CorrelationKind = workload.CorrelationKind
+)
+
+// Synthetic correlation functions.
+const (
+	Linear  = workload.Linear
+	Sigmoid = workload.Sigmoid
+	Sin     = workload.Sin
+)
+
+// Workload helpers.
+var (
+	// DefaultStockSpec mirrors the paper's Stock dataset shape.
+	DefaultStockSpec = workload.DefaultStockSpec
+	// DefaultSensorSpec mirrors the paper's Sensor dataset shape.
+	DefaultSensorSpec = workload.DefaultSensorSpec
+	// QueryGen yields selectivity-controlled range predicates.
+	QueryGen = workload.QueryGen
+	// PointGen yields uniform point predicates.
+	PointGen = workload.PointGen
+)

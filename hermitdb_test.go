@@ -1,0 +1,94 @@
+package hermitdb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	hermitdb "hermit"
+	"hermit/internal/storage"
+)
+
+// TestFacadeEndToEnd exercises the README quick-start path through the
+// public API only.
+func TestFacadeEndToEnd(t *testing.T) {
+	db := hermitdb.NewDB(hermitdb.PhysicalPointers)
+	tb, err := db.CreateTable("stocks", []string{"day", "low", "high"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	price := 100.0
+	for day := 0; day < 10000; day++ {
+		price *= 1 + rng.NormFloat64()*0.02
+		low := price
+		high := low * (1 + rng.Float64()*0.02)
+		if _, err := tb.Insert([]float64{float64(day), low, high}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.CreateBTreeIndex(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateHermitIndex(2, 1, hermitdb.WithParams(hermitdb.DefaultParams())); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IndexOn(2) != hermitdb.KindHermit {
+		t.Fatalf("kind=%v", tb.IndexOn(2))
+	}
+	lo, hi, _ := tb.Store().ColumnBounds(2)
+	rids, st, err := tb.RangeQuery(2, lo, (lo+hi)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != len(rids) || st.Rows == 0 {
+		t.Fatalf("rows=%d rids=%d", st.Rows, len(rids))
+	}
+	m := tb.Memory()
+	if m.NewBytes == 0 || m.NewBytes > m.ExistingBytes {
+		t.Fatalf("hermit index not succinct: %+v", m)
+	}
+}
+
+// TestFacadeAutoIndex exercises CreateIndexAuto through the facade.
+func TestFacadeAutoIndex(t *testing.T) {
+	db := hermitdb.NewDB(hermitdb.LogicalPointers)
+	spec := hermitdb.SyntheticSpec{Rows: 5000, Fn: hermitdb.Sigmoid, Noise: 0.02, Seed: 1}
+	tb, err := db.CreateTable("syn", spec.Columns(), spec.PKCol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Generate(func(row []float64) error {
+		_, err := tb.Insert(row)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateBTreeIndex(spec.HostCol(), false); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := tb.CreateIndexAuto(spec.TargetCol(), hermitdb.DefaultDiscovery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != hermitdb.KindHermit {
+		t.Fatalf("auto index built %v, want hermit", kind)
+	}
+	q := hermitdb.QueryGen(0, 1000, 0.05, 2)()
+	rids, _, err := tb.RangeQuery(spec.TargetCol(), q.Lo, q.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	err = tb.Store().ScanColumn(spec.TargetCol(), func(_ storage.RID, v float64) bool {
+		if v >= q.Lo && v <= q.Hi {
+			want++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != want {
+		t.Fatalf("auto hermit returned %d rows, want %d", len(rids), want)
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps experiment smoke tests fast: minimum rows, short
+// measurement windows.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Out:        &bytes.Buffer{},
+		Scale:      0.0001,
+		MeasureFor: 10 * time.Millisecond,
+		Seed:       1,
+		TmpDir:     t.TempDir(),
+	}
+}
+
+func runExperiment(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	cfg := tinyConfig(t)
+	buf := &bytes.Buffer{}
+	cfg.Out = buf
+	if err := e.Run(cfg); err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure in the paper's evaluation must be present.
+	want := []string{
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
+		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope)")
+	}
+}
+
+func TestConfigSanitize(t *testing.T) {
+	c := Config{}.sanitized()
+	if c.Scale <= 0 || c.MeasureFor <= 0 || c.Seed == 0 {
+		t.Fatalf("sanitized=%+v", c)
+	}
+	if n := c.rows(1_000_000_000); n < 2000 {
+		t.Fatalf("rows floor: %d", n)
+	}
+	if (Config{Scale: 1}).rows(10_000_000) != 10_000_000 {
+		t.Fatal("scale 1 should be identity")
+	}
+}
+
+// Smoke tests: every experiment runs end-to-end at tiny scale and produces
+// plausible output. Split into groups so failures localise.
+
+func TestSmokeSyntheticThroughput(t *testing.T) {
+	for _, id := range []string{"fig8", "fig9"} {
+		out := runExperiment(t, id)
+		if !strings.Contains(out, "HERMIT") || !strings.Contains(out, "K ops") {
+			t.Fatalf("%s output malformed:\n%s", id, out)
+		}
+		if !strings.Contains(out, "logical") || !strings.Contains(out, "physical") {
+			t.Fatalf("%s missing pointer schemes:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokeBreakdowns(t *testing.T) {
+	for _, id := range []string{"fig10", "fig11", "fig14", "fig15"} {
+		out := runExperiment(t, id)
+		if !strings.Contains(out, "%") {
+			t.Fatalf("%s breakdown has no percentages:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokePointLookups(t *testing.T) {
+	for _, id := range []string{"fig12", "fig13"} {
+		out := runExperiment(t, id)
+		if !strings.Contains(out, "tuples") {
+			t.Fatalf("%s malformed:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokeErrorBoundSweeps(t *testing.T) {
+	for _, id := range []string{"fig16", "fig17", "fig18"} {
+		out := runExperiment(t, id)
+		if !strings.Contains(out, "error_bound") {
+			t.Fatalf("%s malformed:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokeMemoryAndConstruction(t *testing.T) {
+	for _, id := range []string{"fig19", "fig20", "fig21", "fig22"} {
+		out := runExperiment(t, id)
+		if len(out) < 50 {
+			t.Fatalf("%s output too short:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokeReorg(t *testing.T) {
+	out := runExperiment(t, "fig23")
+	if !strings.Contains(out, "reorg") || !strings.Contains(out, "yes") {
+		t.Fatalf("fig23 trace missing reorg ticks:\n%s", out)
+	}
+}
+
+func TestSmokeApps(t *testing.T) {
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig26"} {
+		out := runExperiment(t, id)
+		if len(out) < 50 {
+			t.Fatalf("%s output too short:\n%s", id, out)
+		}
+	}
+}
+
+func TestSmokeDisk(t *testing.T) {
+	out := runExperiment(t, "fig24")
+	if !strings.Contains(out, "buffer pool") {
+		t.Fatalf("fig24 missing pool stats:\n%s", out)
+	}
+}
+
+func TestSmokeTable1(t *testing.T) {
+	out := runExperiment(t, "tab1")
+	if !strings.Contains(out, "Linear regression") || !strings.Contains(out, "SVR") {
+		t.Fatalf("tab1 malformed:\n%s", out)
+	}
+}
+
+func TestSmokeCM(t *testing.T) {
+	// The CM matrices are the heaviest experiments; run just the linear
+	// memory variant (builds, no measurement loops dominate).
+	out := runExperiment(t, "fig28")
+	if !strings.Contains(out, "CM-16") || !strings.Contains(out, "host bucket size") {
+		t.Fatalf("fig28 malformed:\n%s", out)
+	}
+}
+
+func TestSmokeAblation(t *testing.T) {
+	out := runExperiment(t, "ablation")
+	if !strings.Contains(out, "sample_rate") || !strings.Contains(out, "union") {
+		t.Fatalf("ablation malformed:\n%s", out)
+	}
+}

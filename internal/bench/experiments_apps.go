@@ -1,0 +1,493 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+	"hermit/internal/trstree"
+	"hermit/internal/workload"
+)
+
+// appSelectivities are the x-axis of Figs. 4, 6 and 24 (1%–10%).
+var appSelectivities = []float64{0.01, 0.025, 0.05, 0.075, 0.10}
+
+// stockSpec scales the paper's Stock application (100 tickers, 15k+ days)
+// to the run's scale. The ticker count shrinks with scale so index-count
+// sweeps stay proportional; days keep a floor for meaningful selectivity.
+func stockSpec(cfg Config) workload.StockSpec {
+	spec := workload.DefaultStockSpec()
+	stocks := int(float64(spec.Stocks) * cfg.Scale * 10)
+	if stocks < 4 {
+		stocks = 4
+	}
+	if stocks > spec.Stocks {
+		stocks = spec.Stocks
+	}
+	spec.Stocks = stocks
+	spec.Days = cfg.rows(spec.Days)
+	spec.Seed = cfg.Seed
+	return spec
+}
+
+// buildStock loads the Stock table and indexes every low-price column (the
+// paper's pre-existing indexes).
+func buildStock(cfg Config, scheme hermit.PointerScheme, spec workload.StockSpec) (*engine.Table, error) {
+	db := engine.NewDB(scheme)
+	tb, err := db.CreateTable("stock", spec.Columns(), spec.PKCol())
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Generate(func(row []float64) error {
+		_, err := tb.Insert(row)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < spec.Stocks; i++ {
+		if _, err := tb.CreateBTreeIndex(spec.LowCol(i), false); err != nil {
+			return nil, err
+		}
+	}
+	return tb, nil
+}
+
+// indexStockHighs builds the new indexes on every high-price column.
+func indexStockHighs(tb *engine.Table, spec workload.StockSpec, useHermit bool, count int) error {
+	for i := 0; i < count; i++ {
+		if useHermit {
+			if _, err := tb.CreateHermitIndex(spec.HighCol(i), spec.LowCol(i)); err != nil {
+				return err
+			}
+		} else {
+			if _, err := tb.CreateBTreeIndex(spec.HighCol(i), true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig4RangeStock reproduces Fig. 4: Stock range lookup throughput vs
+// selectivity under both pointer schemes.
+func Fig4RangeStock(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "fig4", "Range lookup throughput vs selectivity (Stock)")
+	spec := stockSpec(cfg)
+	fmt.Fprintf(cfg.Out, "stocks=%d days=%d\n", spec.Stocks, spec.Days)
+	for _, scheme := range schemes {
+		fmt.Fprintf(cfg.Out, "-- %s pointers --\n", scheme)
+		fmt.Fprintf(cfg.Out, "%-12s %14s %14s\n", "selectivity", "HERMIT", "Baseline")
+		tbH, err := buildStock(cfg, scheme, spec)
+		if err != nil {
+			return err
+		}
+		if err := indexStockHighs(tbH, spec, true, spec.Stocks); err != nil {
+			return err
+		}
+		tbB, err := buildStock(cfg, scheme, spec)
+		if err != nil {
+			return err
+		}
+		if err := indexStockHighs(tbB, spec, false, spec.Stocks); err != nil {
+			return err
+		}
+		for _, sel := range appSelectivities {
+			h, err := measureStockQueries(cfg, tbH, spec, sel)
+			if err != nil {
+				return err
+			}
+			b, err := measureStockQueries(cfg, tbB, spec, sel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-12s %14s %14s\n",
+				fmt.Sprintf("%.1f%%", sel*100), fmtKops(h), fmtKops(b))
+		}
+	}
+	return nil
+}
+
+// measureStockQueries rotates "highest price between Y and Z" queries over
+// all tickers.
+func measureStockQueries(cfg Config, tb *engine.Table, spec workload.StockSpec, sel float64) (float64, error) {
+	lo, hi, ok := tb.Store().ColumnBounds(spec.HighCol(0))
+	if !ok {
+		return 0, fmt.Errorf("bench: empty stock table")
+	}
+	gen := workload.QueryGen(lo, hi, sel, cfg.Seed+21)
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < cfg.MeasureFor {
+		q := gen()
+		col := spec.HighCol(ops % spec.Stocks)
+		if _, _, err := tb.RangeQuery(col, q.Lo, q.Hi); err != nil {
+			return 0, err
+		}
+		ops++
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+// Fig5MemoryStock reproduces Fig. 5: memory vs number of indexes plus the
+// space breakdown.
+func Fig5MemoryStock(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "fig5", "Memory consumption vs number of indexes (Stock)")
+	spec := stockSpec(cfg)
+	counts := []int{spec.Stocks / 4, spec.Stocks / 2, spec.Stocks * 3 / 4, spec.Stocks}
+	fmt.Fprintf(cfg.Out, "%-10s %14s %14s\n", "indexes", "HERMIT", "Baseline")
+	var lastH, lastB engine.MemoryStats
+	for _, k := range counts {
+		if k < 1 {
+			k = 1
+		}
+		tbH, err := buildStock(cfg, hermit.PhysicalPointers, spec)
+		if err != nil {
+			return err
+		}
+		if err := indexStockHighs(tbH, spec, true, k); err != nil {
+			return err
+		}
+		tbB, err := buildStock(cfg, hermit.PhysicalPointers, spec)
+		if err != nil {
+			return err
+		}
+		if err := indexStockHighs(tbB, spec, false, k); err != nil {
+			return err
+		}
+		lastH, lastB = tbH.Memory(), tbB.Memory()
+		fmt.Fprintf(cfg.Out, "%-10d %14s %14s\n", k,
+			fmtBytes(lastH.Total()), fmtBytes(lastB.Total()))
+	}
+	printSpaceBreakdown(cfg, lastH, lastB)
+	return nil
+}
+
+func printSpaceBreakdown(cfg Config, h, b engine.MemoryStats) {
+	frac := func(m engine.MemoryStats) (float64, float64, float64) {
+		tot := float64(m.Total())
+		if tot == 0 {
+			return 0, 0, 0
+		}
+		return float64(m.TableBytes+m.PrimaryBytes) / tot * 100,
+			float64(m.ExistingBytes) / tot * 100,
+			float64(m.NewBytes) / tot * 100
+	}
+	ht, he, hn := frac(h)
+	bt, be, bn := frac(b)
+	fmt.Fprintf(cfg.Out, "space breakdown (table / existing idx / new idx):\n")
+	fmt.Fprintf(cfg.Out, "  HERMIT   %.1f%% / %.1f%% / %.1f%%\n", ht, he, hn)
+	fmt.Fprintf(cfg.Out, "  Baseline %.1f%% / %.1f%% / %.1f%%\n", bt, be, bn)
+}
+
+// paperSensorRows is the dataset size of the Sensor application.
+const paperSensorRows = 4_208_260
+
+// buildSensor loads the Sensor table with the host index on the average
+// column.
+func buildSensor(cfg Config, scheme hermit.PointerScheme, rowsN int) (*engine.Table, workload.SensorSpec, error) {
+	spec := workload.DefaultSensorSpec(rowsN)
+	spec.Seed = cfg.Seed
+	db := engine.NewDB(scheme)
+	tb, err := db.CreateTable("sensor", spec.Columns(), spec.PKCol())
+	if err != nil {
+		return nil, spec, err
+	}
+	if err := spec.Generate(func(row []float64) error {
+		_, err := tb.Insert(row)
+		return err
+	}); err != nil {
+		return nil, spec, err
+	}
+	if _, err := tb.CreateBTreeIndex(spec.AvgCol(), false); err != nil {
+		return nil, spec, err
+	}
+	return tb, spec, nil
+}
+
+// indexSensorReadings builds the new indexes on every reading column.
+func indexSensorReadings(tb *engine.Table, spec workload.SensorSpec, useHermit bool) error {
+	for i := 0; i < spec.Sensors; i++ {
+		if useHermit {
+			if _, err := tb.CreateHermitIndex(spec.ReadingCol(i), spec.AvgCol()); err != nil {
+				return err
+			}
+		} else {
+			if _, err := tb.CreateBTreeIndex(spec.ReadingCol(i), true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6RangeSensor reproduces Fig. 6.
+func Fig6RangeSensor(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "fig6", "Range lookup throughput vs selectivity (Sensor)")
+	n := cfg.rows(paperSensorRows)
+	fmt.Fprintf(cfg.Out, "rows=%d sensors=16\n", n)
+	for _, scheme := range schemes {
+		fmt.Fprintf(cfg.Out, "-- %s pointers --\n", scheme)
+		fmt.Fprintf(cfg.Out, "%-12s %14s %14s\n", "selectivity", "HERMIT", "Baseline")
+		tbH, spec, err := buildSensor(cfg, scheme, n)
+		if err != nil {
+			return err
+		}
+		if err := indexSensorReadings(tbH, spec, true); err != nil {
+			return err
+		}
+		tbB, _, err := buildSensor(cfg, scheme, n)
+		if err != nil {
+			return err
+		}
+		if err := indexSensorReadings(tbB, spec, false); err != nil {
+			return err
+		}
+		for _, sel := range appSelectivities {
+			h, err := measureSensorQueries(cfg, tbH, spec, sel)
+			if err != nil {
+				return err
+			}
+			b, err := measureSensorQueries(cfg, tbB, spec, sel)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-12s %14s %14s\n",
+				fmt.Sprintf("%.1f%%", sel*100), fmtKops(h), fmtKops(b))
+		}
+	}
+	return nil
+}
+
+func measureSensorQueries(cfg Config, tb *engine.Table, spec workload.SensorSpec, sel float64) (float64, error) {
+	// Each channel has its own scale, so queries are generated per-channel
+	// to keep the selectivity comparable across the rotation.
+	gens := make([]func() workload.RangeQuery, spec.Sensors)
+	for i := range gens {
+		lo, hi, ok := tb.Store().ColumnBounds(spec.ReadingCol(i))
+		if !ok {
+			return 0, fmt.Errorf("bench: empty sensor table")
+		}
+		gens[i] = workload.QueryGen(lo, hi, sel, cfg.Seed+23+int64(i))
+	}
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < cfg.MeasureFor {
+		s := ops % spec.Sensors
+		q := gens[s]()
+		if _, _, err := tb.RangeQuery(spec.ReadingCol(s), q.Lo, q.Hi); err != nil {
+			return 0, err
+		}
+		ops++
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+// sensorTupleCounts is the Fig. 7 x-axis (millions of tuples).
+var sensorTupleCounts = []int{1_000_000, 2_000_000, 3_000_000, 4_000_000}
+
+// Fig7MemorySensor reproduces Fig. 7.
+func Fig7MemorySensor(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "fig7", "Memory consumption vs number of tuples (Sensor)")
+	fmt.Fprintf(cfg.Out, "%-12s %14s %14s\n", "tuples", "HERMIT", "Baseline")
+	var lastH, lastB engine.MemoryStats
+	for _, paperN := range sensorTupleCounts {
+		n := cfg.rows(paperN)
+		tbH, spec, err := buildSensor(cfg, hermit.PhysicalPointers, n)
+		if err != nil {
+			return err
+		}
+		if err := indexSensorReadings(tbH, spec, true); err != nil {
+			return err
+		}
+		tbB, _, err := buildSensor(cfg, hermit.PhysicalPointers, n)
+		if err != nil {
+			return err
+		}
+		if err := indexSensorReadings(tbB, spec, false); err != nil {
+			return err
+		}
+		lastH, lastB = tbH.Memory(), tbB.Memory()
+		fmt.Fprintf(cfg.Out, "%-12d %14s %14s\n", n,
+			fmtBytes(lastH.Total()), fmtBytes(lastB.Total()))
+	}
+	printSpaceBreakdown(cfg, lastH, lastB)
+	return nil
+}
+
+// Fig24Disk reproduces Fig. 24: Sensor range lookups on the disk engine
+// (buffer-pooled heap + page B+-trees, in-memory TRS-Tree), with the
+// TRS-Tree / index / validation breakdown.
+func Fig24Disk(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "fig24", "Disk-based range lookup and breakdown (Sensor)")
+	dir := cfg.TmpDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "hermit-disk-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	n := cfg.rows(paperSensorRows / 4)
+	spec := workload.DefaultSensorSpec(n)
+	spec.Seed = cfg.Seed
+	build := func(sub string, useHermit bool) (*engine.DiskTable, error) {
+		d := dir + "/" + sub
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+		// Pool sized well below the dataset so lookups pay real page I/O.
+		dt, err := engine.OpenDiskTable(d, spec.Columns(), spec.PKCol(), 128)
+		if err != nil {
+			return nil, err
+		}
+		if err := spec.Generate(func(row []float64) error {
+			_, err := dt.Insert(row)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if useHermit {
+			if _, err := dt.CreateDiskBTreeIndex(spec.AvgCol()); err != nil {
+				return nil, err
+			}
+			if _, err := dt.CreateDiskHermitIndex(spec.ReadingCol(0), spec.AvgCol(), trstree.DefaultParams()); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := dt.CreateDiskBTreeIndex(spec.ReadingCol(0)); err != nil {
+				return nil, err
+			}
+		}
+		return dt, nil
+	}
+	dtH, err := build("hermit", true)
+	if err != nil {
+		return err
+	}
+	defer dtH.Close()
+	dtB, err := build("baseline", false)
+	if err != nil {
+		return err
+	}
+	defer dtB.Close()
+	dLo, dHi, ok, err := diskBounds(dtH, spec.ReadingCol(0))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("bench: empty disk table")
+	}
+	fmt.Fprintf(cfg.Out, "rows=%d pool=128 pages\n", n)
+	fmt.Fprintf(cfg.Out, "%-12s %14s %14s\n", "selectivity", "HERMIT", "Baseline")
+	measure := func(dt *engine.DiskTable, sel float64) (float64, error) {
+		gen := workload.QueryGen(dLo, dHi, sel, cfg.Seed+31)
+		start := time.Now()
+		ops := 0
+		for time.Since(start) < cfg.MeasureFor {
+			q := gen()
+			if _, _, err := dt.RangeQuery(spec.ReadingCol(0), q.Lo, q.Hi); err != nil {
+				return 0, err
+			}
+			ops++
+		}
+		return float64(ops) / time.Since(start).Seconds(), nil
+	}
+	for _, sel := range appSelectivities {
+		h, err := measure(dtH, sel)
+		if err != nil {
+			return err
+		}
+		b, err := measure(dtB, sel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-12s %14.2f ops %11.2f ops\n",
+			fmt.Sprintf("%.1f%%", sel*100), h, b)
+	}
+	// Breakdown panel (Fig. 24b): TRS-Tree vs index vs validation.
+	dtH.SetProfile(true)
+	gen := workload.QueryGen(dLo, dHi, 0.05, cfg.Seed+33)
+	var total hermit.Breakdown
+	for i := 0; i < 20; i++ {
+		q := gen()
+		_, st, err := dtH.RangeQuery(spec.ReadingCol(0), q.Lo, q.Hi)
+		if err != nil {
+			return err
+		}
+		total.Add(st.Breakdown)
+	}
+	fr := total.Fractions()
+	fmt.Fprintf(cfg.Out, "hermit breakdown: trs-tree %.1f%% / index %.1f%% / validation %.1f%%\n",
+		fr[hermit.PhaseTRSTree]*100, fr[hermit.PhaseHostIndex]*100, fr[hermit.PhaseBaseTable]*100)
+	ps := dtH.Pool().Stats()
+	fmt.Fprintf(cfg.Out, "buffer pool: hits=%d misses=%d evictions=%d\n", ps.Hits, ps.Misses, ps.Evictions)
+	return nil
+}
+
+func diskBounds(dt *engine.DiskTable, col int) (float64, float64, bool, error) {
+	// DiskTable does not expose its heap; bound via an unindexed range scan
+	// over (-inf, +inf) would be wasteful, so scan once through RangeQuery
+	// on the column itself only if unindexed. Instead use a generous fixed
+	// domain: sensor readings live in [0, channelMax].
+	rids, _, err := dt.RangeQuery(col, 0, 1e12)
+	if err != nil || len(rids) == 0 {
+		return 0, 0, false, err
+	}
+	return 0, 600, true, nil
+}
+
+// Fig26Outliers reproduces Fig. 26's point: a TRS-Tree over two correlated
+// market indices (Dow-Jones vs S&P-500 style) captures regime-shift days
+// as outliers and still answers exactly.
+func Fig26Outliers(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "fig26", "Outlier capture on correlated stock indices")
+	spec := workload.StockSpec{Stocks: 1, Days: cfg.rows(15000), Seed: cfg.Seed, CrashProb: 0.004}
+	tb, err := buildStock(cfg, hermit.PhysicalPointers, spec)
+	if err != nil {
+		return err
+	}
+	hx, err := tb.CreateHermitIndex(spec.HighCol(0), spec.LowCol(0))
+	if err != nil {
+		return err
+	}
+	st := hx.Tree().Stats()
+	fmt.Fprintf(cfg.Out, "days=%d leaves=%d outliers=%d (%.2f%% of tuples) index=%s\n",
+		spec.Days, st.Leaves, st.Outliers,
+		float64(st.Outliers)/float64(spec.Days)*100, fmtBytes(hx.SizeBytes()))
+	// Exactness check across the domain.
+	lo, hi, _ := tb.Store().ColumnBounds(spec.HighCol(0))
+	gen := workload.QueryGen(lo, hi, 0.05, cfg.Seed+41)
+	bad := 0
+	for i := 0; i < 50; i++ {
+		q := gen()
+		rids, _, err := tb.RangeQuery(spec.HighCol(0), q.Lo, q.Hi)
+		if err != nil {
+			return err
+		}
+		want := 0
+		tb.Store().ScanColumn(spec.HighCol(0), func(_ storage.RID, v float64) bool {
+			if v >= q.Lo && v <= q.Hi {
+				want++
+			}
+			return true
+		})
+		if len(rids) != want {
+			bad++
+		}
+	}
+	fmt.Fprintf(cfg.Out, "exactness: %d/50 queries verified against full scans\n", 50-bad)
+	if bad > 0 {
+		return fmt.Errorf("bench: fig26 found %d inexact queries", bad)
+	}
+	return nil
+}

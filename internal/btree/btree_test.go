@@ -1,0 +1,408 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New(DefaultOrder)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d h=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	called := false
+	tr.Scan(0, 100, func(float64, uint64) bool { called = true; return true })
+	if called {
+		t.Fatal("scan on empty tree called fn")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i), uint64(i*10))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		id, ok := tr.First(float64(i))
+		if !ok || id != uint64(i*10) {
+			t.Fatalf("key %d: id=%d ok=%v", i, id, ok)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(4) // small order to force splits through duplicate runs
+	const dups = 500
+	for i := 0; i < dups; i++ {
+		tr.Insert(42, uint64(i))
+	}
+	tr.Insert(41, 9999)
+	tr.Insert(43, 9998)
+	var got []uint64
+	tr.Lookup(42, func(id uint64) bool { got = append(got, id); return true })
+	if len(got) != dups {
+		t.Fatalf("lookup returned %d of %d duplicates", len(got), dups)
+	}
+	for i, id := range got {
+		if id != uint64(i) {
+			t.Fatalf("duplicate ids out of order at %d: %d", i, id)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	var keys []float64
+	tr.Scan(10, 20, func(k float64, _ uint64) bool { keys = append(keys, k); return true })
+	if len(keys) != 11 || keys[0] != 10 || keys[10] != 20 {
+		t.Fatalf("scan [10,20]: %v", keys)
+	}
+	// Inverted range is empty.
+	n := 0
+	tr.Scan(20, 10, func(float64, uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("inverted range returned entries")
+	}
+	// Early termination.
+	n = 0
+	tr.Scan(0, 99, func(float64, uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop n=%d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 200; i++ {
+		tr.Insert(float64(i%50), uint64(i))
+	}
+	if !tr.Delete(7, 7) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete(7, 7) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(1000, 0) {
+		t.Fatal("delete missing key succeeded")
+	}
+	if tr.Contains(7, 7) {
+		t.Fatal("deleted entry still present")
+	}
+	if !tr.Contains(7, 57) {
+		t.Fatal("sibling duplicate entry lost")
+	}
+	if tr.Len() != 199 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(DefaultOrder)
+	for _, k := range []float64{5, -2, 8, 3} {
+		tr.Insert(k, 1)
+	}
+	if mn, ok := tr.Min(); !ok || mn != -2 {
+		t.Fatalf("min=%v", mn)
+	}
+	if mx, ok := tr.Max(); !ok || mx != 8 {
+		t.Fatalf("max=%v", mx)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	n := 10000
+	keys := make([]float64, n)
+	ids := make([]uint64, n)
+	for i := range keys {
+		keys[i] = float64(i)
+		ids[i] = uint64(i)
+	}
+	tr := New(DefaultOrder)
+	if err := tr.BulkLoad(keys, ids); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	prev := math.Inf(-1)
+	tr.Scan(math.Inf(-1), math.Inf(1), func(k float64, _ uint64) bool {
+		if k < prev {
+			t.Fatalf("out of order: %v after %v", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan count=%d", count)
+	}
+	// Mutations after bulk load still work.
+	tr.Insert(0.5, 77)
+	if !tr.Contains(0.5, 77) {
+		t.Fatal("insert after bulk load")
+	}
+}
+
+func TestBulkLoadErrors(t *testing.T) {
+	tr := New(DefaultOrder)
+	if err := tr.BulkLoad([]float64{1}, []uint64{1, 2}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if err := tr.BulkLoad([]float64{2, 1}, []uint64{0, 0}); err == nil {
+		t.Fatal("want unsorted error")
+	}
+	if err := tr.BulkLoad(nil, nil); err != nil {
+		t.Fatalf("empty bulk load: %v", err)
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	tr := New(DefaultOrder)
+	empty := tr.SizeBytes()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if tr.SizeBytes() <= empty {
+		t.Fatal("size did not grow")
+	}
+	// Rough sanity: at least 16 bytes/entry (key+id), at most ~100.
+	per := float64(tr.SizeBytes()) / 10000
+	if per < 16 || per > 100 {
+		t.Fatalf("bytes/entry=%v outside sane range", per)
+	}
+}
+
+func TestHeightGrows(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	if tr.Height() < 4 {
+		t.Fatalf("height=%d, expected deep tree at order 4", tr.Height())
+	}
+}
+
+// Property: the tree agrees with a reference sorted slice under random
+// inserts and deletes, for both orders and random key distributions.
+func TestQuickAgainstReference(t *testing.T) {
+	type entry struct {
+		k float64
+		v uint64
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 4 + rng.Intn(29)
+		tr := New(order)
+		var ref []entry
+		for op := 0; op < 4000; op++ {
+			if len(ref) > 0 && rng.Float64() < 0.25 {
+				i := rng.Intn(len(ref))
+				e := ref[i]
+				if !tr.Delete(e.k, e.v) {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			} else {
+				// Small key space to force duplicates.
+				e := entry{k: float64(rng.Intn(50)), v: uint64(op)}
+				tr.Insert(e.k, e.v)
+				ref = append(ref, e)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].k != ref[b].k {
+				return ref[a].k < ref[b].k
+			}
+			return ref[a].v < ref[b].v
+		})
+		i := 0
+		okScan := true
+		tr.Scan(math.Inf(-1), math.Inf(1), func(k float64, v uint64) bool {
+			if i >= len(ref) || ref[i].k != k || ref[i].v != v {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: range scans return exactly the reference subset.
+func TestQuickRangeScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(8)
+		keys := make([]float64, 2000)
+		for i := range keys {
+			keys[i] = math.Floor(rng.Float64() * 300)
+			tr.Insert(keys[i], uint64(i))
+		}
+		for trial := 0; trial < 20; trial++ {
+			lo := rng.Float64() * 300
+			hi := lo + rng.Float64()*100
+			want := 0
+			for _, k := range keys {
+				if k >= lo && k <= hi {
+					want++
+				}
+			}
+			got := 0
+			tr.Scan(lo, hi, func(k float64, _ uint64) bool {
+				if k < lo || k > hi {
+					return false
+				}
+				got++
+				return true
+			})
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bulk load and incremental insert produce identical scans.
+func TestQuickBulkLoadEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5000)
+		keys := make([]float64, n)
+		ids := make([]uint64, n)
+		for i := range keys {
+			keys[i] = math.Floor(rng.Float64() * 100)
+			ids[i] = uint64(i)
+		}
+		inc := New(DefaultOrder)
+		for i := range keys {
+			inc.Insert(keys[i], ids[i])
+		}
+		type pair struct {
+			k float64
+			v uint64
+		}
+		sorted := make([]pair, n)
+		for i := range keys {
+			sorted[i] = pair{keys[i], ids[i]}
+		}
+		sort.Slice(sorted, func(a, b int) bool {
+			if sorted[a].k != sorted[b].k {
+				return sorted[a].k < sorted[b].k
+			}
+			return sorted[a].v < sorted[b].v
+		})
+		sk := make([]float64, n)
+		sv := make([]uint64, n)
+		for i, p := range sorted {
+			sk[i], sv[i] = p.k, p.v
+		}
+		bl := New(DefaultOrder)
+		if err := bl.BulkLoad(sk, sv); err != nil {
+			return false
+		}
+		if err := bl.CheckInvariants(); err != nil {
+			return false
+		}
+		var a, b []pair
+		inc.Scan(math.Inf(-1), math.Inf(1), func(k float64, v uint64) bool {
+			a = append(a, pair{k, v})
+			return true
+		})
+		bl.Scan(math.Inf(-1), math.Inf(1), func(k float64, v uint64) bool {
+			b = append(b, pair{k, v})
+			return true
+		})
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Float64()*1e6, uint64(i))
+	}
+}
+
+func BenchmarkPointLookup(b *testing.B) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 1_000_000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.First(float64(i % 1_000_000)); !ok {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkRangeScan1000(b *testing.B) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 1_000_000; i++ {
+		tr.Insert(float64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64((i * 997) % 999000)
+		n := 0
+		tr.Scan(lo, lo+999, func(float64, uint64) bool { n++; return true })
+		if n != 1000 {
+			b.Fatalf("n=%d", n)
+		}
+	}
+}

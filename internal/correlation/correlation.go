@@ -1,0 +1,218 @@
+// Package correlation implements the correlation discovery substrate Hermit
+// relies on (paper §2.2 and Appendix D.1). It evaluates candidate column
+// pairs with Pearson and Spearman coefficients — the two measures the paper
+// recommends a DBA use — and offers a CORDS-style sampled search that finds
+// soft functional dependencies without scanning the full table.
+package correlation
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"hermit/internal/stats"
+	"hermit/internal/storage"
+)
+
+// Kind classifies a detected correlation the way Appendix D.1 does: linear
+// correlations are found by Pearson, monotonic ones by Spearman, and
+// non-monotonic relations (e.g. sine) are flagged as unusable because a
+// single host value maps back to many target values.
+type Kind int
+
+const (
+	// None means no usable correlation was detected.
+	None Kind = iota
+	// Linear means |Pearson| is above the threshold.
+	Linear
+	// Monotonic means |Spearman| is above the threshold but Pearson is not:
+	// the relation is curved yet order-preserving (e.g. sigmoid).
+	Monotonic
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Monotonic:
+		return "monotonic"
+	default:
+		return "none"
+	}
+}
+
+// Measure is the correlation strength of one column pair.
+type Measure struct {
+	Target   int // column the new index is requested on (M)
+	Host     int // existing indexed column (N)
+	Pearson  float64
+	Spearman float64
+	Kind     Kind
+}
+
+// Config tunes discovery.
+type Config struct {
+	// PearsonThreshold above which a pair counts as Linear. Default 0.9.
+	PearsonThreshold float64
+	// SpearmanThreshold above which a pair counts as Monotonic. Default 0.9.
+	SpearmanThreshold float64
+	// SampleSize caps the number of rows examined per pair, following
+	// CORDS' observation that a few thousand samples suffice. Zero means
+	// scan everything.
+	SampleSize int
+	// Seed makes sampling deterministic for tests; 0 uses seed 1.
+	Seed int64
+}
+
+// DefaultConfig returns thresholds suitable for the paper's workloads.
+func DefaultConfig() Config {
+	return Config{
+		PearsonThreshold:  0.9,
+		SpearmanThreshold: 0.9,
+		SampleSize:        10000,
+		Seed:              1,
+	}
+}
+
+func (c Config) sanitized() Config {
+	if c.PearsonThreshold <= 0 {
+		c.PearsonThreshold = 0.9
+	}
+	if c.SpearmanThreshold <= 0 {
+		c.SpearmanThreshold = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ErrEmptyTable is returned when discovery runs over a table with no rows.
+var ErrEmptyTable = errors.New("correlation: empty table")
+
+// MeasurePair computes the coefficients for one (target, host) column pair,
+// sampling per cfg.
+func MeasurePair(t *storage.Table, target, host int, cfg Config) (Measure, error) {
+	cfg = cfg.sanitized()
+	xs, ys, err := samplePairs(t, target, host, cfg)
+	if err != nil {
+		return Measure{}, err
+	}
+	m := Measure{
+		Target:   target,
+		Host:     host,
+		Pearson:  stats.Pearson(xs, ys),
+		Spearman: stats.Spearman(xs, ys),
+	}
+	m.Kind = classify(m, cfg)
+	return m, nil
+}
+
+func classify(m Measure, cfg Config) Kind {
+	switch {
+	case abs(m.Pearson) >= cfg.PearsonThreshold:
+		return Linear
+	case abs(m.Spearman) >= cfg.SpearmanThreshold:
+		return Monotonic
+	default:
+		return None
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Discover evaluates every (target, host) combination where target is an
+// unindexed column and host is an indexed one, and returns the usable
+// correlations sorted by strength (best first). This is the hook an RDBMS's
+// index-creation path calls to decide whether a requested index can be
+// built as a Hermit index instead of a complete B+-tree.
+func Discover(t *storage.Table, targets, hosts []int, cfg Config) ([]Measure, error) {
+	cfg = cfg.sanitized()
+	var out []Measure
+	for _, tc := range targets {
+		for _, hc := range hosts {
+			if tc == hc {
+				continue
+			}
+			m, err := MeasurePair(t, tc, hc, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if m.Kind != None {
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return strength(out[a]) > strength(out[b])
+	})
+	return out, nil
+}
+
+// BestHost returns the strongest usable correlation for the target column,
+// with ok=false when none clears the thresholds.
+func BestHost(t *storage.Table, target int, hosts []int, cfg Config) (Measure, bool, error) {
+	ms, err := Discover(t, []int{target}, hosts, cfg)
+	if err != nil {
+		return Measure{}, false, err
+	}
+	if len(ms) == 0 {
+		return Measure{}, false, nil
+	}
+	return ms[0], true, nil
+}
+
+// strength orders candidates: prefer the higher of the two coefficients,
+// breaking ties toward linear relations, which TRS-Tree fits with fewer
+// leaves.
+func strength(m Measure) float64 {
+	s := abs(m.Spearman)
+	if p := abs(m.Pearson); p > s {
+		s = p
+	}
+	if m.Kind == Linear {
+		s += 1e-6
+	}
+	return s
+}
+
+// samplePairs extracts up to cfg.SampleSize (target, host) pairs using
+// reservoir sampling over one table scan, so discovery costs one pass no
+// matter the table size.
+func samplePairs(t *storage.Table, target, host int, cfg Config) (xs, ys []float64, err error) {
+	if t.Len() == 0 {
+		return nil, nil, ErrEmptyTable
+	}
+	limit := cfg.SampleSize
+	if limit <= 0 || limit > t.Len() {
+		limit = t.Len()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	xs = make([]float64, 0, limit)
+	ys = make([]float64, 0, limit)
+	seen := 0
+	err = t.ScanPairs(target, host, func(_ storage.RID, m, n float64) bool {
+		seen++
+		if len(xs) < limit {
+			xs = append(xs, m)
+			ys = append(ys, n)
+			return true
+		}
+		// Reservoir replacement.
+		j := rng.Intn(seen)
+		if j < limit {
+			xs[j], ys[j] = m, n
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return xs, ys, nil
+}

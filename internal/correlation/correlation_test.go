@@ -1,0 +1,154 @@
+package correlation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hermit/internal/storage"
+)
+
+// buildTable creates a 4-column table: col0 = key, col1 = 2*col0+5 (linear),
+// col2 = sigmoid(col0) (monotonic), col3 = random (uncorrelated).
+func buildTable(t *testing.T, n int) *storage.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tb := storage.NewTable(4)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 1000
+		sig := 100 / (1 + math.Exp(-(x-500)/100))
+		if _, err := tb.Insert([]float64{x, 2*x + 5, sig, rng.Float64() * 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestMeasurePairLinear(t *testing.T) {
+	tb := buildTable(t, 5000)
+	m, err := MeasurePair(tb, 0, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != Linear {
+		t.Fatalf("kind=%v pearson=%v", m.Kind, m.Pearson)
+	}
+	if m.Pearson < 0.999 {
+		t.Fatalf("pearson=%v", m.Pearson)
+	}
+}
+
+func TestMeasurePairMonotonic(t *testing.T) {
+	tb := buildTable(t, 5000)
+	m, err := MeasurePair(tb, 0, 2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind == None {
+		t.Fatalf("sigmoid pair not detected: %+v", m)
+	}
+	if m.Spearman < 0.999 {
+		t.Fatalf("spearman=%v", m.Spearman)
+	}
+}
+
+func TestMeasurePairUncorrelated(t *testing.T) {
+	tb := buildTable(t, 5000)
+	m, err := MeasurePair(tb, 0, 3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != None {
+		t.Fatalf("random pair misclassified: %+v", m)
+	}
+}
+
+func TestMeasurePairEmpty(t *testing.T) {
+	tb := storage.NewTable(2)
+	if _, err := MeasurePair(tb, 0, 1, DefaultConfig()); err != ErrEmptyTable {
+		t.Fatalf("want ErrEmptyTable, got %v", err)
+	}
+}
+
+func TestDiscoverOrdering(t *testing.T) {
+	tb := buildTable(t, 5000)
+	ms, err := Discover(tb, []int{0}, []int{1, 2, 3}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("found %d correlations, want 2 (linear+sigmoid): %+v", len(ms), ms)
+	}
+	// Linear should rank first on the tie-break.
+	if ms[0].Host != 1 {
+		t.Fatalf("best host=%d, want 1 (linear)", ms[0].Host)
+	}
+	// Self-pair skipped.
+	ms2, err := Discover(tb, []int{1}, []int{1}, DefaultConfig())
+	if err != nil || len(ms2) != 0 {
+		t.Fatalf("self pair: %v %v", ms2, err)
+	}
+}
+
+func TestBestHost(t *testing.T) {
+	tb := buildTable(t, 3000)
+	m, ok, err := BestHost(tb, 0, []int{1, 2, 3}, DefaultConfig())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if m.Host != 1 {
+		t.Fatalf("host=%d", m.Host)
+	}
+	_, ok, err = BestHost(tb, 3, []int{0}, DefaultConfig())
+	if err != nil || ok {
+		t.Fatalf("random target should find no host, ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	tb := buildTable(t, 20000)
+	cfg := DefaultConfig()
+	cfg.SampleSize = 500
+	a, err := MeasurePair(tb, 0, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasurePair(tb, 0, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spearman != b.Spearman || a.Pearson != b.Pearson {
+		t.Fatalf("sampling not deterministic: %+v vs %+v", a, b)
+	}
+	// Sampled estimate close to full-scan estimate.
+	cfg.SampleSize = 0
+	full, err := MeasurePair(tb, 0, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.Spearman-a.Spearman) > 0.05 {
+		t.Fatalf("sampled %v vs full %v", a.Spearman, full.Spearman)
+	}
+}
+
+func TestNonMonotonicRejected(t *testing.T) {
+	// Appendix D.1: sin correlations must be rejected (Spearman ~ 0).
+	tb := storage.NewTable(2)
+	for i := 0; i < 5000; i++ {
+		x := -10 + 20*float64(i)/4999
+		tb.Insert([]float64{x, math.Sin(x)})
+	}
+	m, err := MeasurePair(tb, 0, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != None {
+		t.Fatalf("sin misclassified as %v (pearson=%v spearman=%v)", m.Kind, m.Pearson, m.Spearman)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if None.String() != "none" || Linear.String() != "linear" || Monotonic.String() != "monotonic" {
+		t.Fatal("Kind.String broken")
+	}
+}

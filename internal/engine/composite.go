@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hermit/internal/btree"
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+	"hermit/internal/trstree"
+)
+
+// colPair identifies a two-column index by its (leading, second) columns.
+type colPair [2]int
+
+// CreateCompositeBTreeIndex bulk-builds a complete composite B+-tree index
+// on (aCol, bCol) — the shape of the paper's (TIME, DJ) host index.
+// Composite indexes store physical RIDs, so they require the physical
+// tuple-identifier scheme.
+func (t *Table) CreateCompositeBTreeIndex(aCol, bCol int, markNew bool) (*btree.CompositeTree, error) {
+	if aCol < 0 || aCol >= len(t.cols) || bCol < 0 || bCol >= len(t.cols) {
+		return nil, ErrNoSuchColumn
+	}
+	if t.scheme != hermit.PhysicalPointers {
+		return nil, fmt.Errorf("engine: composite indexes require physical pointers")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := colPair{aCol, bCol}
+	if t.composites == nil {
+		t.composites = make(map[colPair]*btree.CompositeTree)
+	}
+	if _, dup := t.composites[key]; dup {
+		return nil, ErrDupIndex
+	}
+	type entry struct {
+		a, b float64
+		id   uint64
+	}
+	entries := make([]entry, 0, t.store.Len())
+	t.store.Scan(func(rid storage.RID, row []float64) bool {
+		entries = append(entries, entry{a: row[aCol], b: row[bCol], id: uint64(rid)})
+		return true
+	})
+	sort.Slice(entries, func(x, y int) bool {
+		ex, ey := entries[x], entries[y]
+		if ex.a != ey.a {
+			return ex.a < ey.a
+		}
+		if ex.b != ey.b {
+			return ex.b < ey.b
+		}
+		return ex.id < ey.id
+	})
+	as := make([]float64, len(entries))
+	bs := make([]float64, len(entries))
+	ids := make([]uint64, len(entries))
+	for i, e := range entries {
+		as[i], bs[i], ids[i] = e.a, e.b, e.id
+	}
+	tr := btree.NewComposite(btree.DefaultOrder)
+	if err := tr.BulkLoad(as, bs, ids); err != nil {
+		return nil, err
+	}
+	t.composites[key] = tr
+	if markNew {
+		if t.compositeNew == nil {
+			t.compositeNew = make(map[colPair]bool)
+		}
+		t.compositeNew[key] = true
+	}
+	return tr, nil
+}
+
+// CreateCompositeHermitIndex builds a multi-column Hermit index on
+// (aCol, mCol) using the existing composite index on (aCol, nCol) as host
+// (paper §3; the running example's (TIME, SP) over (TIME, DJ)).
+func (t *Table) CreateCompositeHermitIndex(aCol, mCol, nCol int, opts ...HermitOption) (*hermit.CompositeIndex, error) {
+	if aCol < 0 || aCol >= len(t.cols) || mCol < 0 || mCol >= len(t.cols) || nCol < 0 || nCol >= len(t.cols) {
+		return nil, ErrNoSuchColumn
+	}
+	if t.scheme != hermit.PhysicalPointers {
+		return nil, fmt.Errorf("engine: composite indexes require physical pointers")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	host, ok := t.composites[colPair{aCol, nCol}]
+	if !ok {
+		return nil, ErrNoHostIndex
+	}
+	key := colPair{aCol, mCol}
+	if t.compositeHermits == nil {
+		t.compositeHermits = make(map[colPair]*hermit.CompositeIndex)
+	}
+	if _, dup := t.compositeHermits[key]; dup {
+		return nil, ErrDupIndex
+	}
+	o := hermitOpts{params: trstree.DefaultParams()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	hx, err := hermit.NewComposite(t.store, host, hermit.CompositeConfig{
+		ACol: aCol, TargetCol: mCol, HostCol: nCol,
+		Params: o.params, Profile: o.profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.compositeHermits[key] = hx
+	if t.compositeHostOf == nil {
+		t.compositeHostOf = make(map[colPair]int)
+	}
+	t.compositeHostOf[key] = nCol
+	return hx, nil
+}
+
+// CompositeHermit returns the composite Hermit index on (aCol, mCol), if any.
+func (t *Table) CompositeHermit(aCol, mCol int) *hermit.CompositeIndex {
+	return t.compositeHermits[colPair{aCol, mCol}]
+}
+
+// RangeQuery2 answers the conjunctive predicate
+//
+//	aLo <= aCol <= aHi AND bLo <= bCol <= bHi
+//
+// through the best available two-column access path: a composite Hermit
+// index on (aCol, bCol), a complete composite index, or a single-column
+// plan on whichever column has an index (fetch + residual filter), falling
+// back to a table scan.
+func (t *Table) RangeQuery2(aCol int, aLo, aHi float64, bCol int, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
+	if aCol < 0 || aCol >= len(t.cols) || bCol < 0 || bCol >= len(t.cols) {
+		return nil, QueryStats{}, ErrNoSuchColumn
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if hx, ok := t.compositeHermits[colPair{aCol, bCol}]; ok {
+		res := hx.Lookup(aLo, aHi, bLo, bHi)
+		return res.RIDs, QueryStats{
+			Kind: KindHermit, Rows: len(res.RIDs),
+			Candidates: res.Candidates, Breakdown: res.Breakdown,
+		}, nil
+	}
+	if tr, ok := t.composites[colPair{aCol, bCol}]; ok {
+		return t.compositeBaseline(tr, aLo, aHi, bLo, bHi)
+	}
+	// Single-column plan with residual filter.
+	rids, st, err := t.rangeQueryLocked(aCol, aLo, aHi)
+	if err != nil {
+		return nil, st, err
+	}
+	out := rids[:0]
+	for _, rid := range rids {
+		v, err := t.store.Value(rid, bCol)
+		if err == nil && v >= bLo && v <= bHi {
+			out = append(out, rid)
+		}
+	}
+	st.Rows = len(out)
+	return out, st, nil
+}
+
+// compositeBaseline is the conventional composite-index plan.
+func (t *Table) compositeBaseline(tr *btree.CompositeTree, aLo, aHi, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
+	st := QueryStats{Kind: KindBTree}
+	var t0 time.Time
+	if t.profile {
+		t0 = time.Now()
+	}
+	var rids []storage.RID
+	tr.Scan(aLo, aHi, bLo, bHi, func(_, _ float64, id uint64) bool {
+		rids = append(rids, storage.RID(id))
+		return true
+	})
+	if t.profile {
+		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
+		t0 = time.Now()
+	}
+	out := rids[:0]
+	for _, rid := range rids {
+		if _, err := t.store.Value(rid, t.pkCol); err == nil {
+			out = append(out, rid)
+		}
+	}
+	if t.profile {
+		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
+	}
+	st.Rows, st.Candidates = len(out), len(out)
+	return out, st, nil
+}

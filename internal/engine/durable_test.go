@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hermit/internal/hermit"
+	"hermit/internal/trstree"
+)
+
+// populateDurable creates the Synthetic table with a host index and a
+// Hermit index through the durable layer.
+func populateDurable(t *testing.T, d *DurableDB, n int, seed int64) {
+	t.Helper()
+	if _, err := d.CreateTable("syn", synthCols, 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		c := rng.Float64() * 1000
+		if _, err := d.Insert("syn", []float64{float64(i), 2*c + 100, c, rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CreateIndex("syn", IndexDef{Kind: "btree", Col: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateIndex("syn", IndexDef{Kind: "hermit", Col: 2, Host: 1, Params: trstree.DefaultParams()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotResults captures query answers for later comparison.
+func snapshotResults(t *testing.T, tb *Table) map[[2]float64]int {
+	t.Helper()
+	out := map[[2]float64]int{}
+	for _, q := range [][2]float64{{0, 100}, {250, 300}, {500, 501}, {900, 1000}} {
+		rids, _, err := tb.RangeQuery(2, q[0], q[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[q] = len(rids)
+	}
+	return out
+}
+
+func TestDurableRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, hermit.LogicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateDurable(t, d, 3000, 1)
+	tb, _ := d.Table("syn")
+	want := snapshotResults(t, tb)
+	// Simulate crash: close without checkpoint.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, hermit.LogicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tb2, err := d2.Table("syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.Len() != 3000 {
+		t.Fatalf("recovered %d rows", tb2.Len())
+	}
+	if tb2.IndexOn(2) != KindHermit {
+		t.Fatalf("hermit index not rebuilt: %v", tb2.IndexOn(2))
+	}
+	got := snapshotResults(t, tb2)
+	for q, n := range want {
+		if got[q] != n {
+			t.Fatalf("query %v: got %d rows, want %d", q, got[q], n)
+		}
+	}
+}
+
+func TestDurableCheckpointPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, hermit.LogicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateDurable(t, d, 2000, 2)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint tail: more inserts, updates, deletes.
+	for i := 2000; i < 2500; i++ {
+		c := float64(i % 1000)
+		if _, err := d.Insert("syn", []float64{float64(i), 2*c + 100, c, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Delete("syn", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UpdateColumn("syn", 200, 2, 777.5); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := d.Table("syn")
+	want := snapshotResults(t, tb)
+	wantLen := tb.Len()
+	d.Close()
+
+	d2, err := OpenDurable(dir, hermit.LogicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tb2, _ := d2.Table("syn")
+	if tb2.Len() != wantLen {
+		t.Fatalf("recovered %d rows, want %d", tb2.Len(), wantLen)
+	}
+	got := snapshotResults(t, tb2)
+	for q, n := range want {
+		if got[q] != n {
+			t.Fatalf("query %v: got %d want %d", q, got[q], n)
+		}
+	}
+	// The update must be visible.
+	rids, _, err := tb2.RangeQuery(2, 777.5, 777.5)
+	if err != nil || len(rids) != 1 {
+		t.Fatalf("updated row not recovered: %v %v", rids, err)
+	}
+}
+
+func TestDurableTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateDurable(t, d, 500, 3)
+	// The record that will be torn: one extra insert after index creation.
+	if _, err := d.Insert("syn", []float64{99999, 300, 100, 0}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// Tear the final WAL record mid-frame (crash during append).
+	walPath := filepath.Join(dir, "wal.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tb, err := d2.Table("syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn insert is lost; everything before is intact, including the
+	// index DDL.
+	if tb.Len() != 500 {
+		t.Fatalf("recovered %d rows, want 500", tb.Len())
+	}
+	if tb.IndexOn(2) != KindHermit {
+		t.Fatal("index DDL before the torn record lost")
+	}
+	rids, _, err := tb.PointQuery(0, 99999)
+	if err != nil || len(rids) != 0 {
+		t.Fatalf("torn insert visible: %v %v", rids, err)
+	}
+}
+
+func TestDurableSchemeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateDurable(t, d, 100, 4)
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := OpenDurable(dir, hermit.LogicalPointers); err == nil {
+		t.Fatal("scheme mismatch accepted")
+	}
+}
+
+func TestDurableCompositeIndexRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("sh", []string{"TIME", "DJ", "SP", "VOL"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	dj := 2500.0
+	for day := 0; day < 2000; day++ {
+		dj *= 1 + rng.NormFloat64()*0.01
+		if _, err := d.Insert("sh", []float64{float64(day), dj, dj / 8, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CreateIndex("sh", IndexDef{Kind: "composite-btree", ACol: 0, Col: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateIndex("sh", IndexDef{
+		Kind: "composite-hermit", ACol: 0, Col: 2, Host: 1, Params: trstree.DefaultParams(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tb, _ := d2.Table("sh")
+	if tb.CompositeHermit(0, 2) == nil {
+		t.Fatal("composite hermit not rebuilt")
+	}
+	rids, _, err := tb.RangeQuery2(0, 100, 200, 2, 0, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 101 {
+		t.Fatalf("recovered composite query returned %d rows", len(rids))
+	}
+}
+
+func TestDurableUnknownIndexKind(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.CreateTable("t", []string{"a", "b"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateIndex("t", IndexDef{Kind: "voodoo"}); err == nil {
+		t.Fatal("unknown index kind accepted")
+	}
+	if _, err := d.Insert("nope", []float64{1}); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+}

@@ -1,0 +1,311 @@
+// Package engine is the mini-RDBMS that hosts both indexing mechanisms for
+// the experiments: a main-memory engine (the paper's DBMS-X stand-in) whose
+// tables are storage.Tables with B+-tree primary/secondary indexes and
+// Hermit indexes, plus a disk engine (disk.go) over the pager substrate for
+// the PostgreSQL experiments.
+//
+// The engine is deliberately small — catalog, index maintenance on writes,
+// and point/range query routing — because the paper's evaluation only
+// exercises those paths; there is no SQL front end.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hermit/internal/btree"
+	"hermit/internal/cm"
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+)
+
+// Errors returned by engine operations.
+var (
+	ErrNoSuchTable  = errors.New("engine: no such table")
+	ErrNoSuchColumn = errors.New("engine: no such column")
+	ErrDupIndex     = errors.New("engine: index already exists on column")
+	ErrNoHostIndex  = errors.New("engine: hermit host column has no complete index")
+	ErrDupTable     = errors.New("engine: table already exists")
+	ErrDupKey       = errors.New("engine: duplicate primary key")
+)
+
+// DB is a catalog of tables sharing one tuple-identifier scheme.
+type DB struct {
+	scheme hermit.PointerScheme
+	tables map[string]*Table
+}
+
+// NewDB creates a database using the given tuple-identifier scheme (§5.1).
+func NewDB(scheme hermit.PointerScheme) *DB {
+	return &DB{scheme: scheme, tables: make(map[string]*Table)}
+}
+
+// Scheme returns the database's tuple-identifier scheme.
+func (db *DB) Scheme() hermit.PointerScheme { return db.scheme }
+
+// CreateTable registers a table with the given column names; pkCol is the
+// primary-key column, which receives a primary index automatically.
+func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error) {
+	if _, ok := db.tables[name]; ok {
+		return nil, ErrDupTable
+	}
+	if pkCol < 0 || pkCol >= len(cols) {
+		return nil, ErrNoSuchColumn
+	}
+	t := &Table{
+		name:      name,
+		cols:      append([]string(nil), cols...),
+		pkCol:     pkCol,
+		scheme:    db.scheme,
+		store:     storage.NewTable(len(cols)),
+		primary:   btree.New(btree.DefaultOrder),
+		secondary: make(map[int]*btree.Tree),
+		hermits:   make(map[int]*hermit.Index),
+		cms:       make(map[int]*cm.Index),
+		hostOf:    make(map[int]int),
+		cmHostOf:  make(map[int]int),
+		newCols:   make(map[int]bool),
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Table is one relation plus its indexes.
+type Table struct {
+	name   string
+	cols   []string
+	pkCol  int
+	scheme hermit.PointerScheme
+	store  *storage.Table
+
+	primary   *btree.Tree           // pk value -> RID
+	secondary map[int]*btree.Tree   // complete B+-tree indexes (the Baseline)
+	hermits   map[int]*hermit.Index // Hermit indexes
+	cms       map[int]*cm.Index     // Correlation Map indexes (App. E)
+
+	// hostOf / cmHostOf record the host column for each Hermit / CM target.
+	hostOf   map[int]int
+	cmHostOf map[int]int
+
+	// Two-column access paths (paper §3): complete composite indexes and
+	// composite Hermit indexes, keyed by their (leading, second) columns.
+	composites       map[colPair]*btree.CompositeTree
+	compositeHermits map[colPair]*hermit.CompositeIndex
+	compositeNew     map[colPair]bool
+	compositeHostOf  map[colPair]int // (A,M) -> N
+	// newCols marks complete indexes created as "new" for the Fig. 22b
+	// insert-cost breakdown (as opposed to pre-existing host indexes).
+	newCols map[int]bool
+
+	// mu provides single-writer/multi-reader latching over the table's
+	// index structures (the B+-trees are not internally synchronised; the
+	// TRS-Trees latch themselves for reorganization).
+	mu      sync.RWMutex
+	profile bool
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Store exposes the underlying row store (used by workload loaders).
+func (t *Table) Store() *storage.Table { return t.store }
+
+// Primary exposes the primary index.
+func (t *Table) Primary() *btree.Tree { return t.primary }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.store.Len() }
+
+// Columns returns the column names.
+func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
+
+// SetProfile toggles per-phase timing on queries and inserts.
+func (t *Table) SetProfile(on bool) { t.profile = on }
+
+// colIndex resolves a column name.
+func (t *Table) colIndex(name string) (int, error) {
+	for i, c := range t.cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNoSuchColumn, name)
+}
+
+// identify maps a RID to the identifier stored in secondary indexes.
+func (t *Table) identify(rid storage.RID, row []float64) uint64 {
+	if t.scheme == hermit.PhysicalPointers {
+		return uint64(rid)
+	}
+	return uint64(row[t.pkCol])
+}
+
+// InsertStats breaks an insert's cost into the paper's Fig. 22b categories.
+type InsertStats struct {
+	Table    time.Duration // base table + primary index
+	Existing time.Duration // pre-existing (host) secondary indexes
+	New      time.Duration // newly created indexes (Hermit or baseline)
+}
+
+// Insert appends a row, maintaining the primary index and every secondary
+// structure. Duplicate primary keys are rejected.
+func (t *Table) Insert(row []float64) (storage.RID, error) {
+	rid, _, err := t.insert(row)
+	return rid, err
+}
+
+// InsertProfiled is Insert plus the per-category timing used by Fig. 22b.
+func (t *Table) InsertProfiled(row []float64) (storage.RID, InsertStats, error) {
+	return t.insert(row)
+}
+
+func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var st InsertStats
+	var t0 time.Time
+	if t.profile {
+		t0 = time.Now()
+	}
+	if _, dup := t.primary.First(row[t.pkCol]); dup {
+		return 0, st, fmt.Errorf("%w: %v", ErrDupKey, row[t.pkCol])
+	}
+	rid, err := t.store.Insert(row)
+	if err != nil {
+		return 0, st, err
+	}
+	t.primary.Insert(row[t.pkCol], uint64(rid))
+	if t.profile {
+		st.Table = time.Since(t0)
+		t0 = time.Now()
+	}
+	id := t.identify(rid, row)
+	// Pre-existing complete indexes (e.g. the host index).
+	for col, tr := range t.secondary {
+		if !t.newCols[col] {
+			tr.Insert(row[col], id)
+		}
+	}
+	if t.profile {
+		st.Existing = time.Since(t0)
+		t0 = time.Now()
+	}
+	// Newly created indexes: baseline complete indexes marked new, Hermit
+	// indexes, and Correlation Maps.
+	for col, tr := range t.secondary {
+		if t.newCols[col] {
+			tr.Insert(row[col], id)
+		}
+	}
+	for col, hx := range t.hermits {
+		hx.Insert(rid, row[col], row[t.hostOf[col]])
+	}
+	for col, cx := range t.cms {
+		cx.Insert(row[col], row[t.cmHostOf[col]])
+	}
+	for key, tr := range t.composites {
+		tr.Insert(row[key[0]], row[key[1]], uint64(rid))
+	}
+	for key, hx := range t.compositeHermits {
+		hx.Insert(rid, row[key[1]], row[t.compositeHostOf[key]])
+	}
+	if t.profile {
+		st.New = time.Since(t0)
+	}
+	return rid, st, nil
+}
+
+// Delete removes the row with the given primary key, maintaining all
+// indexes. It reports whether the key existed.
+func (t *Table) Delete(pk float64) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.primary.First(pk)
+	if !ok {
+		return false, nil
+	}
+	rid := storage.RID(v)
+	row, err := t.store.Get(rid, nil)
+	if err != nil {
+		return false, err
+	}
+	id := t.identify(rid, row)
+	for col, tr := range t.secondary {
+		tr.Delete(row[col], id)
+	}
+	for col, hx := range t.hermits {
+		hx.Delete(rid, row[col], row[t.hostOf[col]])
+	}
+	for col, cx := range t.cms {
+		cx.Delete(row[col], row[t.cmHostOf[col]])
+	}
+	for key, tr := range t.composites {
+		tr.Delete(row[key[0]], row[key[1]], uint64(rid))
+	}
+	for key, hx := range t.compositeHermits {
+		hx.Delete(rid, row[key[1]], row[t.compositeHostOf[key]])
+	}
+	t.primary.Delete(pk, uint64(rid))
+	if err := t.store.Delete(rid); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// UpdateColumn changes one column of the row with the given primary key,
+// maintaining indexes on that column (as a secondary key, as a Hermit
+// target, or as a Hermit/CM host).
+func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rv, ok := t.primary.First(pk)
+	if !ok {
+		return fmt.Errorf("engine: update: no row with pk %v", pk)
+	}
+	rid := storage.RID(rv)
+	old, err := t.store.Value(rid, col)
+	if err != nil {
+		return err
+	}
+	if old == v {
+		return nil
+	}
+	row, err := t.store.Get(rid, nil)
+	if err != nil {
+		return err
+	}
+	id := t.identify(rid, row)
+	if tr, ok := t.secondary[col]; ok {
+		tr.Delete(old, id)
+		tr.Insert(v, id)
+	}
+	// col as Hermit target: host value unchanged, target moved — reindex.
+	if hx, ok := t.hermits[col]; ok {
+		hx.Delete(rid, old, row[t.hostOf[col]])
+		hx.Insert(rid, v, row[t.hostOf[col]])
+	}
+	// col as Hermit host for other targets.
+	for target, host := range t.hostOf {
+		if host == col {
+			t.hermits[target].Update(rid, row[target], old, v)
+		}
+	}
+	for target, host := range t.cmHostOf {
+		if host == col {
+			t.cms[target].Delete(row[target], old)
+			t.cms[target].Insert(row[target], v)
+		}
+	}
+	return t.store.Set(rid, col, v)
+}

@@ -1,0 +1,520 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hermit/internal/cm"
+	"hermit/internal/correlation"
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+	"hermit/internal/trstree"
+)
+
+// loadSynthetic fills a table in the Appendix A Synthetic layout:
+// colA (pk), colB (host = fn(colC), noisy), colC (target), colD (payload).
+func loadSynthetic(t testing.TB, tb *Table, n int, fn func(float64) float64, noise float64, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		c := rng.Float64() * 1000
+		b := fn(c)
+		if rng.Float64() < noise {
+			b = rng.Float64() * 3000
+		}
+		if _, err := tb.Insert([]float64{float64(i), b, c, rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func linearFn(c float64) float64  { return 2*c + 100 }
+func sigmoidFn(c float64) float64 { return 10000 / (1 + math.Exp(-(c-500)/80)) }
+
+var synthCols = []string{"colA", "colB", "colC", "colD"}
+
+func newSynthetic(t testing.TB, scheme hermit.PointerScheme, n int, fn func(float64) float64, noise float64, seed int64) (*DB, *Table) {
+	t.Helper()
+	db := NewDB(scheme)
+	tb, err := db.CreateTable("synthetic", synthCols, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadSynthetic(t, tb, n, fn, noise, seed)
+	if _, err := tb.CreateBTreeIndex(1, false); err != nil { // host index on colB
+		t.Fatal(err)
+	}
+	return db, tb
+}
+
+// expected computes the ground truth by scanning.
+func expected(tb *Table, col int, lo, hi float64) []storage.RID {
+	var out []storage.RID
+	tb.Store().ScanColumn(col, func(rid storage.RID, v float64) bool {
+		if v >= lo && v <= hi {
+			out = append(out, rid)
+		}
+		return true
+	})
+	return out
+}
+
+func sameRIDs(a, b []storage.RID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]storage.RID(nil), a...)
+	bs := append([]storage.RID(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	if _, err := db.CreateTable("t", synthCols, 9); err != ErrNoSuchColumn {
+		t.Fatalf("want ErrNoSuchColumn, got %v", err)
+	}
+	if _, err := db.CreateTable("t", synthCols, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", synthCols, 0); err != ErrDupTable {
+		t.Fatalf("want ErrDupTable, got %v", err)
+	}
+	if _, err := db.Table("nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("want ErrNoSuchTable, got %v", err)
+	}
+	tb, err := db.Table("t")
+	if err != nil || tb.Name() != "t" {
+		t.Fatalf("table lookup: %v", err)
+	}
+	if db.Scheme() != hermit.PhysicalPointers {
+		t.Fatal("scheme")
+	}
+	if got := tb.Columns(); len(got) != 4 || got[0] != "colA" {
+		t.Fatalf("columns=%v", got)
+	}
+	if _, err := tb.colIndex("colC"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.colIndex("nope"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatal("colIndex missing")
+	}
+}
+
+func TestDuplicatePKRejected(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	tb, _ := db.CreateTable("t", synthCols, 0)
+	if _, err := tb.Insert([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert([]float64{1, 9, 9, 9}); !errors.Is(err, ErrDupKey) {
+		t.Fatalf("want ErrDupKey, got %v", err)
+	}
+}
+
+func TestHermitVsBaselineSameResults(t *testing.T) {
+	for _, scheme := range []hermit.PointerScheme{hermit.PhysicalPointers, hermit.LogicalPointers} {
+		dbH, tbH := newSynthetic(t, scheme, 20000, sigmoidFn, 0.05, 1)
+		_, tbB := newSynthetic(t, scheme, 20000, sigmoidFn, 0.05, 1)
+		_ = dbH
+		if _, err := tbH.CreateHermitIndex(2, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbB.CreateBTreeIndex(2, true); err != nil {
+			t.Fatal(err)
+		}
+		if tbH.IndexOn(2) != KindHermit || tbB.IndexOn(2) != KindBTree {
+			t.Fatal("routing wrong")
+		}
+		rng := rand.New(rand.NewSource(2))
+		for trial := 0; trial < 25; trial++ {
+			lo := rng.Float64() * 1000
+			hi := lo + rng.Float64()*80
+			rh, sh, err := tbH.RangeQuery(2, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, sb, err := tbB.RangeQuery(2, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := expected(tbH, 2, lo, hi)
+			if !sameRIDs(rh, want) {
+				t.Fatalf("%v hermit wrong for [%v,%v]", scheme, lo, hi)
+			}
+			if !sameRIDs(rb, want) {
+				t.Fatalf("%v baseline wrong for [%v,%v]", scheme, lo, hi)
+			}
+			if sh.Rows != len(want) || sb.Rows != len(want) {
+				t.Fatal("row counts wrong")
+			}
+		}
+	}
+}
+
+func TestQueryRouting(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 5000, linearFn, 0.01, 3)
+	// Primary-key routing.
+	rids, st, err := tb.RangeQuery(0, 10, 20)
+	if err != nil || st.Kind != KindPrimary {
+		t.Fatalf("pk routing kind=%v err=%v", st.Kind, err)
+	}
+	if !sameRIDs(rids, expected(tb, 0, 10, 20)) {
+		t.Fatal("pk results")
+	}
+	// Unindexed column falls back to a scan.
+	rids, st, err = tb.RangeQuery(3, 0.1, 0.2)
+	if err != nil || st.Kind != KindNone {
+		t.Fatalf("scan routing kind=%v err=%v", st.Kind, err)
+	}
+	if !sameRIDs(rids, expected(tb, 3, 0.1, 0.2)) {
+		t.Fatal("scan results")
+	}
+	// Host column uses its complete index.
+	_, st, err = tb.RangeQuery(1, 200, 400)
+	if err != nil || st.Kind != KindBTree {
+		t.Fatalf("host routing kind=%v err=%v", st.Kind, err)
+	}
+	// Out-of-range column.
+	if _, _, err := tb.RangeQuery(99, 0, 1); err != ErrNoSuchColumn {
+		t.Fatalf("want ErrNoSuchColumn, got %v", err)
+	}
+	// Point query.
+	pk := 1234.0
+	rids, _, err = tb.PointQuery(0, pk)
+	if err != nil || len(rids) != 1 {
+		t.Fatalf("point query: %v %v", rids, err)
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 1000, linearFn, 0, 4)
+	if _, err := tb.CreateBTreeIndex(99, false); err != ErrNoSuchColumn {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateBTreeIndex(1, false); err != ErrDupIndex {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateHermitIndex(2, 3); err != ErrNoHostIndex {
+		t.Fatalf("unindexed host accepted: %v", err)
+	}
+	if _, err := tb.CreateHermitIndex(99, 1); err != ErrNoSuchColumn {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateHermitIndex(2, 1); err != ErrDupIndex {
+		t.Fatal(err)
+	}
+	if tb.Hermit(2) == nil || tb.Secondary(1) == nil || tb.CM(2) != nil {
+		t.Fatal("accessors")
+	}
+}
+
+func TestHermitOnPrimaryHost(t *testing.T) {
+	// §5.2: "a primary index can also serve as the host index".
+	db := NewDB(hermit.PhysicalPointers)
+	tb, _ := db.CreateTable("t", []string{"pk", "corr"}, 0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		pk := float64(i)
+		tb.Insert([]float64{pk, 3*pk + 7 + rng.NormFloat64()})
+	}
+	if _, err := tb.CreateHermitIndex(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 3000.0, 3300.0
+	rids, _, err := tb.RangeQuery(1, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRIDs(rids, expected(tb, 1, lo, hi)) {
+		t.Fatal("primary-hosted hermit wrong")
+	}
+	// Logical pointers cannot host on the primary index.
+	db2 := NewDB(hermit.LogicalPointers)
+	tb2, _ := db2.CreateTable("t", []string{"pk", "corr"}, 0)
+	tb2.Insert([]float64{1, 2})
+	if _, err := tb2.CreateHermitIndex(1, 0); err == nil {
+		t.Fatal("logical-pointer primary host accepted")
+	}
+}
+
+func TestCreateIndexAuto(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 8000, linearFn, 0.02, 6)
+	kind, err := tb.CreateIndexAuto(2, correlation.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindHermit {
+		t.Fatalf("correlated column built %v, want hermit", kind)
+	}
+	// colD is uncorrelated: falls back to a complete index.
+	kind, err = tb.CreateIndexAuto(3, correlation.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindBTree {
+		t.Fatalf("uncorrelated column built %v, want btree", kind)
+	}
+	rids, _, err := tb.RangeQuery(3, 0.2, 0.4)
+	if err != nil || !sameRIDs(rids, expected(tb, 3, 0.2, 0.4)) {
+		t.Fatal("auto btree results wrong")
+	}
+}
+
+func TestDeleteMaintainsAllIndexes(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.LogicalPointers, 5000, linearFn, 0.02, 7)
+	if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a third of the rows.
+	for pk := 0; pk < 5000; pk += 3 {
+		ok, err := tb.Delete(float64(pk))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", pk, ok, err)
+		}
+	}
+	if ok, err := tb.Delete(999999); err != nil || ok {
+		t.Fatalf("delete missing: ok=%v err=%v", ok, err)
+	}
+	rids, _, err := tb.RangeQuery(2, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRIDs(rids, expected(tb, 2, 0, 1000)) {
+		t.Fatal("results wrong after deletes")
+	}
+	if tb.Len() != 5000-1667 {
+		t.Fatalf("len=%d", tb.Len())
+	}
+}
+
+func TestUpdateColumnPaths(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 3000, linearFn, 0, 8)
+	if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Update the host column of one row (col as hermit host + secondary).
+	if err := tb.UpdateColumn(42, 1, 99999); err != nil {
+		t.Fatal(err)
+	}
+	// Update the target column of one row.
+	if err := tb.UpdateColumn(43, 2, 777.77); err != nil {
+		t.Fatal(err)
+	}
+	// No-op update.
+	if err := tb.UpdateColumn(44, 3, mustValue(t, tb, 44, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Missing pk.
+	if err := tb.UpdateColumn(1e9, 1, 0); err == nil {
+		t.Fatal("update of missing pk succeeded")
+	}
+	rids, _, err := tb.RangeQuery(2, 777, 778)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRIDs(rids, expected(tb, 2, 777, 778)) {
+		t.Fatal("updated target not queryable")
+	}
+	rids, _, err = tb.RangeQuery(2, 0, 1000)
+	if err != nil || !sameRIDs(rids, expected(tb, 2, 0, 1000)) {
+		t.Fatal("full range wrong after updates")
+	}
+}
+
+func mustValue(t *testing.T, tb *Table, pk float64, col int) float64 {
+	t.Helper()
+	v, ok := tb.Primary().First(pk)
+	if !ok {
+		t.Fatal("pk missing")
+	}
+	x, err := tb.Store().Value(storage.RID(v), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestInsertProfiledBreakdown(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 2000, linearFn, 0.01, 9)
+	if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	tb.SetProfile(true)
+	_, st, err := tb.InsertProfiled([]float64{111111, 300, 100, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Table == 0 {
+		t.Fatal("no table time recorded")
+	}
+}
+
+func TestMemoryBreakdown(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 10000, linearFn, 0.01, 10)
+	if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := tb.Memory()
+	if m.TableBytes == 0 || m.PrimaryBytes == 0 || m.ExistingBytes == 0 || m.NewBytes == 0 {
+		t.Fatalf("memory breakdown has zero component: %+v", m)
+	}
+	if m.Total() != m.TableBytes+m.PrimaryBytes+m.ExistingBytes+m.NewBytes {
+		t.Fatal("total mismatch")
+	}
+	// Hermit's new-index bytes must be far below a complete index.
+	_, tb2 := newSynthetic(t, hermit.PhysicalPointers, 10000, linearFn, 0.01, 10)
+	if _, err := tb2.CreateBTreeIndex(2, true); err != nil {
+		t.Fatal(err)
+	}
+	m2 := tb2.Memory()
+	if m.NewBytes*3 > m2.NewBytes {
+		t.Fatalf("hermit new=%d not ≪ baseline new=%d", m.NewBytes, m2.NewBytes)
+	}
+}
+
+func TestCMIndexInEngine(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 10000, linearFn, 0.05, 11)
+	cfg := cm.Config{TargetBucket: 16, HostBucket: 64}
+	if _, err := tb.CreateCMIndex(2, 1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IndexOn(2) != KindCM {
+		t.Fatal("routing")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		lo := rng.Float64() * 1000
+		hi := lo + rng.Float64()*60
+		rids, st, err := tb.RangeQuery(2, lo, hi)
+		if err != nil || st.Kind != KindCM {
+			t.Fatalf("err=%v kind=%v", err, st.Kind)
+		}
+		if !sameRIDs(rids, expected(tb, 2, lo, hi)) {
+			t.Fatal("cm results wrong")
+		}
+	}
+	// Dup and scheme errors.
+	if _, err := tb.CreateCMIndex(2, 1, cfg); err != ErrDupIndex {
+		t.Fatal(err)
+	}
+	db2 := NewDB(hermit.LogicalPointers)
+	tb2, _ := db2.CreateTable("t", synthCols, 0)
+	tb2.Insert([]float64{1, 2, 3, 4})
+	tb2.CreateBTreeIndex(1, false)
+	if _, err := tb2.CreateCMIndex(2, 1, cfg); err == nil {
+		t.Fatal("cm under logical pointers accepted")
+	}
+}
+
+func TestProfileQueryBreakdown(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.LogicalPointers, 10000, sigmoidFn, 0.02, 13)
+	if _, err := tb.CreateHermitIndex(2, 1, WithProfile()); err != nil {
+		t.Fatal(err)
+	}
+	tb.SetProfile(true)
+	_, st, err := tb.RangeQuery(2, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Breakdown.Total() == 0 {
+		t.Fatal("hermit breakdown empty")
+	}
+	// Baseline breakdown on the host column.
+	_, st, err = tb.RangeQuery(1, 2000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Breakdown[hermit.PhaseHostIndex] == 0 {
+		t.Fatal("baseline index phase missing")
+	}
+	if st.Breakdown[hermit.PhasePrimaryIndex] == 0 {
+		t.Fatal("baseline primary phase missing under logical pointers")
+	}
+	if st.FalsePositiveRatio() != 0 {
+		t.Fatal("baseline should have no false positives")
+	}
+}
+
+func TestFetchRows(t *testing.T) {
+	_, tb := newSynthetic(t, hermit.PhysicalPointers, 1000, linearFn, 0, 14)
+	rids, _, err := tb.RangeQuery(0, 10, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tb.FetchRows(rids, nil)
+	if err != nil || len(rows) != len(rids) {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+	for _, r := range rows {
+		if r[0] < 10 || r[0] > 14 {
+			t.Fatalf("row %v out of range", r)
+		}
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	want := map[IndexKind]string{
+		KindNone: "none", KindBTree: "btree", KindHermit: "hermit",
+		KindCM: "cm", KindPrimary: "primary",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d -> %q", k, k.String())
+		}
+	}
+}
+
+// Property: hermit-routed queries equal baseline-routed queries on an
+// identical table for random shapes/noise/predicates/schemes.
+func TestQuickEngineEquivalence(t *testing.T) {
+	fns := []func(float64) float64{linearFn, sigmoidFn,
+		func(c float64) float64 { return 500 - c/3 }}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scheme := hermit.PointerScheme(rng.Intn(2))
+		fn := fns[rng.Intn(len(fns))]
+		noise := rng.Float64() * 0.1
+		_, tbH := newSynthetic(t, scheme, 3000, fn, noise, seed)
+		_, tbB := newSynthetic(t, scheme, 3000, fn, noise, seed)
+		params := trstree.DefaultParams()
+		if _, err := tbH.CreateHermitIndex(2, 1, WithParams(params)); err != nil {
+			return false
+		}
+		if _, err := tbB.CreateBTreeIndex(2, true); err != nil {
+			return false
+		}
+		for trial := 0; trial < 6; trial++ {
+			lo := rng.Float64() * 1000
+			hi := lo + rng.Float64()*100
+			rh, _, err := tbH.RangeQuery(2, lo, hi)
+			if err != nil {
+				return false
+			}
+			rb, _, err := tbB.RangeQuery(2, lo, hi)
+			if err != nil {
+				return false
+			}
+			if !sameRIDs(rh, rb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hermit/internal/btree"
+	"hermit/internal/cm"
+	"hermit/internal/correlation"
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+	"hermit/internal/trstree"
+)
+
+// CreateBTreeIndex builds a complete B+-tree secondary index on col via
+// single-thread bulk loading (the baseline construction path of §7.5).
+// markNew tags the index as "newly created" for the insert-cost breakdown.
+func (t *Table) CreateBTreeIndex(col int, markNew bool) (*btree.Tree, error) {
+	if col < 0 || col >= len(t.cols) {
+		return nil, ErrNoSuchColumn
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.secondary[col]; dup {
+		return nil, ErrDupIndex
+	}
+	type entry struct {
+		k float64
+		v uint64
+	}
+	entries := make([]entry, 0, t.store.Len())
+	buf := make([]float64, len(t.cols))
+	t.store.Scan(func(rid storage.RID, row []float64) bool {
+		copy(buf, row)
+		entries = append(entries, entry{k: row[col], v: t.identify(rid, buf)})
+		return true
+	})
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].k != entries[b].k {
+			return entries[a].k < entries[b].k
+		}
+		return entries[a].v < entries[b].v
+	})
+	keys := make([]float64, len(entries))
+	ids := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i], ids[i] = e.k, e.v
+	}
+	tr := btree.New(btree.DefaultOrder)
+	if err := tr.BulkLoad(keys, ids); err != nil {
+		return nil, err
+	}
+	t.secondary[col] = tr
+	if markNew {
+		t.newCols[col] = true
+	}
+	return tr, nil
+}
+
+// HermitOption customises Hermit index creation.
+type HermitOption func(*hermitOpts)
+
+type hermitOpts struct {
+	params  trstree.Params
+	workers int
+	profile bool
+}
+
+// WithParams overrides the TRS-Tree parameters (default: paper defaults).
+func WithParams(p trstree.Params) HermitOption {
+	return func(o *hermitOpts) { o.params = p }
+}
+
+// WithBuildWorkers enables parallel TRS-Tree construction.
+func WithBuildWorkers(n int) HermitOption {
+	return func(o *hermitOpts) { o.workers = n }
+}
+
+// WithProfile enables per-phase lookup timing on the index.
+func WithProfile() HermitOption {
+	return func(o *hermitOpts) { o.profile = true }
+}
+
+// CreateHermitIndex builds a Hermit index on col using hostCol's complete
+// index as the host. The host column must already carry a B+-tree index
+// (or be the primary key, which §5.2 notes can serve as the host).
+func (t *Table) CreateHermitIndex(col, hostCol int, opts ...HermitOption) (*hermit.Index, error) {
+	if col < 0 || col >= len(t.cols) || hostCol < 0 || hostCol >= len(t.cols) {
+		return nil, ErrNoSuchColumn
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.hermits[col]; dup {
+		return nil, ErrDupIndex
+	}
+	host, ok := t.secondary[hostCol]
+	if !ok {
+		if hostCol == t.pkCol {
+			// The primary index maps pk -> RID; under physical pointers it
+			// already stores RIDs, so it can host directly. Under logical
+			// pointers secondary indexes store pks, and an index on the pk
+			// column storing pks is the identity — host on primary either way.
+			host = t.primary
+		} else {
+			return nil, ErrNoHostIndex
+		}
+	}
+	o := hermitOpts{params: trstree.DefaultParams()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := hermit.Config{
+		TargetCol:    col,
+		HostCol:      hostCol,
+		PKCol:        t.pkCol,
+		Scheme:       t.scheme,
+		Params:       o.params,
+		BuildWorkers: o.workers,
+		Profile:      o.profile,
+	}
+	// Hosting on the primary index is only sound when it stores the same
+	// identifier kind the Hermit lookup expects.
+	if hostCol == t.pkCol && t.scheme == hermit.LogicalPointers {
+		return nil, fmt.Errorf("engine: primary index cannot host under logical pointers (stores RIDs, not pks)")
+	}
+	hx, err := hermit.New(t.store, host, t.primary, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.hermits[col] = hx
+	t.hostOf[col] = hostCol
+	return hx, nil
+}
+
+// CreateIndexAuto implements the paper's index-creation flow (§3): on an
+// index request for col, the engine runs correlation discovery against the
+// already-indexed columns; if a usable correlation exists it builds a
+// Hermit index on the best host, otherwise it falls back to a complete
+// B+-tree. It returns the kind actually built.
+func (t *Table) CreateIndexAuto(col int, disc correlation.Config, opts ...HermitOption) (IndexKind, error) {
+	hosts := make([]int, 0, len(t.secondary))
+	for hc := range t.secondary {
+		hosts = append(hosts, hc)
+	}
+	if t.scheme == hermit.PhysicalPointers {
+		hosts = append(hosts, t.pkCol)
+	}
+	sort.Ints(hosts)
+	m, ok, err := correlation.BestHost(t.store, col, hosts, disc)
+	if err != nil {
+		return KindNone, err
+	}
+	if ok {
+		if _, err := t.CreateHermitIndex(col, m.Host, opts...); err != nil {
+			return KindNone, err
+		}
+		return KindHermit, nil
+	}
+	if _, err := t.CreateBTreeIndex(col, true); err != nil {
+		return KindNone, err
+	}
+	return KindBTree, nil
+}
+
+// CreateCMIndex builds a Correlation Map index on col against hostCol, for
+// the Appendix E comparison. Physical pointers only (as in CM's original
+// evaluation).
+func (t *Table) CreateCMIndex(col, hostCol int, cfg cm.Config) (*cm.Index, error) {
+	if col < 0 || col >= len(t.cols) || hostCol < 0 || hostCol >= len(t.cols) {
+		return nil, ErrNoSuchColumn
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.cms[col]; dup {
+		return nil, ErrDupIndex
+	}
+	if t.scheme != hermit.PhysicalPointers {
+		return nil, fmt.Errorf("engine: CM indexes require physical pointers")
+	}
+	host, ok := t.secondary[hostCol]
+	if !ok {
+		if hostCol != t.pkCol {
+			return nil, ErrNoHostIndex
+		}
+		host = t.primary
+	}
+	cfg.TargetCol, cfg.HostCol = col, hostCol
+	cx, err := cm.NewIndex(t.store, host, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.cms[col] = cx
+	t.cmHostOf[col] = hostCol
+	return cx, nil
+}
+
+// IndexKind identifies which mechanism serves a column.
+type IndexKind int
+
+const (
+	// KindNone means the column has no index (queries fall back to scans).
+	KindNone IndexKind = iota
+	// KindBTree is a complete B+-tree secondary index (the Baseline).
+	KindBTree
+	// KindHermit is a Hermit (TRS-Tree + host index) index.
+	KindHermit
+	// KindCM is a Correlation Map index.
+	KindCM
+	// KindPrimary is the primary index.
+	KindPrimary
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	switch k {
+	case KindBTree:
+		return "btree"
+	case KindHermit:
+		return "hermit"
+	case KindCM:
+		return "cm"
+	case KindPrimary:
+		return "primary"
+	default:
+		return "none"
+	}
+}
+
+// IndexOn reports which index kind serves queries on col (the routing
+// priority Lookup uses).
+func (t *Table) IndexOn(col int) IndexKind {
+	switch {
+	case t.hermits[col] != nil:
+		return KindHermit
+	case t.cms[col] != nil:
+		return KindCM
+	case t.secondary[col] != nil:
+		return KindBTree
+	case col == t.pkCol:
+		return KindPrimary
+	default:
+		return KindNone
+	}
+}
+
+// Hermit returns the Hermit index on col, if any.
+func (t *Table) Hermit(col int) *hermit.Index { return t.hermits[col] }
+
+// Secondary returns the complete B+-tree index on col, if any.
+func (t *Table) Secondary(col int) *btree.Tree { return t.secondary[col] }
+
+// CM returns the Correlation Map index on col, if any.
+func (t *Table) CM(col int) *cm.Index { return t.cms[col] }
+
+// MemoryStats is the storage breakdown the paper's memory figures report.
+type MemoryStats struct {
+	TableBytes    uint64
+	PrimaryBytes  uint64
+	ExistingBytes uint64 // complete secondary indexes not marked new
+	NewBytes      uint64 // new complete indexes + Hermit TRS-Trees + CMs
+}
+
+// Total returns the summed footprint.
+func (m MemoryStats) Total() uint64 {
+	return m.TableBytes + m.PrimaryBytes + m.ExistingBytes + m.NewBytes
+}
+
+// Memory returns the table's memory breakdown.
+func (t *Table) Memory() MemoryStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var m MemoryStats
+	m.TableBytes = t.store.SizeBytes()
+	m.PrimaryBytes = t.primary.SizeBytes()
+	for col, tr := range t.secondary {
+		if t.newCols[col] {
+			m.NewBytes += tr.SizeBytes()
+		} else {
+			m.ExistingBytes += tr.SizeBytes()
+		}
+	}
+	for _, hx := range t.hermits {
+		m.NewBytes += hx.SizeBytes()
+	}
+	for _, cx := range t.cms {
+		m.NewBytes += cx.SizeBytes()
+	}
+	for key, tr := range t.composites {
+		if t.compositeNew[key] {
+			m.NewBytes += tr.SizeBytes()
+		} else {
+			m.ExistingBytes += tr.SizeBytes()
+		}
+	}
+	for _, hx := range t.compositeHermits {
+		m.NewBytes += hx.SizeBytes()
+	}
+	return m
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"time"
+
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+)
+
+// QueryStats describes one query's execution for the throughput and
+// breakdown experiments.
+type QueryStats struct {
+	// Kind is the index mechanism that served the query.
+	Kind IndexKind
+	// Rows is the number of qualifying tuples.
+	Rows int
+	// Candidates counts tuples fetched before validation (equals Rows for
+	// exact mechanisms).
+	Candidates int
+	// Breakdown holds per-phase time when the table's profile flag is on.
+	// For the baseline the phases map to: secondary index (PhaseHostIndex),
+	// primary index (PhasePrimaryIndex), base table (PhaseBaseTable).
+	Breakdown hermit.Breakdown
+}
+
+// FalsePositiveRatio of this query.
+func (q QueryStats) FalsePositiveRatio() float64 {
+	if q.Candidates == 0 {
+		return 0
+	}
+	return 1 - float64(q.Rows)/float64(q.Candidates)
+}
+
+// RangeQuery returns the RIDs of rows with lo <= col <= hi, routed through
+// the best available index: Hermit, then CM, then a complete B+-tree, then
+// the primary index, then a full scan.
+func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	if col < 0 || col >= len(t.cols) {
+		return nil, QueryStats{}, ErrNoSuchColumn
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rangeQueryLocked(col, lo, hi)
+}
+
+// rangeQueryLocked routes a single-column predicate; t.mu is held.
+func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	switch kind := t.IndexOn(col); kind {
+	case KindHermit:
+		res := t.hermits[col].Lookup(lo, hi)
+		return res.RIDs, QueryStats{
+			Kind:       kind,
+			Rows:       len(res.RIDs),
+			Candidates: res.Candidates,
+			Breakdown:  res.Breakdown,
+		}, nil
+	case KindCM:
+		res := t.cms[col].Lookup(lo, hi)
+		return res.RIDs, QueryStats{
+			Kind:       kind,
+			Rows:       len(res.RIDs),
+			Candidates: res.Candidates,
+		}, nil
+	case KindBTree:
+		return t.baselineRange(t.secondary[col], kind, lo, hi)
+	case KindPrimary:
+		return t.primaryRange(lo, hi)
+	default:
+		return t.scanRange(col, lo, hi)
+	}
+}
+
+// PointQuery returns the RIDs of rows with col == v.
+func (t *Table) PointQuery(col int, v float64) ([]storage.RID, QueryStats, error) {
+	return t.RangeQuery(col, v, v)
+}
+
+// baselineRange executes the conventional secondary-index plan: index scan,
+// optional primary-index resolution (logical pointers), base-table fetch.
+// This is the Baseline of every figure.
+func (t *Table) baselineRange(idx interface {
+	Scan(lo, hi float64, fn func(key float64, id uint64) bool)
+}, kind IndexKind, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	st := QueryStats{Kind: kind}
+	var t0 time.Time
+	if t.profile {
+		t0 = time.Now()
+	}
+	var ids []uint64
+	idx.Scan(lo, hi, func(_ float64, id uint64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if t.profile {
+		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
+		t0 = time.Now()
+	}
+	var rids []storage.RID
+	if t.scheme == hermit.LogicalPointers {
+		rids = make([]storage.RID, 0, len(ids))
+		for _, pk := range ids {
+			if v, ok := t.primary.First(float64(pk)); ok {
+				rids = append(rids, storage.RID(v))
+			}
+		}
+		if t.profile {
+			st.Breakdown[hermit.PhasePrimaryIndex] += time.Since(t0)
+			t0 = time.Now()
+		}
+	} else {
+		rids = make([]storage.RID, len(ids))
+		for i, id := range ids {
+			rids[i] = storage.RID(id)
+		}
+	}
+	// Base-table access: the baseline also touches every returned tuple
+	// (the query fetches the rows), which is where the physical-pointer
+	// bottleneck shifts in Figs. 10–11.
+	out := rids[:0]
+	for _, rid := range rids {
+		if _, err := t.store.Value(rid, t.pkCol); err == nil {
+			out = append(out, rid)
+		}
+	}
+	if t.profile {
+		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
+	}
+	st.Rows = len(out)
+	st.Candidates = len(out)
+	return out, st, nil
+}
+
+// primaryRange serves range queries on the primary-key column.
+func (t *Table) primaryRange(lo, hi float64) ([]storage.RID, QueryStats, error) {
+	st := QueryStats{Kind: KindPrimary}
+	var rids []storage.RID
+	t.primary.Scan(lo, hi, func(_ float64, v uint64) bool {
+		rids = append(rids, storage.RID(v))
+		return true
+	})
+	st.Rows, st.Candidates = len(rids), len(rids)
+	return rids, st, nil
+}
+
+// scanRange is the unindexed fallback: a full table scan.
+func (t *Table) scanRange(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	st := QueryStats{Kind: KindNone}
+	var rids []storage.RID
+	err := t.store.ScanColumn(col, func(rid storage.RID, v float64) bool {
+		if v >= lo && v <= hi {
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	st.Rows, st.Candidates = len(rids), len(rids)
+	return rids, st, nil
+}
+
+// FetchRows materialises rows for a RID list (what a real query plan would
+// do after index retrieval); the buffer is reused across calls via dst.
+func (t *Table) FetchRows(rids []storage.RID, dst [][]float64) ([][]float64, error) {
+	if cap(dst) < len(rids) {
+		dst = make([][]float64, 0, len(rids))
+	}
+	dst = dst[:0]
+	for _, rid := range rids {
+		row, err := t.store.Get(rid, nil)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, row)
+	}
+	return dst, nil
+}

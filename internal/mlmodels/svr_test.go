@@ -1,0 +1,181 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hermit/internal/stats"
+)
+
+func genLine(n int, seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*2 - 1
+		ys[i] = 0.8*xs[i] + 0.3
+	}
+	return
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := TrainSVR(nil, nil, DefaultSVRConfig(KernelLinear)); err != ErrNoTrainingData {
+		t.Fatalf("want ErrNoTrainingData, got %v", err)
+	}
+	if _, err := TrainSVR([]float64{1}, []float64{1, 2}, DefaultSVRConfig(KernelLinear)); err != ErrLengthsMismatch {
+		t.Fatalf("want ErrLengthsMismatch, got %v", err)
+	}
+}
+
+func TestLinearKernelFitsLine(t *testing.T) {
+	xs, ys := genLine(200, 1)
+	cfg := DefaultSVRConfig(KernelLinear)
+	cfg.Epsilon = 0.01
+	cfg.C = 10
+	cfg.MaxEpochs = 200
+	s, err := TrainSVR(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-0.9, -0.2, 0.4, 0.8} {
+		want := 0.8*x + 0.3
+		if got := s.Predict(x); math.Abs(got-want) > 0.08 {
+			t.Fatalf("predict(%v)=%v want≈%v", x, got, want)
+		}
+	}
+	if s.Support == 0 {
+		t.Fatal("no support vectors")
+	}
+}
+
+func TestRBFFitsSigmoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 300
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*4 - 2
+		ys[i] = 1 / (1 + math.Exp(-3*xs[i]))
+	}
+	cfg := DefaultSVRConfig(KernelRBF)
+	cfg.Epsilon = 0.02
+	cfg.C = 10
+	cfg.Gamma = 2
+	cfg.MaxEpochs = 100
+	s, err := TrainSVR(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, x := range []float64{-1.5, -0.5, 0, 0.5, 1.5} {
+		want := 1 / (1 + math.Exp(-3*x))
+		if d := math.Abs(s.Predict(x) - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("rbf fit error %v too large", worst)
+	}
+}
+
+func TestPolyKernelRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*2 - 1
+		ys[i] = xs[i] * xs[i]
+	}
+	cfg := DefaultSVRConfig(KernelPoly)
+	cfg.Degree = 2
+	cfg.Epsilon = 0.02
+	cfg.C = 5
+	s, err := TrainSVR(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Predict(0.5)-0.25) > 0.2 {
+		t.Fatalf("poly predict(0.5)=%v", s.Predict(0.5))
+	}
+}
+
+func TestBudgetAborts(t *testing.T) {
+	xs, ys := genLine(5000, 4)
+	cfg := DefaultSVRConfig(KernelRBF)
+	cfg.Budget = time.Millisecond
+	s, err := TrainSVR(xs, ys, cfg)
+	if err != ErrBudgetExceeded {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if s == nil {
+		t.Fatal("partial model should still be returned")
+	}
+}
+
+func TestSanitizeDefaults(t *testing.T) {
+	cfg := sanitizeSVR(SVRConfig{})
+	if cfg.C <= 0 || cfg.MaxEpochs <= 0 || cfg.Tol <= 0 || cfg.Gamma <= 0 || cfg.Degree <= 0 {
+		t.Fatalf("sanitize produced %+v", cfg)
+	}
+}
+
+func TestKernelStrings(t *testing.T) {
+	if KernelRBF.String() != "rbf" || KernelLinear.String() != "linear" || KernelPoly.String() != "polynomial" {
+		t.Fatal("KernelKind.String")
+	}
+}
+
+func TestSoftThresholdClamp(t *testing.T) {
+	if softThreshold(5, 1) != 4 || softThreshold(-5, 1) != -4 || softThreshold(0.5, 1) != 0 {
+		t.Fatal("softThreshold")
+	}
+	if clamp(5, -1, 1) != 1 || clamp(-5, -1, 1) != -1 || clamp(0.5, -1, 1) != 0.5 {
+		t.Fatal("clamp")
+	}
+}
+
+// The point of Table 1: OLS is orders of magnitude faster than SVR on the
+// same data.
+func TestOLSFasterThanSVR(t *testing.T) {
+	xs, ys := genLine(1000, 5)
+	t0 := time.Now()
+	if _, err := stats.FitLinear(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	ols := time.Since(t0)
+	t0 = time.Now()
+	cfg := DefaultSVRConfig(KernelRBF)
+	cfg.MaxEpochs = 5
+	if _, err := TrainSVR(xs, ys, cfg); err != nil {
+		t.Fatal(err)
+	}
+	svr := time.Since(t0)
+	if svr < ols*20 {
+		t.Fatalf("svr=%v should dwarf ols=%v", svr, ols)
+	}
+}
+
+func BenchmarkTrainLinearRegression1K(b *testing.B) {
+	xs, ys := genLine(1000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.FitLinear(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainSVRRBF1K(b *testing.B) {
+	xs, ys := genLine(1000, 1)
+	cfg := DefaultSVRConfig(KernelRBF)
+	cfg.MaxEpochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainSVR(xs, ys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

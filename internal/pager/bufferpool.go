@@ -1,0 +1,176 @@
+package pager
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PoolStats counts buffer pool activity; the disk-engine experiments report
+// these to show where time goes when the working set exceeds the pool.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Frame is a pinned page in the buffer pool. Callers mutate Data and must
+// Unpin with dirty=true to schedule write-back.
+type Frame struct {
+	ID   PageID
+	Data []byte
+
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// Pool is an LRU buffer pool over a Pager.
+type Pool struct {
+	mu     sync.Mutex
+	pager  *Pager
+	cap    int
+	frames map[PageID]*Frame
+	lru    *list.List // front = most recently used
+	stats  PoolStats
+}
+
+// NewPool creates a buffer pool holding up to capacity pages.
+func NewPool(p *Pager, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		pager:  p,
+		cap:    capacity,
+		frames: make(map[PageID]*Frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// ErrPoolFull is returned when every frame is pinned and none can be
+// evicted.
+var ErrPoolFull = errors.New("pager: buffer pool full of pinned pages")
+
+// Fetch pins the page into the pool, reading it from disk on a miss.
+func (bp *Pool) Fetch(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.victimLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.pager.Read(id, f.Data); err != nil {
+		// Roll the frame back out so the pool stays consistent.
+		bp.lru.Remove(f.elem)
+		delete(bp.frames, id)
+		return nil, err
+	}
+	f.pins = 1
+	return f, nil
+}
+
+// NewPage allocates a fresh page and pins it (already zeroed).
+func (bp *Pool) NewPage() (*Frame, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.victimLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.pins = 1
+	f.dirty = true
+	return f, nil
+}
+
+// victimLocked finds a free frame for id: reuse capacity, or evict the
+// least-recently-used unpinned page (writing it back if dirty).
+func (bp *Pool) victimLocked(id PageID) (*Frame, error) {
+	if len(bp.frames) < bp.cap {
+		f := &Frame{ID: id, Data: make([]byte, PageSize)}
+		f.elem = bp.lru.PushFront(f)
+		bp.frames[id] = f
+		return f, nil
+	}
+	for e := bp.lru.Back(); e != nil; e = e.Prev() {
+		v := e.Value.(*Frame)
+		if v.pins > 0 {
+			continue
+		}
+		if v.dirty {
+			if err := bp.pager.Write(v.ID, v.Data); err != nil {
+				return nil, err
+			}
+			v.dirty = false
+		}
+		bp.stats.Evictions++
+		delete(bp.frames, v.ID)
+		v.ID = id
+		bp.frames[id] = v
+		bp.lru.MoveToFront(e)
+		return v, nil
+	}
+	return nil, ErrPoolFull
+}
+
+// Unpin releases a pin; dirty marks the page for write-back on eviction or
+// flush. Unpinning an unpinned frame panics: it indicates a pin-accounting
+// bug that would otherwise corrupt eviction.
+func (bp *Pool) Unpin(f *Frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("pager: unpin of unpinned page %d", f.ID))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushAll writes every dirty page back to disk.
+func (bp *Pool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.Write(f.ID, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *Pool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (bp *Pool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = PoolStats{}
+}
+
+// Capacity returns the pool's frame capacity.
+func (bp *Pool) Capacity() int { return bp.cap }

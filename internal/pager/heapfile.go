@@ -1,0 +1,253 @@
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// HeapFile stores fixed-width float64 rows in slotted pages, the disk
+// analogue of storage.Table. Rows are addressed by RIDs packing a page
+// index (into the heap's page list) and a slot.
+//
+// Page layout:
+//
+//	[0:2]   uint16 rows used (including tombstoned)
+//	[2:2+B] tombstone bitmap, B = ceil(rowsPerPage/8)
+//	[...]   rows, width*8 bytes each
+type HeapFile struct {
+	pool  *Pool
+	width int
+	pages []PageID
+	live  int
+	rpp   int // rows per page
+	bmap  int // bitmap bytes
+}
+
+// HeapRID addresses a row in a heap file: page index in the high 48 bits,
+// slot in the low 16.
+type HeapRID uint64
+
+// MakeHeapRID packs a page index and slot.
+func MakeHeapRID(page uint64, slot uint16) HeapRID {
+	return HeapRID(page<<16 | uint64(slot))
+}
+
+// Page returns the page-index component.
+func (r HeapRID) Page() uint64 { return uint64(r) >> 16 }
+
+// Slot returns the slot component.
+func (r HeapRID) Slot() uint16 { return uint16(r) }
+
+// Errors returned by heap operations.
+var (
+	ErrHeapBadRow    = errors.New("pager: row width does not match heap schema")
+	ErrHeapNoRow     = errors.New("pager: no row at RID")
+	ErrHeapDeleted   = errors.New("pager: row deleted")
+	ErrHeapBadColumn = errors.New("pager: column out of range")
+)
+
+// NewHeapFile creates a heap for rows of the given float64 width.
+func NewHeapFile(pool *Pool, width int) *HeapFile {
+	if width <= 0 {
+		panic("pager: heap width must be positive")
+	}
+	rowBytes := width * 8
+	// Solve rows*rowBytes + 2 + ceil(rows/8) <= PageSize.
+	rpp := (PageSize - 2) * 8 / (rowBytes*8 + 1)
+	if rpp > 1<<16-1 {
+		rpp = 1<<16 - 1
+	}
+	return &HeapFile{
+		pool:  pool,
+		width: width,
+		rpp:   rpp,
+		bmap:  (rpp + 7) / 8,
+	}
+}
+
+// Width returns the number of columns.
+func (h *HeapFile) Width() int { return h.width }
+
+// Len returns the number of live rows.
+func (h *HeapFile) Len() int { return h.live }
+
+// RowsPerPage returns the heap's per-page row capacity.
+func (h *HeapFile) RowsPerPage() int { return h.rpp }
+
+func (h *HeapFile) rowOffset(slot int) int { return 2 + h.bmap + slot*h.width*8 }
+
+func used(data []byte) int { return int(binary.LittleEndian.Uint16(data[0:2])) }
+
+func setUsed(data []byte, n int) { binary.LittleEndian.PutUint16(data[0:2], uint16(n)) }
+
+func (h *HeapFile) isDead(data []byte, slot int) bool {
+	return data[2+slot/8]&(1<<(slot%8)) != 0
+}
+
+func (h *HeapFile) setDead(data []byte, slot int) {
+	data[2+slot/8] |= 1 << (slot % 8)
+}
+
+// Insert appends a row and returns its RID.
+func (h *HeapFile) Insert(row []float64) (HeapRID, error) {
+	if len(row) != h.width {
+		return 0, ErrHeapBadRow
+	}
+	var frame *Frame
+	var err error
+	pageIdx := len(h.pages) - 1
+	if pageIdx >= 0 {
+		frame, err = h.pool.Fetch(h.pages[pageIdx])
+		if err != nil {
+			return 0, err
+		}
+		if used(frame.Data) >= h.rpp {
+			h.pool.Unpin(frame, false)
+			frame = nil
+		}
+	}
+	if frame == nil {
+		frame, err = h.pool.NewPage()
+		if err != nil {
+			return 0, err
+		}
+		h.pages = append(h.pages, frame.ID)
+		pageIdx = len(h.pages) - 1
+	}
+	slot := used(frame.Data)
+	off := h.rowOffset(slot)
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(frame.Data[off+i*8:], math.Float64bits(v))
+	}
+	setUsed(frame.Data, slot+1)
+	h.pool.Unpin(frame, true)
+	h.live++
+	return MakeHeapRID(uint64(pageIdx), uint16(slot)), nil
+}
+
+// fetchRow pins the page holding rid and validates the slot.
+func (h *HeapFile) fetchRow(rid HeapRID) (*Frame, int, error) {
+	pi := rid.Page()
+	if pi >= uint64(len(h.pages)) {
+		return nil, 0, ErrHeapNoRow
+	}
+	frame, err := h.pool.Fetch(h.pages[pi])
+	if err != nil {
+		return nil, 0, err
+	}
+	slot := int(rid.Slot())
+	if slot >= used(frame.Data) {
+		h.pool.Unpin(frame, false)
+		return nil, 0, ErrHeapNoRow
+	}
+	if h.isDead(frame.Data, slot) {
+		h.pool.Unpin(frame, false)
+		return nil, 0, ErrHeapDeleted
+	}
+	return frame, slot, nil
+}
+
+// Get copies the row at rid into dst.
+func (h *HeapFile) Get(rid HeapRID, dst []float64) ([]float64, error) {
+	frame, slot, err := h.fetchRow(rid)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(frame, false)
+	if cap(dst) < h.width {
+		dst = make([]float64, h.width)
+	}
+	dst = dst[:h.width]
+	off := h.rowOffset(slot)
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame.Data[off+i*8:]))
+	}
+	return dst, nil
+}
+
+// Value reads one column of the row at rid — Hermit's validation hot path.
+func (h *HeapFile) Value(rid HeapRID, col int) (float64, error) {
+	if col < 0 || col >= h.width {
+		return 0, ErrHeapBadColumn
+	}
+	frame, slot, err := h.fetchRow(rid)
+	if err != nil {
+		return 0, err
+	}
+	defer h.pool.Unpin(frame, false)
+	off := h.rowOffset(slot) + col*8
+	return math.Float64frombits(binary.LittleEndian.Uint64(frame.Data[off:])), nil
+}
+
+// Delete tombstones the row at rid.
+func (h *HeapFile) Delete(rid HeapRID) error {
+	frame, slot, err := h.fetchRow(rid)
+	if err != nil {
+		return err
+	}
+	h.setDead(frame.Data, slot)
+	h.pool.Unpin(frame, true)
+	h.live--
+	return nil
+}
+
+// Scan calls fn for every live row in RID order; the row buffer is reused.
+func (h *HeapFile) Scan(fn func(rid HeapRID, row []float64) bool) error {
+	buf := make([]float64, h.width)
+	for pi, pid := range h.pages {
+		frame, err := h.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		n := used(frame.Data)
+		for s := 0; s < n; s++ {
+			if h.isDead(frame.Data, s) {
+				continue
+			}
+			off := h.rowOffset(s)
+			for i := range buf {
+				buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame.Data[off+i*8:]))
+			}
+			if !fn(MakeHeapRID(uint64(pi), uint16(s)), buf) {
+				h.pool.Unpin(frame, false)
+				return nil
+			}
+		}
+		h.pool.Unpin(frame, false)
+	}
+	return nil
+}
+
+// ScanPairs projects two columns over all live rows.
+func (h *HeapFile) ScanPairs(target, host int, fn func(rid HeapRID, m, n float64) bool) error {
+	if target < 0 || target >= h.width || host < 0 || host >= h.width {
+		return ErrHeapBadColumn
+	}
+	return h.Scan(func(rid HeapRID, row []float64) bool {
+		return fn(rid, row[target], row[host])
+	})
+}
+
+// ColumnBounds returns the min and max of one column over live rows.
+func (h *HeapFile) ColumnBounds(col int) (lo, hi float64, ok bool, err error) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	err = h.Scan(func(_ HeapRID, row []float64) bool {
+		v := row[col]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		ok = true
+		return true
+	})
+	if err != nil || !ok {
+		return 0, 0, false, err
+	}
+	return lo, hi, true, nil
+}
+
+// SizeBytes returns the heap's on-disk footprint.
+func (h *HeapFile) SizeBytes() uint64 { return uint64(len(h.pages)) * PageSize }

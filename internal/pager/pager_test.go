@@ -1,0 +1,459 @@
+package pager
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newPool(t testing.TB, capacity int) *Pool {
+	t.Helper()
+	p, err := Open(filepath.Join(t.TempDir(), "data.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return NewPool(p, capacity)
+}
+
+func TestPagerAllocateReadWrite(t *testing.T) {
+	p, err := Open(filepath.Join(t.TempDir(), "x.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[0], buf[PageSize-1] = 0xAB, 0xCD
+	if err := p.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := p.Read(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB || got[PageSize-1] != 0xCD {
+		t.Fatal("roundtrip mismatch")
+	}
+	if err := p.Read(PageID(99), got); err != ErrBadPage {
+		t.Fatalf("want ErrBadPage, got %v", err)
+	}
+	if err := p.Write(PageID(99), got); err != ErrBadPage {
+		t.Fatalf("want ErrBadPage, got %v", err)
+	}
+	if p.NumPages() != 1 || p.SizeBytes() != PageSize {
+		t.Fatalf("npages=%d size=%d", p.NumPages(), p.SizeBytes())
+	}
+}
+
+func TestPoolHitMissEvict(t *testing.T) {
+	pool := newPool(t, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		f, err := pool.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data[0] = byte(i)
+		ids = append(ids, f.ID)
+		pool.Unpin(f, true)
+	}
+	// Page 0 must have been evicted (pool cap 2, LRU).
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats=%+v, expected evictions", st)
+	}
+	// Refetch all three and verify contents survived eviction.
+	for i, id := range ids {
+		f, err := pool.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data[0] != byte(i) {
+			t.Fatalf("page %d content lost: %d", id, f.Data[0])
+		}
+		pool.Unpin(f, false)
+	}
+	// Refetching the most recent page is a guaranteed hit.
+	f, err := pool.Fetch(ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f, false)
+	if pool.Stats().Hits == 0 || pool.Stats().Misses == 0 {
+		t.Fatalf("stats=%+v", pool.Stats())
+	}
+	pool.ResetStats()
+	if pool.Stats() != (PoolStats{}) {
+		t.Fatal("reset failed")
+	}
+	if pool.Capacity() != 2 {
+		t.Fatal("capacity")
+	}
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	pool := newPool(t, 1)
+	f, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.NewPage(); err != ErrPoolFull {
+		t.Fatalf("want ErrPoolFull, got %v", err)
+	}
+	pool.Unpin(f, false)
+	if _, err := pool.NewPage(); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	pool := newPool(t, 2)
+	f, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	pool.Unpin(f, false)
+}
+
+func TestFlushAll(t *testing.T) {
+	p, err := Open(filepath.Join(t.TempDir(), "f.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	pool := NewPool(p, 4)
+	f, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data[7] = 0x7F
+	id := f.ID
+	pool.Unpin(f, true)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, PageSize)
+	if err := p.Read(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw[7] != 0x7F {
+		t.Fatal("flush did not persist")
+	}
+}
+
+func TestHeapInsertGetDelete(t *testing.T) {
+	pool := newPool(t, 16)
+	h := NewHeapFile(pool, 3)
+	rid, err := h.Insert([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := h.Get(rid, nil)
+	if err != nil || row[0] != 1 || row[2] != 3 {
+		t.Fatalf("row=%v err=%v", row, err)
+	}
+	if v, err := h.Value(rid, 1); err != nil || v != 2 {
+		t.Fatalf("value=%v err=%v", v, err)
+	}
+	if _, err := h.Value(rid, 9); err != ErrHeapBadColumn {
+		t.Fatalf("want ErrHeapBadColumn, got %v", err)
+	}
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid, nil); err != ErrHeapDeleted {
+		t.Fatalf("want ErrHeapDeleted, got %v", err)
+	}
+	if _, err := h.Insert([]float64{1}); err != ErrHeapBadRow {
+		t.Fatalf("want ErrHeapBadRow, got %v", err)
+	}
+	if _, err := h.Get(MakeHeapRID(9, 0), nil); err != ErrHeapNoRow {
+		t.Fatalf("want ErrHeapNoRow, got %v", err)
+	}
+	if h.Width() != 3 {
+		t.Fatal("width")
+	}
+}
+
+func TestHeapMultiPageAndScan(t *testing.T) {
+	pool := newPool(t, 8) // smaller than the heap: forces eviction traffic
+	h := NewHeapFile(pool, 4)
+	n := h.RowsPerPage()*3 + 17
+	rids := make([]HeapRID, n)
+	for i := 0; i < n; i++ {
+		rid, err := h.Insert([]float64{float64(i), float64(2 * i), 0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if h.Len() != n {
+		t.Fatalf("len=%d", h.Len())
+	}
+	// Spot-check random access across pages.
+	for _, i := range []int{0, 1, h.RowsPerPage(), 2*h.RowsPerPage() + 5, n - 1} {
+		v, err := h.Value(rids[i], 0)
+		if err != nil || v != float64(i) {
+			t.Fatalf("row %d: v=%v err=%v", i, v, err)
+		}
+	}
+	h.Delete(rids[5])
+	count := 0
+	err := h.Scan(func(rid HeapRID, row []float64) bool {
+		if row[1] != 2*row[0] {
+			t.Fatalf("row corrupt: %v", row)
+		}
+		count++
+		return true
+	})
+	if err != nil || count != n-1 {
+		t.Fatalf("scan count=%d err=%v", count, err)
+	}
+	lo, hi, ok, err := h.ColumnBounds(0)
+	if err != nil || !ok || lo != 0 || hi != float64(n-1) {
+		t.Fatalf("bounds [%v,%v] ok=%v err=%v", lo, hi, ok, err)
+	}
+	if err := h.ScanPairs(0, 9, nil); err != ErrHeapBadColumn {
+		t.Fatalf("want ErrHeapBadColumn, got %v", err)
+	}
+}
+
+func TestDiskTreeInsertScan(t *testing.T) {
+	pool := newPool(t, 64)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := DiskOrder*4 + 77 // force multi-level
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(float64(i%500), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	got := 0
+	prevK := math.Inf(-1)
+	err = tr.Scan(math.Inf(-1), math.Inf(1), func(k float64, _ uint64) bool {
+		if k < prevK {
+			t.Fatalf("out of order")
+		}
+		prevK = k
+		got++
+		return true
+	})
+	if err != nil || got != n {
+		t.Fatalf("scan=%d err=%v", got, err)
+	}
+	// Range scan subset.
+	count := 0
+	if err := tr.Scan(100, 110, func(k float64, _ uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if k := float64(i % 500); k >= 100 && k <= 110 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("range count=%d want %d", count, want)
+	}
+	// Inverted range.
+	if err := tr.Scan(10, 5, func(float64, uint64) bool { t.Fatal("called"); return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskTreeDeleteFirst(t *testing.T) {
+	pool := newPool(t, 64)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(float64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete(500, 500)
+	if err != nil || !ok {
+		t.Fatalf("delete ok=%v err=%v", ok, err)
+	}
+	ok, err = tr.Delete(500, 500)
+	if err != nil || ok {
+		t.Fatalf("double delete ok=%v err=%v", ok, err)
+	}
+	if _, found, err := tr.First(500); err != nil || found {
+		t.Fatalf("deleted key found=%v err=%v", found, err)
+	}
+	id, found, err := tr.First(501)
+	if err != nil || !found || id != 501 {
+		t.Fatalf("first(501)=%d found=%v err=%v", id, found, err)
+	}
+}
+
+func TestDiskTreeBulkLoad(t *testing.T) {
+	pool := newPool(t, 64)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 100000
+	keys := make([]float64, n)
+	ids := make([]uint64, n)
+	for i := range keys {
+		keys[i] = float64(i)
+		ids[i] = uint64(i)
+	}
+	if err := tr.BulkLoad(keys, ids); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	count := 0
+	if err := tr.Scan(1000, 1999, func(float64, uint64) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1000 {
+		t.Fatalf("count=%d", count)
+	}
+	// Mutations after bulk load.
+	if err := tr.Insert(0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	id, found, err := tr.First(0.5)
+	if err != nil || !found || id != 7 {
+		t.Fatalf("first=%d found=%v err=%v", id, found, err)
+	}
+	if err := tr.BulkLoad([]float64{2, 1}, []uint64{0, 0}); err == nil {
+		t.Fatal("unsorted bulk load accepted")
+	}
+	if err := tr.BulkLoad([]float64{1}, []uint64{}); err == nil {
+		t.Fatal("mismatched bulk load accepted")
+	}
+}
+
+func TestDiskTreeEmptyBulkLoad(t *testing.T) {
+	pool := newPool(t, 8)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("len after empty bulk load")
+	}
+	if _, found, err := tr.First(1); err != nil || found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+}
+
+// Property: disk tree agrees with a sorted reference under random inserts
+// and deletes, while squeezed through a tiny buffer pool.
+func TestQuickDiskTreeReference(t *testing.T) {
+	type entry struct {
+		k float64
+		v uint64
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := newPool(t, 4) // aggressive eviction
+		tr, err := NewDiskTree(pool)
+		if err != nil {
+			return false
+		}
+		var ref []entry
+		for op := 0; op < 3000; op++ {
+			if len(ref) > 0 && rng.Float64() < 0.2 {
+				i := rng.Intn(len(ref))
+				ok, err := tr.Delete(ref[i].k, ref[i].v)
+				if err != nil || !ok {
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			} else {
+				e := entry{k: float64(rng.Intn(100)), v: uint64(op)}
+				if err := tr.Insert(e.k, e.v); err != nil {
+					return false
+				}
+				ref = append(ref, e)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].k != ref[b].k {
+				return ref[a].k < ref[b].k
+			}
+			return ref[a].v < ref[b].v
+		})
+		i := 0
+		ok := true
+		err = tr.Scan(math.Inf(-1), math.Inf(1), func(k float64, v uint64) bool {
+			if i >= len(ref) || ref[i].k != k || ref[i].v != v {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return err == nil && ok && i == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiskTreeInsert(b *testing.B) {
+	pool := newPool(b, 256)
+	tr, err := NewDiskTree(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(rng.Float64()*1e6, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapValueColdPool(b *testing.B) {
+	pool := newPool(b, 4)
+	h := NewHeapFile(pool, 4)
+	var rids []HeapRID
+	for i := 0; i < 50000; i++ {
+		rid, err := h.Insert([]float64{float64(i), 0, 0, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Value(rids[rng.Intn(len(rids))], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats provides the statistical primitives used by the TRS-Tree
+// and the correlation discovery module: simple (univariate) linear
+// regression solved in closed form by ordinary least squares, Pearson and
+// Spearman correlation coefficients, and streaming moment accumulators.
+//
+// The paper (§4.1) deliberately uses the closed-form OLS solution instead of
+// gradient descent: it needs a single scan of the data and is exact for the
+// univariate case.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a computation needs at least two
+// points (or two distinct x values) and the input does not provide them.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// LinearModel is a fitted univariate linear function y = Beta*x + Alpha.
+type LinearModel struct {
+	Beta  float64 // slope
+	Alpha float64 // intercept
+}
+
+// Predict returns Beta*x + Alpha.
+func (m LinearModel) Predict(x float64) float64 {
+	return m.Beta*x + m.Alpha
+}
+
+// PredictRange maps the closed interval [lo, hi] on x through the model and
+// returns the corresponding closed interval on y, widened by eps on both
+// sides. It handles negative slopes by swapping the endpoints, matching the
+// estimated-range computation in paper §4.3.
+func (m LinearModel) PredictRange(lo, hi, eps float64) (float64, float64) {
+	a := m.Predict(lo)
+	b := m.Predict(hi)
+	if a > b {
+		a, b = b, a
+	}
+	return a - eps, b + eps
+}
+
+// FitLinear computes the ordinary-least-squares fit of y against x in one
+// scan, using the standard formulas
+//
+//	beta  = cov(x, y) / var(x)
+//	alpha = mean(y) - beta*mean(x)
+//
+// If x is degenerate (all values equal, variance zero) the returned model is
+// the horizontal line through mean(y); this mirrors how a TRS-Tree leaf
+// covering a single key still provides a usable mapping.
+func FitLinear(xs, ys []float64) (LinearModel, error) {
+	if len(xs) != len(ys) {
+		return LinearModel{}, errors.New("stats: mismatched slice lengths")
+	}
+	if len(xs) == 0 {
+		return LinearModel{}, ErrInsufficientData
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearModel{Beta: 0, Alpha: my}, nil
+	}
+	beta := sxy / sxx
+	return LinearModel{Beta: beta, Alpha: my - beta*mx}, nil
+}
+
+// Residuals returns |y - Predict(x)| for each pair. The caller owns dst; if
+// dst is nil or too small a new slice is allocated.
+func (m LinearModel) Residuals(xs, ys []float64, dst []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	for i := range xs {
+		dst[i] = math.Abs(ys[i] - m.Predict(xs[i]))
+	}
+	return dst
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Covariance returns the population covariance of the paired samples.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs))
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples, in [-1, 1]. It returns 0 when either side has zero
+// variance (no linear relationship can be measured).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return 0
+	}
+	vx, vy := Variance(xs), Variance(ys)
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / math.Sqrt(vx*vy)
+}
+
+// Spearman returns Spearman's rank correlation coefficient: the Pearson
+// coefficient of the rank-transformed samples. Ties receive their average
+// rank (fractional ranking), which keeps the coefficient exact for data
+// with duplicates such as quantised sensor readings.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return 0
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns the fractional (average-tie) ranks of xs, 1-based.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Moments accumulates streaming first and second moments of a paired sample
+// so that a linear fit can be produced without retaining the points. It uses
+// Welford-style updates for numerical stability on long streams.
+type Moments struct {
+	n          float64
+	meanX      float64
+	meanY      float64
+	m2x        float64 // sum of squared deviations of x
+	cxy        float64 // co-moment of x and y
+	minX, maxX float64
+	minY, maxY float64
+}
+
+// Add folds the pair (x, y) into the accumulator.
+func (mo *Moments) Add(x, y float64) {
+	if mo.n == 0 {
+		mo.minX, mo.maxX = x, x
+		mo.minY, mo.maxY = y, y
+	} else {
+		mo.minX = math.Min(mo.minX, x)
+		mo.maxX = math.Max(mo.maxX, x)
+		mo.minY = math.Min(mo.minY, y)
+		mo.maxY = math.Max(mo.maxY, y)
+	}
+	mo.n++
+	dx := x - mo.meanX
+	mo.meanX += dx / mo.n
+	mo.m2x += dx * (x - mo.meanX)
+	dy := y - mo.meanY
+	mo.meanY += dy / mo.n
+	mo.cxy += dx * (y - mo.meanY)
+}
+
+// N returns the number of accumulated pairs.
+func (mo *Moments) N() int { return int(mo.n) }
+
+// BoundsX returns the observed min and max of x. Valid only when N() > 0.
+func (mo *Moments) BoundsX() (lo, hi float64) { return mo.minX, mo.maxX }
+
+// BoundsY returns the observed min and max of y. Valid only when N() > 0.
+func (mo *Moments) BoundsY() (lo, hi float64) { return mo.minY, mo.maxY }
+
+// Fit produces the OLS linear model from the accumulated moments.
+func (mo *Moments) Fit() (LinearModel, error) {
+	if mo.n == 0 {
+		return LinearModel{}, ErrInsufficientData
+	}
+	if mo.m2x == 0 {
+		return LinearModel{Beta: 0, Alpha: mo.meanY}, nil
+	}
+	beta := mo.cxy / mo.m2x
+	return LinearModel{Beta: beta, Alpha: mo.meanY - beta*mo.meanX}, nil
+}
+
+// Reset returns the accumulator to its zero state for reuse.
+func (mo *Moments) Reset() { *mo = Moments{} }

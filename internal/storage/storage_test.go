@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRIDPackUnpack(t *testing.T) {
+	cases := []struct {
+		block uint64
+		slot  uint16
+	}{
+		{0, 0}, {1, 0}, {0, 1}, {7, 4095}, {1 << 40, 65535},
+	}
+	for _, c := range cases {
+		r := MakeRID(c.block, c.slot)
+		if r.Block() != c.block || r.Slot() != c.slot {
+			t.Fatalf("roundtrip failed for %+v: got block=%d slot=%d", c, r.Block(), r.Slot())
+		}
+	}
+}
+
+func TestRIDString(t *testing.T) {
+	if s := MakeRID(3, 17).String(); s != "3+17" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tb := NewTable(3)
+	rid, err := tb.Insert([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tb.Get(rid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 1 || row[1] != 2 || row[2] != 3 {
+		t.Fatalf("row=%v", row)
+	}
+	if tb.Len() != 1 || tb.Width() != 3 {
+		t.Fatalf("len=%d width=%d", tb.Len(), tb.Width())
+	}
+}
+
+func TestInsertWrongWidth(t *testing.T) {
+	tb := NewTable(2)
+	if _, err := tb.Insert([]float64{1}); err != ErrBadRow {
+		t.Fatalf("want ErrBadRow, got %v", err)
+	}
+}
+
+func TestValueSet(t *testing.T) {
+	tb := NewTable(2)
+	rid, _ := tb.Insert([]float64{10, 20})
+	v, err := tb.Value(rid, 1)
+	if err != nil || v != 20 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if err := tb.Set(rid, 0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tb.Value(rid, 0); v != 99 {
+		t.Fatalf("after set: %v", v)
+	}
+	if _, err := tb.Value(rid, 5); err != ErrBadColumn {
+		t.Fatalf("want ErrBadColumn, got %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := NewTable(1)
+	rid, _ := tb.Insert([]float64{1})
+	if err := tb.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 0 || tb.Deleted() != 1 {
+		t.Fatalf("len=%d deleted=%d", tb.Len(), tb.Deleted())
+	}
+	if _, err := tb.Get(rid, nil); err != ErrTombstoned {
+		t.Fatalf("want ErrTombstoned, got %v", err)
+	}
+	if err := tb.Delete(rid); err != ErrTombstoned {
+		t.Fatalf("double delete: want ErrTombstoned, got %v", err)
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	tb := NewTable(1)
+	if _, err := tb.Get(MakeRID(0, 0), nil); err != ErrOutOfBounds {
+		t.Fatalf("empty table: %v", err)
+	}
+	tb.Insert([]float64{1})
+	if _, err := tb.Get(MakeRID(5, 0), nil); err != ErrOutOfBounds {
+		t.Fatalf("bad block: %v", err)
+	}
+	if _, err := tb.Get(MakeRID(0, 9), nil); err != ErrOutOfBounds {
+		t.Fatalf("bad slot: %v", err)
+	}
+}
+
+func TestBlockBoundary(t *testing.T) {
+	tb := NewTable(1)
+	n := BlockRows + 100
+	rids := make([]RID, 0, n)
+	for i := 0; i < n; i++ {
+		rid, err := tb.Insert([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if rids[BlockRows].Block() != 1 || rids[BlockRows].Slot() != 0 {
+		t.Fatalf("row %d has rid %v, want block 1 slot 0", BlockRows, rids[BlockRows])
+	}
+	for i, rid := range rids {
+		v, err := tb.Value(rid, 0)
+		if err != nil || v != float64(i) {
+			t.Fatalf("row %d: v=%v err=%v", i, v, err)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	tb := NewTable(2)
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, _ := tb.Insert([]float64{float64(i), float64(i * 10)})
+		rids = append(rids, rid)
+	}
+	tb.Delete(rids[3])
+	var seen []float64
+	tb.Scan(func(rid RID, row []float64) bool {
+		seen = append(seen, row[0])
+		return true
+	})
+	if len(seen) != 9 {
+		t.Fatalf("scan saw %d rows", len(seen))
+	}
+	for _, v := range seen {
+		if v == 3 {
+			t.Fatal("deleted row visible in scan")
+		}
+	}
+	// Early stop.
+	count := 0
+	tb.Scan(func(RID, []float64) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early stop: count=%d", count)
+	}
+}
+
+func TestScanColumnAndPairs(t *testing.T) {
+	tb := NewTable(3)
+	for i := 0; i < 5; i++ {
+		tb.Insert([]float64{float64(i), float64(2 * i), float64(3 * i)})
+	}
+	var sum float64
+	if err := tb.ScanColumn(1, func(_ RID, v float64) bool { sum += v; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 2*(0+1+2+3+4) {
+		t.Fatalf("sum=%v", sum)
+	}
+	if err := tb.ScanColumn(7, nil); err != ErrBadColumn {
+		t.Fatalf("want ErrBadColumn, got %v", err)
+	}
+	ok := true
+	err := tb.ScanPairs(0, 2, func(_ RID, m, n float64) bool {
+		if n != 3*m {
+			ok = false
+		}
+		return true
+	})
+	if err != nil || !ok {
+		t.Fatalf("pairs mismatch err=%v", err)
+	}
+	if err := tb.ScanPairs(0, 9, nil); err != ErrBadColumn {
+		t.Fatalf("want ErrBadColumn, got %v", err)
+	}
+}
+
+func TestColumnBounds(t *testing.T) {
+	tb := NewTable(1)
+	if _, _, ok := tb.ColumnBounds(0); ok {
+		t.Fatal("empty table should report !ok")
+	}
+	for _, v := range []float64{5, -3, 12, 0} {
+		tb.Insert([]float64{v})
+	}
+	lo, hi, ok := tb.ColumnBounds(0)
+	if !ok || lo != -3 || hi != 12 {
+		t.Fatalf("bounds=[%v,%v] ok=%v", lo, hi, ok)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tb := NewTable(4)
+	if tb.SizeBytes() != 0 {
+		t.Fatal("empty table should have zero size")
+	}
+	tb.Insert([]float64{1, 2, 3, 4})
+	want := uint64(BlockRows*4*8) + uint64(BlockRows/64*8) + 16
+	if got := tb.SizeBytes(); got != want {
+		t.Fatalf("size=%d want %d", got, want)
+	}
+}
+
+// Property: every inserted row is retrievable by its RID with the exact
+// values, and RIDs are unique.
+func TestQuickInsertRetrieve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 1 + rng.Intn(5)
+		tb := NewTable(w)
+		n := 1 + rng.Intn(2000)
+		rows := make(map[RID][]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, w)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			rid, err := tb.Insert(row)
+			if err != nil {
+				return false
+			}
+			if _, dup := rows[rid]; dup {
+				return false
+			}
+			rows[rid] = row
+		}
+		for rid, want := range rows {
+			got, err := tb.Get(rid, nil)
+			if err != nil {
+				return false
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return tb.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after a random interleaving of inserts and deletes, Len() equals
+// live count and Scan visits exactly the live RIDs.
+func TestQuickDeleteConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable(1)
+		live := map[RID]bool{}
+		var all []RID
+		for i := 0; i < 3000; i++ {
+			if len(all) > 0 && rng.Float64() < 0.3 {
+				rid := all[rng.Intn(len(all))]
+				if live[rid] {
+					if err := tb.Delete(rid); err != nil {
+						return false
+					}
+					live[rid] = false
+				}
+			} else {
+				rid, err := tb.Insert([]float64{float64(i)})
+				if err != nil {
+					return false
+				}
+				all = append(all, rid)
+				live[rid] = true
+			}
+		}
+		count := 0
+		for _, ok := range live {
+			if ok {
+				count++
+			}
+		}
+		if tb.Len() != count {
+			return false
+		}
+		seen := 0
+		tb.Scan(func(rid RID, _ []float64) bool {
+			if !live[rid] {
+				return false
+			}
+			seen++
+			return true
+		})
+		return seen == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tb := NewTable(4)
+	row := []float64{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Insert(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValue(b *testing.B) {
+	tb := NewTable(4)
+	var rids []RID
+	for i := 0; i < 100000; i++ {
+		rid, _ := tb.Insert([]float64{float64(i), 0, 0, 0})
+		rids = append(rids, rid)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Value(rids[i%len(rids)], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package trstree
+
+import "math"
+
+// Result is the output of a TRS-Tree lookup (Algorithm 2): a set of
+// approximate ranges on the host column N, to be resolved against the host
+// index, plus the exact tuple identifiers of matching outliers, which can be
+// fetched directly without touching the host index.
+type Result struct {
+	Ranges []Range
+	IDs    []uint64
+	// LeavesVisited counts the leaf nodes touched; the performance
+	// breakdown experiments use it to attribute time to the TRS-Tree phase.
+	LeavesVisited int
+}
+
+// Lookup answers the range predicate lo <= M <= hi. A point query passes
+// lo == hi. The returned ranges are widened by each leaf's confidence
+// interval, so they over-approximate the true matches; Hermit removes the
+// false positives during base-table validation.
+func (t *Tree) Lookup(lo, hi float64) Result {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var res Result
+	if lo > hi {
+		return res
+	}
+	t.lookupNode(t.root, lo, hi, &res)
+	if t.params.UnionRanges {
+		res.Ranges = unionRanges(res.Ranges)
+	}
+	return res
+}
+
+// lookupNode performs the per-node work of Algorithm 2. The paper uses a
+// FIFO queue for breadth-first traversal; recursion visits the same nodes
+// (every node overlapping the predicate) without allocating a queue.
+func (t *Tree) lookupNode(n *node, lo, hi float64, res *Result) {
+	if !n.isLeaf() {
+		for _, c := range n.children {
+			if c.effectiveLo() <= hi && c.effectiveHi() >= lo {
+				t.lookupNode(c, lo, hi, res)
+			}
+		}
+		return
+	}
+	res.LeavesVisited++
+	// Intersect the predicate with the leaf's finite range for the model
+	// estimate; out-of-range values are never model-covered (they are
+	// inserted straight into outlier buffers), so the model is only
+	// consulted over the range it was fitted on.
+	mlo := math.Max(lo, n.lo)
+	mhi := math.Min(hi, n.hi)
+	if mlo <= mhi && n.count > 0 {
+		rlo, rhi := n.model.PredictRange(mlo, mhi, n.eps)
+		res.Ranges = append(res.Ranges, Range{Lo: rlo, Hi: rhi})
+	}
+	// Outlier retrieval uses the edge-extended range so that tuples beyond
+	// the build-time range R are still found.
+	olo := math.Max(lo, n.effectiveLo())
+	ohi := math.Min(hi, n.effectiveHi())
+	if olo <= ohi {
+		for _, e := range n.outliers {
+			if e.m >= olo && e.m <= ohi {
+				res.IDs = append(res.IDs, e.id)
+			}
+		}
+	}
+}
+
+// unionRanges merges overlapping or touching ranges (Algorithm 2, line 15),
+// reducing the number of host-index probes.
+func unionRanges(rs []Range) []Range {
+	if len(rs) <= 1 {
+		return rs
+	}
+	sortRanges(rs)
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package trstree
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// lookupsEqual compares two trees by their visible lookup results across a
+// grid of predicates.
+func lookupsEqual(t *testing.T, a, b *Tree, lo, hi float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		qlo := lo + rng.Float64()*(hi-lo)
+		qhi := qlo + rng.Float64()*(hi-lo)/10
+		ra := a.Lookup(qlo, qhi)
+		rb := b.Lookup(qlo, qhi)
+		if len(ra.Ranges) != len(rb.Ranges) || len(ra.IDs) != len(rb.IDs) {
+			t.Fatalf("lookup mismatch for [%v,%v]: %d/%d ranges, %d/%d ids",
+				qlo, qhi, len(ra.Ranges), len(rb.Ranges), len(ra.IDs), len(rb.IDs))
+		}
+		for i := range ra.Ranges {
+			if ra.Ranges[i] != rb.Ranges[i] {
+				t.Fatalf("range %d differs: %+v vs %+v", i, ra.Ranges[i], rb.Ranges[i])
+			}
+		}
+		sort.Slice(ra.IDs, func(x, y int) bool { return ra.IDs[x] < ra.IDs[y] })
+		sort.Slice(rb.IDs, func(x, y int) bool { return rb.IDs[x] < rb.IDs[y] })
+		for i := range ra.IDs {
+			if ra.IDs[i] != rb.IDs[i] {
+				t.Fatalf("id %d differs", i)
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	pairs := genSigmoid(30000, 1000, 0.05, 1)
+	orig := mustBuild(t, pairs, DefaultParams())
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupsEqual(t, orig, loaded, 0, 1000)
+	so, sl := orig.Stats(), loaded.Stats()
+	if so.Nodes != sl.Nodes || so.Leaves != sl.Leaves || so.Outliers != sl.Outliers {
+		t.Fatalf("stats differ: %+v vs %+v", so, sl)
+	}
+	if loaded.Params() != orig.Params() {
+		t.Fatalf("params differ: %+v vs %+v", loaded.Params(), orig.Params())
+	}
+}
+
+func TestSnapshotFileRoundtrip(t *testing.T) {
+	pairs := genLinear(5000, 500, 0.02, 2)
+	orig := mustBuild(t, pairs, DefaultParams())
+	path := filepath.Join(t.TempDir(), "trs.snap")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupsEqual(t, orig, loaded, 0, 500)
+	// The loaded tree remains fully mutable.
+	loaded.Insert(250, 1e9, 424242)
+	res := loaded.Lookup(250, 250)
+	found := false
+	for _, id := range res.IDs {
+		if id == 424242 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("insert after load not visible")
+	}
+}
+
+func TestSnapshotAfterMutations(t *testing.T) {
+	pairs := genLinear(5000, 500, 0, 3)
+	tr := mustBuild(t, pairs, DefaultParams())
+	for i := 0; i < 500; i++ {
+		tr.Insert(float64(i%500), 1e8+float64(i), uint64(90000+i))
+	}
+	tr.Delete(100, 1e8+100, 90100)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookupsEqual(t, tr, loaded, 0, 500)
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("TRST"),                        // truncated after magic
+		append([]byte("TRST"), 0xFF, 0xFF),    // bad version
+		append([]byte("TRST"), 1, 0, 1, 2, 3), // truncated params
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsTruncatedTree(t *testing.T) {
+	pairs := genSigmoid(10000, 1000, 0.02, 4)
+	tr := mustBuild(t, pairs, DefaultParams())
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: save/load roundtrips preserve lookup results for arbitrary
+// shapes and parameter combinations.
+func TestQuickSnapshotRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		params := DefaultParams()
+		params.ErrorBound = []float64{1, 2, 100}[rng.Intn(3)]
+		params.NodeFanout = []int{2, 4, 8}[rng.Intn(3)]
+		var pairs []Pair
+		if seed%2 == 0 {
+			pairs = genLinear(2000, 500, rng.Float64()*0.1, seed)
+		} else {
+			pairs = genSigmoid(2000, 500, rng.Float64()*0.1, seed)
+		}
+		cp := append([]Pair(nil), pairs...)
+		tr, err := Build(cp, 1, 0, params)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			lo := rng.Float64() * 500
+			hi := lo + rng.Float64()*50
+			ra := tr.Lookup(lo, hi)
+			rb := loaded.Lookup(lo, hi)
+			if len(ra.Ranges) != len(rb.Ranges) || len(ra.IDs) != len(rb.IDs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

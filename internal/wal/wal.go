@@ -1,0 +1,140 @@
+// Package wal implements the write-ahead log the paper's fault-tolerance
+// discussion (§6) assumes for the in-memory engine: every mutation is
+// framed, checksummed and appended to a log file before it is applied, and
+// recovery replays the log on top of the last checkpoint. A torn or
+// corrupted tail record — the normal result of a crash mid-append — ends
+// replay cleanly rather than erroring.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Op identifies a logged operation. The engine defines the semantics; the
+// log only frames and checksums.
+type Op byte
+
+// Operation codes used by the engine's durable layer.
+const (
+	OpInsert Op = iota + 1
+	OpDelete
+	OpUpdate
+	OpCreateTable
+	OpCreateIndex
+)
+
+// Record is one logged operation.
+type Record struct {
+	Op      Op
+	Table   string
+	Payload []byte
+}
+
+// ErrTableNameTooLong is returned for table names above 64 KiB.
+var ErrTableNameTooLong = errors.New("wal: table name too long")
+
+// Log is an append-only record log.
+type Log struct {
+	f    *os.File
+	path string
+}
+
+// Open opens (creating if necessary) the log at path for appending.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// Append frames, checksums and writes the record. The frame is
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//	body = op byte | u16 tableLen | table | payload
+func (l *Log) Append(rec Record) error {
+	if len(rec.Table) > 1<<16-1 {
+		return ErrTableNameTooLong
+	}
+	body := make([]byte, 0, 3+len(rec.Table)+len(rec.Payload))
+	body = append(body, byte(rec.Op))
+	var tl [2]byte
+	binary.LittleEndian.PutUint16(tl[:], uint16(len(rec.Table)))
+	body = append(body, tl[:]...)
+	body = append(body, rec.Table...)
+	body = append(body, rec.Payload...)
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Truncate discards all records (after a checkpoint has captured them).
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := l.f.Seek(0, io.SeekStart)
+	return err
+}
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// Replay reads records from the log at path in append order, invoking fn
+// for each. A truncated or checksum-failing tail ends replay without error
+// (crash semantics); an error from fn aborts replay and is returned.
+// A missing file replays zero records.
+func Replay(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil // clean EOF or torn header: end of usable log
+		}
+		bodyLen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		const maxRecord = 64 << 20
+		if bodyLen < 3 || bodyLen > maxRecord {
+			return nil // corrupt length: stop
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil // corrupt record
+		}
+		tableLen := int(binary.LittleEndian.Uint16(body[1:3]))
+		if 3+tableLen > len(body) {
+			return nil
+		}
+		rec := Record{
+			Op:      Op(body[0]),
+			Table:   string(body[3 : 3+tableLen]),
+			Payload: body[3+tableLen:],
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}

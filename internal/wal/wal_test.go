@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Op: OpInsert, Table: "t1", Payload: []byte{1, 2, 3}},
+		{Op: OpDelete, Table: "t2", Payload: nil},
+		{Op: OpUpdate, Table: "", Payload: []byte{9}},
+		{Op: OpCreateTable, Table: "t3", Payload: []byte(`{"cols":["a"]}`)},
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].Table != want[i].Table ||
+			!bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n := 0
+	if err := Replay(filepath.Join(t.TempDir(), "nope.log"), func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("records from missing file")
+	}
+}
+
+func TestTornTailStopsCleanly(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-record: simulate a crash during the final append.
+	for _, cut := range []int{len(raw) - 1, len(raw) - 5, len(raw) - 11} {
+		torn := filepath.Join(t.TempDir(), "torn.log")
+		if err := os.WriteFile(torn, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := Replay(torn, func(Record) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n < 8 || n > 10 {
+			t.Fatalf("cut %d: replayed %d records", cut, n)
+		}
+	}
+}
+
+func TestCorruptRecordStops(t *testing.T) {
+	path := logPath(t)
+	l, _ := Open(path)
+	l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte("aaaa")})
+	l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte("bbbb")})
+	l.Close()
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xFF // flip a payload byte of the second record
+	os.WriteFile(path, raw, 0o644)
+	n := 0
+	if err := Replay(path, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d, want 1 (corrupt tail dropped)", n)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	path := logPath(t)
+	l, _ := Open(path)
+	l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte{1}})
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Op: OpDelete, Table: "t", Payload: []byte{2}})
+	l.Close()
+	var got []Record
+	Replay(path, func(r Record) error { got = append(got, r); return nil })
+	if len(got) != 1 || got[0].Op != OpDelete {
+		t.Fatalf("after truncate: %+v", got)
+	}
+}
+
+func TestTableNameTooLong(t *testing.T) {
+	l, _ := Open(logPath(t))
+	defer l.Close()
+	long := make([]byte, 1<<16)
+	if err := l.Append(Record{Op: OpInsert, Table: string(long)}); err != ErrTableNameTooLong {
+		t.Fatalf("want ErrTableNameTooLong, got %v", err)
+	}
+}
+
+// Property: any sequence of random records roundtrips in order.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir, err := os.MkdirTemp("", "walq-*")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "w.log")
+		l, err := Open(path)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(50)
+		recs := make([]Record, n)
+		for i := range recs {
+			p := make([]byte, rng.Intn(100))
+			rng.Read(p)
+			recs[i] = Record{
+				Op:      Op(1 + rng.Intn(5)),
+				Table:   string(rune('a' + rng.Intn(26))),
+				Payload: p,
+			}
+			if err := l.Append(recs[i]); err != nil {
+				return false
+			}
+		}
+		l.Close()
+		i := 0
+		ok := true
+		Replay(path, func(r Record) error {
+			if i >= n || r.Op != recs[i].Op || r.Table != recs[i].Table ||
+				!bytes.Equal(r.Payload, recs[i].Payload) {
+				ok = false
+			}
+			i++
+			return nil
+		})
+		return ok && i == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

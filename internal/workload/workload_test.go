@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hermit/internal/stats"
+)
+
+func collect(t *testing.T, gen func(func([]float64) error) error) [][]float64 {
+	t.Helper()
+	var rows [][]float64
+	err := gen(func(row []float64) error {
+		rows = append(rows, append([]float64(nil), row...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func column(rows [][]float64, i int) []float64 {
+	out := make([]float64, len(rows))
+	for r, row := range rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+func TestSyntheticLinearProperties(t *testing.T) {
+	spec := SyntheticSpec{Rows: 5000, Fn: Linear, Noise: 0.01, Seed: 1}
+	rows := collect(t, spec.Generate)
+	if len(rows) != 5000 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	b := column(rows, spec.HostCol())
+	c := column(rows, spec.TargetCol())
+	if r := stats.Pearson(c, b); r < 0.95 {
+		t.Fatalf("linear pearson=%v", r)
+	}
+	// pk column strictly increasing and unique.
+	for i, row := range rows {
+		if row[0] != float64(i) {
+			t.Fatalf("pk %v at row %d", row[0], i)
+		}
+		if row[2] < 0 || row[2] > SyntheticSpan {
+			t.Fatalf("colC out of range: %v", row[2])
+		}
+	}
+}
+
+func TestSyntheticSigmoidMonotonic(t *testing.T) {
+	spec := SyntheticSpec{Rows: 5000, Fn: Sigmoid, Noise: 0, Seed: 2}
+	rows := collect(t, spec.Generate)
+	b := column(rows, spec.HostCol())
+	c := column(rows, spec.TargetCol())
+	if r := stats.Spearman(c, b); r < 0.999 {
+		t.Fatalf("sigmoid spearman=%v", r)
+	}
+	if r := stats.Pearson(c, b); r >= 0.999 {
+		t.Fatalf("sigmoid should not be perfectly linear: pearson=%v", r)
+	}
+}
+
+func TestSyntheticSinNonMonotonic(t *testing.T) {
+	spec := SyntheticSpec{Rows: 5000, Fn: Sin, Noise: 0, Seed: 3}
+	rows := collect(t, spec.Generate)
+	b := column(rows, spec.HostCol())
+	c := column(rows, spec.TargetCol())
+	if r := math.Abs(stats.Spearman(c, b)); r > 0.3 {
+		t.Fatalf("sin spearman=%v, want near 0", r)
+	}
+}
+
+func TestSyntheticNoiseFraction(t *testing.T) {
+	spec := SyntheticSpec{Rows: 20000, Fn: Linear, Noise: 0.1, Seed: 4}
+	rows := collect(t, spec.Generate)
+	off := 0
+	for _, row := range rows {
+		if math.Abs(row[1]-Linear.Eval(row[2])) > 1e-9 {
+			off++
+		}
+	}
+	frac := float64(off) / float64(len(rows))
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("noise fraction=%v, want ~0.1", frac)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	spec := SyntheticSpec{Rows: 100, Fn: Sigmoid, Noise: 0.05, Seed: 5}
+	a := collect(t, spec.Generate)
+	b := collect(t, spec.Generate)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateStopsOnError(t *testing.T) {
+	spec := SyntheticSpec{Rows: 1000, Fn: Linear, Seed: 6}
+	boom := errors.New("boom")
+	n := 0
+	err := spec.Generate(func([]float64) error {
+		n++
+		if n == 10 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || n != 10 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestStockProperties(t *testing.T) {
+	spec := StockSpec{Stocks: 5, Days: 3000, Seed: 7, CrashProb: 0.003}
+	rows := collect(t, spec.Generate)
+	if len(rows) != 3000 {
+		t.Fatalf("days=%d", len(rows))
+	}
+	if got := len(spec.Columns()); got != 11 {
+		t.Fatalf("columns=%d", got)
+	}
+	for s := 0; s < spec.Stocks; s++ {
+		low := column(rows, spec.LowCol(s))
+		high := column(rows, spec.HighCol(s))
+		if r := stats.Pearson(low, high); r < 0.95 {
+			t.Fatalf("stock %d low/high pearson=%v", s, r)
+		}
+		crashes := 0
+		for i := range low {
+			if high[i] < low[i] {
+				t.Fatalf("high < low at day %d", i)
+			}
+			if high[i] > low[i]*1.5 {
+				crashes++
+			}
+		}
+		if crashes == 0 {
+			t.Fatalf("stock %d: no outlier days generated", s)
+		}
+		if crashes > len(rows)/50 {
+			t.Fatalf("stock %d: too many outlier days: %d", s, crashes)
+		}
+	}
+}
+
+func TestStockDefaultSpecMatchesPaper(t *testing.T) {
+	spec := DefaultStockSpec()
+	if spec.Stocks != 100 || spec.Days < 15000 {
+		t.Fatalf("spec=%+v", spec)
+	}
+	if len(spec.Columns()) != 201 {
+		t.Fatalf("paper's wide table has 201 columns, got %d", len(spec.Columns()))
+	}
+}
+
+func TestSensorProperties(t *testing.T) {
+	spec := DefaultSensorSpec(5000)
+	rows := collect(t, spec.Generate)
+	if len(spec.Columns()) != 18 {
+		t.Fatalf("columns=%d, want 18", len(spec.Columns()))
+	}
+	avg := column(rows, spec.AvgCol())
+	for i := 0; i < spec.Sensors; i++ {
+		r := column(rows, spec.ReadingCol(i))
+		// Nonlinear but monotonic in the average: high Spearman.
+		if rho := stats.Spearman(avg, r); rho < 0.9 {
+			t.Fatalf("sensor %d spearman=%v", i, rho)
+		}
+	}
+	// Average is the true mean of the readings.
+	for _, row := range rows[:100] {
+		var sum float64
+		for i := 0; i < spec.Sensors; i++ {
+			sum += row[spec.ReadingCol(i)]
+		}
+		if math.Abs(sum/float64(spec.Sensors)-row[spec.AvgCol()]) > 1e-9 {
+			t.Fatal("avg column inconsistent")
+		}
+	}
+}
+
+func TestSensorNonlinearity(t *testing.T) {
+	// At least one channel must be visibly nonlinear against the average
+	// (Pearson < Spearman).
+	spec := SensorSpec{Rows: 5000, Sensors: 16, Seed: 8}
+	rows := collect(t, spec.Generate)
+	avg := column(rows, spec.AvgCol())
+	nonlinear := false
+	for i := 0; i < spec.Sensors; i++ {
+		r := column(rows, spec.ReadingCol(i))
+		if stats.Spearman(avg, r)-stats.Pearson(avg, r) > 0.0005 {
+			nonlinear = true
+		}
+	}
+	if !nonlinear {
+		t.Fatal("no nonlinear channel detected")
+	}
+}
+
+func TestQueryGenSelectivity(t *testing.T) {
+	gen := QueryGen(0, 1000, 0.05, 9)
+	for i := 0; i < 100; i++ {
+		q := gen()
+		if q.Lo < 0 || q.Hi > 1000 {
+			t.Fatalf("query out of domain: %+v", q)
+		}
+		if math.Abs((q.Hi-q.Lo)-50) > 1e-9 {
+			t.Fatalf("width=%v, want 50", q.Hi-q.Lo)
+		}
+	}
+	pg := PointGen(10, 20, 10)
+	for i := 0; i < 100; i++ {
+		if v := pg(); v < 10 || v > 20 {
+			t.Fatalf("point %v out of range", v)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Linear.String() != "linear" || Sigmoid.String() != "sigmoid" || Sin.String() != "sin" {
+		t.Fatal("CorrelationKind.String")
+	}
+}
