@@ -1,0 +1,35 @@
+# Make targets mirror the CI jobs (.github/workflows/ci.yml) exactly, so a
+# local `make ci` reproduces what the gate runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: one figure at tiny scale proves the harness end-to-end.
+bench: build
+	$(GO) run ./cmd/hermit-bench -exp fig4 -scale 0.005 -json ''
+
+# Concurrency sweep with the machine-readable BENCH_concurrency.json.
+bench-concurrency: build
+	$(GO) run ./cmd/hermit-bench -exp concurrency
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet test bench

@@ -6,6 +6,7 @@
 //	hermit-bench -exp fig4
 //	hermit-bench -exp all -scale 0.05
 //	hermit-bench -exp fig16,fig17,fig18 -scale 0.1 -measure 1s
+//	hermit-bench -exp concurrency -concurrency 16
 //
 // -scale 1.0 restores the paper's dataset sizes (20M-row synthetic sweeps);
 // the default 0.02 completes the full suite on a laptop in minutes. Shapes
@@ -25,11 +26,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		scale   = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper size)")
-		measure = flag.Duration("measure", 300*time.Millisecond, "measurement time per plotted point")
-		seed    = flag.Int64("seed", 1, "workload generation seed")
+		exp         = flag.String("exp", "", "experiment id(s), comma separated, or 'all'")
+		list        = flag.Bool("list", false, "list available experiments")
+		scale       = flag.Float64("scale", 0.02, "dataset scale factor (1.0 = paper size)")
+		measure     = flag.Duration("measure", 300*time.Millisecond, "measurement time per plotted point")
+		seed        = flag.Int64("seed", 1, "workload generation seed")
+		concurrency = flag.Int("concurrency", 8, "max goroutines for the concurrency throughput sweep")
+		jsonDir     = flag.String("json", ".", "directory for machine-readable BENCH_*.json results ('' disables)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,8 @@ func main() {
 	cfg.Scale = *scale
 	cfg.MeasureFor = *measure
 	cfg.Seed = *seed
+	cfg.Concurrency = *concurrency
+	cfg.JSONDir = *jsonDir
 
 	var ids []string
 	if *exp == "all" {

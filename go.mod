@@ -1,0 +1,3 @@
+module hermit
+
+go 1.24.0

@@ -31,6 +31,7 @@ import (
 	"hermit/internal/correlation"
 	"hermit/internal/engine"
 	"hermit/internal/hermit"
+	"hermit/internal/storage"
 	"hermit/internal/trstree"
 	"hermit/internal/workload"
 )
@@ -66,6 +67,39 @@ const (
 	KindHermit  = engine.KindHermit
 	KindCM      = engine.KindCM
 	KindPrimary = engine.KindPrimary
+)
+
+// Concurrent serving. Tables are safe for concurrent use: queries take
+// per-index read latches, writers take a per-key stripe plus the latches
+// of the structures they touch (see internal/engine). The batched executor
+// drains a slice of operations across a worker pool:
+//
+//	ops := []hermitdb.Op{
+//		{Kind: hermitdb.OpRange, Col: 2, Lo: 100, Hi: 120},
+//		{Kind: hermitdb.OpInsert, Row: []float64{9, 1, 2, 3}},
+//	}
+//	results := tb.ExecuteBatch(ops, 8)
+type (
+	// RID is a physical record identifier ("blockID+offset", §5.1).
+	RID = storage.RID
+	// Op is one operation in an ExecuteBatch batch.
+	Op = engine.Op
+	// OpKind selects what an Op does.
+	OpKind = engine.OpKind
+	// OpResult is the positional outcome of one Op.
+	OpResult = engine.OpResult
+	// RangeReq is one range predicate for Table.QueryConcurrent.
+	RangeReq = engine.RangeReq
+)
+
+// Batched-executor operation kinds.
+const (
+	OpRange  = engine.OpRange
+	OpPoint  = engine.OpPoint
+	OpRange2 = engine.OpRange2
+	OpInsert = engine.OpInsert
+	OpDelete = engine.OpDelete
+	OpUpdate = engine.OpUpdate
 )
 
 // Tuple-identifier schemes (paper §5.1).

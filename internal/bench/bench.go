@@ -33,16 +33,24 @@ type Config struct {
 	Seed int64
 	// TmpDir hosts the disk-engine files (Fig. 24).
 	TmpDir string
+	// Concurrency is the maximum goroutine count the concurrency
+	// experiment sweeps to (the CLI's -concurrency flag).
+	Concurrency int
+	// JSONDir, when non-empty, receives machine-readable BENCH_*.json
+	// result files alongside the printed tables.
+	JSONDir string
 }
 
 // DefaultConfig returns the CLI defaults.
 func DefaultConfig(out io.Writer) Config {
 	return Config{
-		Out:        out,
-		Scale:      0.02,
-		MeasureFor: 300 * time.Millisecond,
-		Seed:       1,
-		TmpDir:     "",
+		Out:         out,
+		Scale:       0.02,
+		MeasureFor:  300 * time.Millisecond,
+		Seed:        1,
+		TmpDir:      "",
+		Concurrency: 8,
+		JSONDir:     ".",
 	}
 }
 
@@ -55,6 +63,9 @@ func (c Config) sanitized() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
 	}
 	return c
 }
@@ -106,6 +117,7 @@ var Registry = []Experiment{
 	{"fig29", "CM vs Hermit range throughput vs noise (Sigmoid)", Fig29CMSigmoidThroughput},
 	{"fig30", "CM vs Hermit memory vs noise (Sigmoid)", Fig30CMSigmoidMemory},
 	{"ablation", "Ablations: sampling, range union, outlier buffer", Ablations},
+	{"concurrency", "Concurrent serving: throughput vs goroutines", RunConcurrency},
 }
 
 // ByID returns the experiment with the given id.

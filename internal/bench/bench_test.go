@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -42,6 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
 		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
+		"concurrency",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -163,5 +167,48 @@ func TestSmokeAblation(t *testing.T) {
 	out := runExperiment(t, "ablation")
 	if !strings.Contains(out, "sample_rate") || !strings.Contains(out, "union") {
 		t.Fatalf("ablation malformed:\n%s", out)
+	}
+}
+
+func TestSmokeConcurrency(t *testing.T) {
+	e, ok := ByID("concurrency")
+	if !ok {
+		t.Fatal("concurrency experiment not registered")
+	}
+	cfg := tinyConfig(t)
+	cfg.Concurrency = 4
+	cfg.JSONDir = t.TempDir()
+	buf := &bytes.Buffer{}
+	cfg.Out = buf
+	if err := e.Run(cfg); err != nil {
+		t.Fatalf("concurrency: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "read-only") || !strings.Contains(out, "mixed") {
+		t.Fatalf("concurrency output malformed:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_concurrency.json"))
+	if err != nil {
+		t.Fatalf("BENCH_concurrency.json not written: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		ReadOnly   []struct {
+			Goroutines int     `json:"goroutines"`
+			OpsPerSec  float64 `json:"ops_per_sec"`
+			Speedup    float64 `json:"speedup"`
+		} `json:"read_only_range"`
+		Mixed []any `json:"mixed_90_10"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_concurrency.json malformed: %v\n%s", err, data)
+	}
+	if rep.Experiment != "concurrency" || len(rep.ReadOnly) != 3 || len(rep.Mixed) != 3 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, p := range rep.ReadOnly {
+		if p.OpsPerSec <= 0 || p.Speedup <= 0 {
+			t.Fatalf("non-positive throughput in %+v", p)
+		}
 	}
 }

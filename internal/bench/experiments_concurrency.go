@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/workload"
+)
+
+// The concurrency experiment is not a paper figure: it measures what the
+// engine's fine-grained latching buys — aggregate query throughput as the
+// number of serving goroutines grows — over a mixed set of access paths
+// (primary, complete B+-tree, Hermit), read-only and with a 90/10
+// read/write replay through the batched executor. Results are printed and,
+// when Config.JSONDir is set, recorded in BENCH_concurrency.json for the
+// performance trajectory across PRs.
+
+// concurrencyPoint is one plotted goroutine count.
+type concurrencyPoint struct {
+	Goroutines int     `json:"goroutines"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// concurrencyReport is the schema of BENCH_concurrency.json.
+type concurrencyReport struct {
+	Experiment       string             `json:"experiment"`
+	Rows             int                `json:"rows"`
+	Scale            float64            `json:"scale"`
+	NumCPU           int                `json:"num_cpu"`
+	GOMAXPROCS       int                `json:"gomaxprocs"`
+	MeasureForMS     int64              `json:"measure_for_ms"`
+	ReadOnly         []concurrencyPoint `json:"read_only_range"`
+	Mixed            []concurrencyPoint `json:"mixed_90_10"`
+	ReadSpeedupAtMax float64            `json:"read_speedup_at_max"`
+}
+
+// speedup guards against a zero baseline (a degenerate measurement window
+// where no operation completed): NaN/Inf would fail JSON marshalling.
+func speedup(ops, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return ops / base
+}
+
+// goroutineCounts returns the swept goroutine counts: powers of two up to
+// and including max.
+func goroutineCounts(max int) []int {
+	var out []int
+	for g := 1; g < max; g *= 2 {
+		out = append(out, g)
+	}
+	return append(out, max)
+}
+
+// RunConcurrency drives the concurrency experiment.
+func RunConcurrency(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "concurrency", "Concurrent serving: throughput vs goroutines")
+	n := cfg.rows(5_000_000)
+	fmt.Fprintf(cfg.Out, "rows=%d gomaxprocs=%d cpus=%d workload=mixed access paths (primary/btree/hermit)\n",
+		n, runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	tb, err := buildSynthetic(cfg, hermit.PhysicalPointers, n, workload.Linear, 0.01)
+	if err != nil {
+		return err
+	}
+	if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+		return err
+	}
+
+	counts := goroutineCounts(cfg.Concurrency)
+	rep := concurrencyReport{
+		Experiment:   "concurrency",
+		Rows:         n,
+		Scale:        cfg.Scale,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		MeasureForMS: cfg.MeasureFor.Milliseconds(),
+	}
+
+	fmt.Fprintf(cfg.Out, "-- read-only range queries --\n")
+	fmt.Fprintf(cfg.Out, "%-12s %14s %10s\n", "goroutines", "throughput", "speedup")
+	var base float64
+	for _, g := range counts {
+		ops, err := measureReadOnly(cfg, tb, g)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = ops
+		}
+		p := concurrencyPoint{Goroutines: g, OpsPerSec: ops, Speedup: speedup(ops, base)}
+		rep.ReadOnly = append(rep.ReadOnly, p)
+		fmt.Fprintf(cfg.Out, "%-12d %14s %9.2fx\n", g, fmtKops(ops), p.Speedup)
+	}
+	rep.ReadSpeedupAtMax = rep.ReadOnly[len(rep.ReadOnly)-1].Speedup
+
+	fmt.Fprintf(cfg.Out, "-- mixed 90%% read / 10%% write (batched executor) --\n")
+	fmt.Fprintf(cfg.Out, "%-12s %14s %10s\n", "goroutines", "throughput", "speedup")
+	nextPK := float64(n)
+	base = 0
+	for _, g := range counts {
+		ops, err := measureMixed(cfg, tb, g, &nextPK)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = ops
+		}
+		p := concurrencyPoint{Goroutines: g, OpsPerSec: ops, Speedup: speedup(ops, base)}
+		rep.Mixed = append(rep.Mixed, p)
+		fmt.Fprintf(cfg.Out, "%-12d %14s %9.2fx\n", g, fmtKops(ops), p.Speedup)
+	}
+
+	if cfg.JSONDir != "" {
+		path := filepath.Join(cfg.JSONDir, "BENCH_concurrency.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "[recorded %s]\n", path)
+	}
+	return nil
+}
+
+// measureReadOnly runs range queries from g goroutines for cfg.MeasureFor
+// and returns aggregate operations/second. Each goroutine cycles through
+// the three access paths — primary index, complete B+-tree, Hermit — with
+// its own predicate stream, so goroutines exercise different index latches.
+// Any query failure aborts the measurement and is returned.
+func measureReadOnly(cfg Config, tb *engine.Table, g int) (float64, error) {
+	spec := workload.SyntheticSpec{}
+	var stop atomic.Bool
+	var total atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seed := cfg.Seed + int64(1000+w)
+			pkGen := workload.QueryGen(0, float64(tb.Len()), 0.001, seed)
+			hostGen := workload.QueryGen(100, 2*workload.SyntheticSpan+100, 0.01, seed+1)
+			targetGen := workload.QueryGen(0, workload.SyntheticSpan, 0.01, seed+2)
+			ops := int64(0)
+			for i := 0; !stop.Load(); i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					q := pkGen()
+					_, _, err = tb.RangeQuery(spec.PKCol(), q.Lo, q.Hi)
+				case 1:
+					q := hostGen()
+					_, _, err = tb.RangeQuery(spec.HostCol(), q.Lo, q.Hi)
+				default:
+					q := targetGen()
+					_, _, err = tb.RangeQuery(spec.TargetCol(), q.Lo, q.Hi)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				ops++
+			}
+			total.Add(ops)
+		}(w)
+	}
+	time.Sleep(cfg.MeasureFor)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(total.Load()) / time.Since(start).Seconds(), nil
+}
+
+// measureMixed replays batches of 90% range reads and 10% writes (inserts
+// of fresh keys, deletes of keys inserted two batches earlier) through
+// ExecuteBatch with g workers, returning aggregate operations/second.
+// nextPK threads the fresh-key counter across goroutine counts so no two
+// batches ever insert the same key.
+func measureMixed(cfg Config, tb *engine.Table, g int, nextPK *float64) (float64, error) {
+	spec := workload.SyntheticSpec{}
+	const batchSize = 512
+	targetGen := workload.QueryGen(0, workload.SyntheticSpan, 0.005, cfg.Seed+7)
+	hostGen := workload.QueryGen(100, 2*workload.SyntheticSpan+100, 0.005, cfg.Seed+8)
+
+	var pendingDelete []float64
+	makeBatch := func() []engine.Op {
+		ops := make([]engine.Op, 0, batchSize)
+		var inserted []float64
+		for i := 0; i < batchSize; i++ {
+			switch {
+			case i%10 == 9: // 10% writes, alternating insert/delete
+				if len(pendingDelete) > 0 && i%20 == 19 {
+					pk := pendingDelete[0]
+					pendingDelete = pendingDelete[1:]
+					ops = append(ops, engine.Op{Kind: engine.OpDelete, PK: pk})
+				} else {
+					pk := *nextPK
+					*nextPK++
+					c := float64(int(pk) % 1000)
+					ops = append(ops, engine.Op{Kind: engine.OpInsert,
+						Row: []float64{pk, 2*c + 100, c, 0.5}})
+					inserted = append(inserted, pk)
+				}
+			case i%3 == 0:
+				q := hostGen()
+				ops = append(ops, engine.Op{Kind: engine.OpRange,
+					Col: spec.HostCol(), Lo: q.Lo, Hi: q.Hi})
+			default:
+				q := targetGen()
+				ops = append(ops, engine.Op{Kind: engine.OpRange,
+					Col: spec.TargetCol(), Lo: q.Lo, Hi: q.Hi})
+			}
+		}
+		pendingDelete = append(pendingDelete, inserted...)
+		return ops
+	}
+
+	start := time.Now()
+	total := 0
+	for time.Since(start) < cfg.MeasureFor {
+		batch := makeBatch()
+		for _, r := range tb.ExecuteBatch(batch, g) {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+		total += len(batch)
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"hermit/internal/btree"
@@ -25,8 +26,8 @@ func (t *Table) CreateCompositeBTreeIndex(aCol, bCol int, markNew bool) (*btree.
 	if t.scheme != hermit.PhysicalPointers {
 		return nil, fmt.Errorf("engine: composite indexes require physical pointers")
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.catalog.Lock()
+	defer t.catalog.Unlock()
 	key := colPair{aCol, bCol}
 	if t.composites == nil {
 		t.composites = make(map[colPair]*btree.CompositeTree)
@@ -64,6 +65,7 @@ func (t *Table) CreateCompositeBTreeIndex(aCol, bCol int, markNew bool) (*btree.
 		return nil, err
 	}
 	t.composites[key] = tr
+	t.compositeMu.add(key)
 	if markNew {
 		if t.compositeNew == nil {
 			t.compositeNew = make(map[colPair]bool)
@@ -83,8 +85,8 @@ func (t *Table) CreateCompositeHermitIndex(aCol, mCol, nCol int, opts ...HermitO
 	if t.scheme != hermit.PhysicalPointers {
 		return nil, fmt.Errorf("engine: composite indexes require physical pointers")
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.catalog.Lock()
+	defer t.catalog.Unlock()
 	host, ok := t.composites[colPair{aCol, nCol}]
 	if !ok {
 		return nil, ErrNoHostIndex
@@ -117,6 +119,8 @@ func (t *Table) CreateCompositeHermitIndex(aCol, mCol, nCol int, opts ...HermitO
 
 // CompositeHermit returns the composite Hermit index on (aCol, mCol), if any.
 func (t *Table) CompositeHermit(aCol, mCol int) *hermit.CompositeIndex {
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
 	return t.compositeHermits[colPair{aCol, mCol}]
 }
 
@@ -132,17 +136,22 @@ func (t *Table) RangeQuery2(aCol int, aLo, aHi float64, bCol int, bLo, bHi float
 	if aCol < 0 || aCol >= len(t.cols) || bCol < 0 || bCol >= len(t.cols) {
 		return nil, QueryStats{}, ErrNoSuchColumn
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
 	if hx, ok := t.compositeHermits[colPair{aCol, bCol}]; ok {
+		// The composite Hermit lookup traverses its self-latching TRS-Tree
+		// plus the hosting composite B+-tree, which is engine-latched.
+		hostMu := t.compositeMu.get(colPair{aCol, t.compositeHostOf[colPair{aCol, bCol}]})
+		hostMu.RLock()
 		res := hx.Lookup(aLo, aHi, bLo, bHi)
+		hostMu.RUnlock()
 		return res.RIDs, QueryStats{
 			Kind: KindHermit, Rows: len(res.RIDs),
 			Candidates: res.Candidates, Breakdown: res.Breakdown,
 		}, nil
 	}
 	if tr, ok := t.composites[colPair{aCol, bCol}]; ok {
-		return t.compositeBaseline(tr, aLo, aHi, bLo, bHi)
+		return t.compositeBaseline(tr, t.compositeMu.get(colPair{aCol, bCol}), aLo, aHi, bLo, bHi)
 	}
 	// Single-column plan with residual filter.
 	rids, st, err := t.rangeQueryLocked(aCol, aLo, aHi)
@@ -160,19 +169,23 @@ func (t *Table) RangeQuery2(aCol int, aLo, aHi float64, bCol int, bLo, bHi float
 	return out, st, nil
 }
 
-// compositeBaseline is the conventional composite-index plan.
-func (t *Table) compositeBaseline(tr *btree.CompositeTree, aLo, aHi, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
+// compositeBaseline is the conventional composite-index plan; mu is the
+// scanned composite index's latch.
+func (t *Table) compositeBaseline(tr *btree.CompositeTree, mu *sync.RWMutex, aLo, aHi, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindBTree}
+	profile := t.profile.Load()
 	var t0 time.Time
-	if t.profile {
+	if profile {
 		t0 = time.Now()
 	}
 	var rids []storage.RID
+	mu.RLock()
 	tr.Scan(aLo, aHi, bLo, bHi, func(_, _ float64, id uint64) bool {
 		rids = append(rids, storage.RID(id))
 		return true
 	})
-	if t.profile {
+	mu.RUnlock()
+	if profile {
 		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
 		t0 = time.Now()
 	}
@@ -182,7 +195,7 @@ func (t *Table) compositeBaseline(tr *btree.CompositeTree, aLo, aHi, bLo, bHi fl
 			out = append(out, rid)
 		}
 	}
-	if t.profile {
+	if profile {
 		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
 	}
 	st.Rows, st.Candidates = len(out), len(out)

@@ -1,0 +1,542 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hermit/internal/hermit"
+	"hermit/internal/workload"
+)
+
+// buildConcurrentTable creates a Synthetic table with every single-column
+// access path in play: primary on colA, complete B+-tree on colB (the
+// host), Hermit on colC, and an unindexed payload colD.
+func buildConcurrentTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	db := NewDB(hermit.PhysicalPointers)
+	spec := workload.SyntheticSpec{Rows: rows, Fn: workload.Linear, Noise: 0.05, Seed: 7}
+	tb, err := db.CreateTable("synthetic", spec.Columns(), spec.PKCol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Generate(func(row []float64) error {
+		_, err := tb.Insert(row)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateBTreeIndex(spec.HostCol(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateHermitIndex(spec.TargetCol(), spec.HostCol()); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestConcurrentReadersAndWriters hammers one table with parallel point,
+// range and Hermit-index queries while writers insert, delete and update.
+// It must pass under -race; result correctness is checked by validating
+// every returned tuple against its predicate.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	const (
+		rows       = 4000
+		readers    = 6
+		writers    = 3
+		opsPerGoro = 400
+	)
+	tb := buildConcurrentTable(t, rows)
+	spec := workload.SyntheticSpec{}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	// Readers: one third point queries on the primary key, one third range
+	// queries on the complete B+-tree, one third Hermit range queries.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			pointGen := workload.PointGen(0, rows, int64(100+r))
+			rangeGen := workload.QueryGen(100, 2100, 0.02, int64(200+r))
+			hermitGen := workload.QueryGen(0, workload.SyntheticSpan, 0.02, int64(300+r))
+			for i := 0; i < opsPerGoro; i++ {
+				switch r % 3 {
+				case 0:
+					pk := float64(int(pointGen()))
+					rids, st, err := tb.PointQuery(spec.PKCol(), pk)
+					if err != nil {
+						fail("point query: %v", err)
+						return
+					}
+					if st.Kind != KindPrimary || len(rids) > 1 {
+						fail("point query on pk: kind %v, %d rids", st.Kind, len(rids))
+						return
+					}
+				case 1:
+					q := rangeGen()
+					rids, st, err := tb.RangeQuery(spec.HostCol(), q.Lo, q.Hi)
+					if err != nil {
+						fail("btree range query: %v", err)
+						return
+					}
+					if st.Kind != KindBTree {
+						fail("host column served by %v, want btree", st.Kind)
+						return
+					}
+					for _, rid := range rids {
+						v, err := tb.Store().Value(rid, spec.HostCol())
+						// A concurrent delete may tombstone a returned row;
+						// a surviving row must satisfy the predicate.
+						if err == nil && (v < q.Lo || v > q.Hi) {
+							fail("btree range returned %v outside [%v, %v]", v, q.Lo, q.Hi)
+							return
+						}
+					}
+				default:
+					q := hermitGen()
+					_, st, err := tb.RangeQuery(spec.TargetCol(), q.Lo, q.Hi)
+					if err != nil {
+						fail("hermit range query: %v", err)
+						return
+					}
+					if st.Kind != KindHermit {
+						fail("target column served by %v, want hermit", st.Kind)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writers: each owns a disjoint pk band, cycling insert -> update ->
+	// delete so writer-writer conflicts exercise the stripes without
+	// double-insert errors.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := float64(rows + w*opsPerGoro)
+			for i := 0; i < opsPerGoro; i++ {
+				pk := base + float64(i)
+				c := float64(i%1000) + 0.5
+				row := []float64{pk, 2*c + 100, c, 0.25}
+				if _, err := tb.Insert(row); err != nil {
+					fail("insert pk %v: %v", pk, err)
+					return
+				}
+				if err := tb.UpdateColumn(pk, 3, 0.75); err != nil {
+					fail("update pk %v: %v", pk, err)
+					return
+				}
+				if i%2 == 0 {
+					found, err := tb.Delete(pk)
+					if err != nil || !found {
+						fail("delete pk %v: found=%v err=%v", pk, found, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d concurrent-access failures", failures.Load())
+	}
+
+	// The table must be structurally intact afterwards: every surviving
+	// writer key answers a point query.
+	for w := 0; w < writers; w++ {
+		base := float64(rows + w*opsPerGoro)
+		for i := 1; i < opsPerGoro; i += 2 {
+			pk := base + float64(i)
+			rids, _, err := tb.PointQuery(spec.PKCol(), pk)
+			if err != nil {
+				t.Fatalf("post-check pk %v: %v", pk, err)
+			}
+			if len(rids) != 1 {
+				t.Fatalf("post-check pk %v: %d rids, want 1", pk, len(rids))
+			}
+		}
+	}
+}
+
+// TestExecuteBatchMatchesSerial runs the same query batch through the
+// worker pool and serially, and requires identical results.
+func TestExecuteBatchMatchesSerial(t *testing.T) {
+	tb := buildConcurrentTable(t, 3000)
+	spec := workload.SyntheticSpec{}
+	gen := workload.QueryGen(0, workload.SyntheticSpan, 0.05, 42)
+	var ops []Op
+	for i := 0; i < 200; i++ {
+		q := gen()
+		col := spec.TargetCol()
+		if i%3 == 0 {
+			col = spec.PKCol()
+		}
+		ops = append(ops, Op{Kind: OpRange, Col: col, Lo: q.Lo, Hi: q.Hi})
+	}
+	parallel := tb.ExecuteBatch(ops, 8)
+	for i, op := range ops {
+		rids, _, err := tb.RangeQuery(op.Col, op.Lo, op.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].Err != nil {
+			t.Fatalf("op %d: %v", i, parallel[i].Err)
+		}
+		got := make(map[uint64]bool, len(parallel[i].RIDs))
+		for _, rid := range parallel[i].RIDs {
+			got[uint64(rid)] = true
+		}
+		if len(parallel[i].RIDs) != len(rids) {
+			t.Fatalf("op %d: parallel %d rids, serial %d", i, len(parallel[i].RIDs), len(rids))
+		}
+		for _, rid := range rids {
+			if !got[uint64(rid)] {
+				t.Fatalf("op %d: missing rid %v", i, rid)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchMixed drives reads and writes through the executor
+// across two tables and checks per-op results land at their positions.
+func TestExecuteBatchMixed(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	for _, name := range []string{"a", "b"} {
+		tb, err := db.CreateTable(name, []string{"id", "v"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := tb.Insert([]float64{float64(i), float64(i * 2)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var ops []Op
+	for i := 0; i < 50; i++ {
+		name := []string{"a", "b"}[i%2]
+		switch i % 4 {
+		case 0:
+			ops = append(ops, Op{Table: name, Kind: OpInsert, Row: []float64{float64(1000 + i), 1}})
+		case 1:
+			ops = append(ops, Op{Table: name, Kind: OpPoint, Col: 0, Lo: float64(i)})
+		case 2:
+			ops = append(ops, Op{Table: name, Kind: OpUpdate, PK: float64(i), Col: 1, Value: -1})
+		default:
+			ops = append(ops, Op{Table: name, Kind: OpDelete, PK: float64(90 + i%10)})
+		}
+	}
+	ops = append(ops, Op{Table: "missing", Kind: OpPoint, Col: 0, Lo: 1})
+	results := db.ExecuteBatch(ops, 4)
+	for i, op := range ops {
+		r := results[i]
+		if op.Table == "missing" {
+			if r.Err == nil {
+				t.Fatal("expected error for missing table")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("op %d (%v on %s): %v", i, op.Kind, op.Table, r.Err)
+		}
+		if op.Kind == OpPoint && len(r.RIDs) != 1 {
+			t.Fatalf("op %d: point query found %d rows", i, len(r.RIDs))
+		}
+	}
+	// Inserted rows are queryable afterwards.
+	for i := 0; i < 50; i += 4 {
+		tb, _ := db.Table([]string{"a", "b"}[i%2])
+		rids, _, err := tb.PointQuery(0, float64(1000+i))
+		if err != nil || len(rids) != 1 {
+			t.Fatalf("inserted pk %d: rids=%d err=%v", 1000+i, len(rids), err)
+		}
+	}
+}
+
+// TestExecuteBatchMalformedOps: a malformed op must land in its own
+// OpResult.Err without taking down the batch (or the process).
+func TestExecuteBatchMalformedOps(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	tb, err := db.CreateTable("t", []string{"id", "v"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := tb.ExecuteBatch([]Op{
+		{Kind: OpInsert},                           // nil row
+		{Kind: OpInsert, Row: []float64{1}},        // short row
+		{Kind: OpInsert, Row: []float64{1, 2, 3}},  // wide row
+		{Kind: OpInsert, Row: []float64{7, 8}},     // valid
+		{Kind: OpRange, Col: 99, Lo: 0, Hi: 1},     // bad column
+		{Kind: OpUpdate, PK: 7, Col: 99, Value: 0}, // bad column
+		{Kind: OpKind(42), Row: []float64{1, 2}},   // unknown kind
+	}, 4)
+	for i, wantErr := range []bool{true, true, true, false, true, true, true} {
+		if (results[i].Err != nil) != wantErr {
+			t.Fatalf("op %d: err=%v, wantErr=%v", i, results[i].Err, wantErr)
+		}
+	}
+	if rids, _, err := tb.PointQuery(0, 7); err != nil || len(rids) != 1 {
+		t.Fatalf("valid op in malformed batch not applied: rids=%d err=%v", len(rids), err)
+	}
+}
+
+// TestQueryConcurrentAcrossIndexes issues batches that fan out over all
+// index kinds at once, the "concurrent readers on different indexes never
+// contend" property the latching is for.
+func TestQueryConcurrentAcrossIndexes(t *testing.T) {
+	tb := buildConcurrentTable(t, 3000)
+	spec := workload.SyntheticSpec{}
+	var reqs []RangeReq
+	gen := workload.QueryGen(0, workload.SyntheticSpan, 0.03, 5)
+	for i := 0; i < 120; i++ {
+		q := gen()
+		switch i % 3 {
+		case 0:
+			reqs = append(reqs, RangeReq{Col: spec.PKCol(), Lo: q.Lo, Hi: q.Hi})
+		case 1:
+			reqs = append(reqs, RangeReq{Col: spec.HostCol(), Lo: 2*q.Lo + 100, Hi: 2*q.Hi + 100})
+		default:
+			reqs = append(reqs, RangeReq{Col: spec.TargetCol(), Lo: q.Lo, Hi: q.Hi})
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		results := tb.QueryConcurrent(reqs, workers)
+		if len(results) != len(reqs) {
+			t.Fatalf("workers=%d: %d results for %d reqs", workers, len(results), len(reqs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d req %d: %v", workers, i, r.Err)
+			}
+		}
+	}
+}
+
+// TestConcurrentInsertDuplicateKeys races many goroutines inserting the
+// same keys; exactly one insert per key must win.
+func TestConcurrentInsertDuplicateKeys(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	tb, err := db.CreateTable("dup", []string{"id", "v"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 50
+	const contenders = 8
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < contenders; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				if _, err := tb.Insert([]float64{float64(k), float64(c)}); err == nil {
+					wins.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := wins.Load(); got != keys {
+		t.Fatalf("%d successful inserts for %d keys", got, keys)
+	}
+	if tb.Len() != keys {
+		t.Fatalf("table has %d rows, want %d", tb.Len(), keys)
+	}
+	for k := 0; k < keys; k++ {
+		rids, _, err := tb.PointQuery(0, float64(k))
+		if err != nil || len(rids) != 1 {
+			t.Fatalf("key %d: rids=%d err=%v", k, len(rids), err)
+		}
+	}
+}
+
+// TestHermitHostLatchBoundAtCreation regression-tests the latch binding:
+// a Hermit index hosted on the primary index must keep latching the
+// primary even after a secondary B+-tree appears on the pk column, and
+// lookups must stay race-free against concurrent writers.
+func TestHermitHostLatchBoundAtCreation(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	tb, err := db.CreateTable("t", []string{"id", "v"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := tb.Insert([]float64{float64(i), float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hermit on "v" hosted on the primary index (§5.2's pk-as-host case).
+	if _, err := tb.CreateHermitIndex(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tb.hermitHostMu[1] != &tb.primaryMu {
+		t.Fatal("hermit host latch not bound to primary")
+	}
+	// A complete index on the pk column created later must not steal the
+	// binding: the lookup still scans the primary B+-tree.
+	if _, err := tb.CreateBTreeIndex(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if tb.hermitHostMu[1] != &tb.primaryMu {
+		t.Fatal("hermit host latch rebound away from primary by later DDL")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if _, err := tb.Insert([]float64{float64(10000 + i), float64(i)}); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if _, _, err := tb.RangeQuery(1, 100, 200); err != nil {
+				t.Errorf("hermit lookup: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestUpdatePrimaryKeyRejected: changing the pk column would desynchronise
+// the primary index and the per-key stripes, so it must be refused
+// unconditionally (even a same-value update, for consistent behaviour).
+func TestUpdatePrimaryKeyRejected(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	tb, err := db.CreateTable("t", []string{"id", "v"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert([]float64{5, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.UpdateColumn(5, 0, 9); err == nil {
+		t.Fatal("pk change accepted")
+	}
+	if err := tb.UpdateColumn(5, 0, 5); err == nil {
+		t.Fatal("same-value pk update accepted; rejection should be unconditional")
+	}
+	rids, _, err := tb.PointQuery(0, 5)
+	if err != nil || len(rids) != 1 {
+		t.Fatalf("row lost after rejected pk update: rids=%d err=%v", len(rids), err)
+	}
+}
+
+// TestUpdateMaintainsCompositeIndexes: UpdateColumn must reindex composite
+// B+-trees and composite Hermit indexes on either component, so RangeQuery2
+// neither returns stale entries nor misses moved rows.
+func TestUpdateMaintainsCompositeIndexes(t *testing.T) {
+	db := NewDB(hermit.PhysicalPointers)
+	tb, err := db.CreateTable("t", []string{"id", "a", "n", "m"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		f := float64(i)
+		// m tracks n so the composite Hermit correlation is usable.
+		if _, err := tb.Insert([]float64{f, f / 10, f * 2, f*2 + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.CreateCompositeBTreeIndex(1, 2, false); err != nil { // (a, n)
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateCompositeHermitIndex(1, 3, 2); err != nil { // (a, m) over (a, n)
+		t.Fatal(err)
+	}
+	// Move row 100's second component n: 200 -> 9000.
+	if err := tb.UpdateColumn(100, 2, 9000); err != nil {
+		t.Fatal(err)
+	}
+	if rids, _, err := tb.RangeQuery2(1, 10, 10, 2, 200, 200); err != nil || len(rids) != 0 {
+		t.Fatalf("stale composite entry after n update: rids=%d err=%v", len(rids), err)
+	}
+	if rids, _, err := tb.RangeQuery2(1, 10, 10, 2, 9000, 9000); err != nil || len(rids) != 1 {
+		t.Fatalf("moved row not found via composite: rids=%d err=%v", len(rids), err)
+	}
+	// Move row 200's leading component a: 20 -> 777.
+	if err := tb.UpdateColumn(200, 1, 777); err != nil {
+		t.Fatal(err)
+	}
+	if rids, _, err := tb.RangeQuery2(1, 20, 20, 2, 400, 400); err != nil || len(rids) != 0 {
+		t.Fatalf("stale composite entry after a update: rids=%d err=%v", len(rids), err)
+	}
+	if rids, _, err := tb.RangeQuery2(1, 777, 777, 2, 400, 400); err != nil || len(rids) != 1 {
+		t.Fatalf("moved row not found after a update: rids=%d err=%v", len(rids), err)
+	}
+	// Move row 300's composite-Hermit target m: 601 -> 5555; the (a, m)
+	// lookup must validate correctly against the moved value.
+	if err := tb.UpdateColumn(300, 3, 5555); err != nil {
+		t.Fatal(err)
+	}
+	if rids, _, err := tb.RangeQuery2(1, 30, 30, 3, 601, 601); err != nil || len(rids) != 0 {
+		t.Fatalf("stale composite hermit result: rids=%d err=%v", len(rids), err)
+	}
+	if rids, _, err := tb.RangeQuery2(1, 30, 30, 3, 5555, 5555); err != nil || len(rids) != 1 {
+		t.Fatalf("moved target not found via composite hermit: rids=%d err=%v", len(rids), err)
+	}
+}
+
+// TestConcurrentHermitReorg keeps Hermit lookups and writes running while
+// forcing TRS-Tree reorganizations, the §4.4/Appendix B protocol.
+func TestConcurrentHermitReorg(t *testing.T) {
+	tb := buildConcurrentTable(t, 3000)
+	spec := workload.SyntheticSpec{}
+	hx := tb.Hermit(spec.TargetCol())
+	if hx == nil {
+		t.Fatal("no hermit index")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gen := workload.QueryGen(0, workload.SyntheticSpan, 0.05, 11)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := gen()
+			if _, _, err := tb.RangeQuery(spec.TargetCol(), q.Lo, q.Hi); err != nil {
+				t.Errorf("lookup during reorg: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			pk := float64(100000 + i)
+			c := float64(i % 1000)
+			// Uncorrelated colB values land in outlier buffers and trigger
+			// reorganization candidates.
+			if _, err := tb.Insert([]float64{pk, 9e6, c, 0}); err != nil {
+				t.Errorf("insert during reorg: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := hx.Tree().ReorgOnce(hx.Source()); err != nil {
+			t.Fatalf("reorg: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

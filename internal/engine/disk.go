@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -51,12 +52,12 @@ func OpenDiskTable(dir string, cols []string, pkCol int, poolPages int) (*DiskTa
 	}, nil
 }
 
-// Close flushes dirty pages and closes the file.
+// Close flushes dirty pages and closes the file. The file is closed even
+// when the flush fails (e.g. ErrDirtyPinned from a page still pinned), so
+// the descriptor never leaks; both errors are reported.
 func (t *DiskTable) Close() error {
-	if err := t.pool.FlushAll(); err != nil {
-		return err
-	}
-	return t.pgr.Close()
+	flushErr := t.pool.FlushAll()
+	return errors.Join(flushErr, t.pgr.Close())
 }
 
 // SetProfile toggles per-phase query timing.

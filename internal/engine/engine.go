@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hermit/internal/btree"
@@ -31,9 +32,12 @@ var (
 	ErrDupKey       = errors.New("engine: duplicate primary key")
 )
 
-// DB is a catalog of tables sharing one tuple-identifier scheme.
+// DB is a catalog of tables sharing one tuple-identifier scheme. The
+// catalog map has its own latch so tables can be created while other
+// tables serve queries.
 type DB struct {
 	scheme hermit.PointerScheme
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -48,6 +52,8 @@ func (db *DB) Scheme() hermit.PointerScheme { return db.scheme }
 // CreateTable registers a table with the given column names; pkCol is the
 // primary-key column, which receives a primary index automatically.
 func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return nil, ErrDupTable
 	}
@@ -55,18 +61,23 @@ func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error)
 		return nil, ErrNoSuchColumn
 	}
 	t := &Table{
-		name:      name,
-		cols:      append([]string(nil), cols...),
-		pkCol:     pkCol,
-		scheme:    db.scheme,
-		store:     storage.NewTable(len(cols)),
-		primary:   btree.New(btree.DefaultOrder),
-		secondary: make(map[int]*btree.Tree),
-		hermits:   make(map[int]*hermit.Index),
-		cms:       make(map[int]*cm.Index),
-		hostOf:    make(map[int]int),
-		cmHostOf:  make(map[int]int),
-		newCols:   make(map[int]bool),
+		name:         name,
+		cols:         append([]string(nil), cols...),
+		pkCol:        pkCol,
+		scheme:       db.scheme,
+		store:        storage.NewTable(len(cols)),
+		primary:      btree.New(btree.DefaultOrder),
+		secondary:    make(map[int]*btree.Tree),
+		hermits:      make(map[int]*hermit.Index),
+		cms:          make(map[int]*cm.Index),
+		hostOf:       make(map[int]int),
+		cmHostOf:     make(map[int]int),
+		newCols:      make(map[int]bool),
+		secondaryMu:  newLatchSet[int](),
+		cmMu:         newLatchSet[int](),
+		compositeMu:  newLatchSet[colPair](),
+		hermitHostMu: make(map[int]*sync.RWMutex),
+		cmHostMu:     make(map[int]*sync.RWMutex),
 	}
 	db.tables[name] = t
 	return t, nil
@@ -74,6 +85,8 @@ func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error)
 
 // Table returns the named table.
 func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
@@ -108,11 +121,29 @@ type Table struct {
 	// insert-cost breakdown (as opposed to pre-existing host indexes).
 	newCols map[int]bool
 
-	// mu provides single-writer/multi-reader latching over the table's
-	// index structures (the B+-trees are not internally synchronised; the
-	// TRS-Trees latch themselves for reorganization).
-	mu      sync.RWMutex
-	profile bool
+	// Concurrency control (see latches.go for the full protocol): catalog
+	// guards the index maps above against DDL; rows serialises same-key
+	// row mutations; primaryMu and the latch sets give every unsynchronised
+	// index structure its own reader/writer latch, so concurrent readers on
+	// different indexes never contend and writers only block the structures
+	// they touch. TRS-Trees (inside Hermit indexes) latch themselves.
+	catalog     sync.RWMutex
+	rows        stripedLock
+	primaryMu   sync.RWMutex
+	secondaryMu latchSet[int]
+	cmMu        latchSet[int]
+	compositeMu latchSet[colPair]
+
+	// hermitHostMu / cmHostMu record, per target column, the latch of the
+	// structure its index was bound to at creation time (the host column's
+	// secondary B+-tree, or the primary index when the primary key hosts).
+	// Bound at creation — resolving the latch dynamically would pick up a
+	// B+-tree created later on the host column while the lookup still
+	// scans the originally bound structure.
+	hermitHostMu map[int]*sync.RWMutex
+	cmHostMu     map[int]*sync.RWMutex
+
+	profile atomic.Bool
 }
 
 // Name returns the table name.
@@ -131,7 +162,7 @@ func (t *Table) Len() int { return t.store.Len() }
 func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
 
 // SetProfile toggles per-phase timing on queries and inserts.
-func (t *Table) SetProfile(on bool) { t.profile = on }
+func (t *Table) SetProfile(on bool) { t.profile.Store(on) }
 
 // colIndex resolves a column name.
 func (t *Table) colIndex(name string) (int, error) {
@@ -171,22 +202,38 @@ func (t *Table) InsertProfiled(row []float64) (storage.RID, InsertStats, error) 
 }
 
 func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var st InsertStats
+	// Validate the width up front: row[t.pkCol] below must not panic on a
+	// short row (e.g. a malformed ExecuteBatch op).
+	if len(row) != len(t.cols) {
+		return 0, st, storage.ErrBadRow
+	}
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	profile := t.profile.Load()
+
 	var t0 time.Time
-	if t.profile {
+	if profile {
 		t0 = time.Now()
 	}
-	if _, dup := t.primary.First(row[t.pkCol]); dup {
-		return 0, st, fmt.Errorf("%w: %v", ErrDupKey, row[t.pkCol])
+	pk := row[t.pkCol]
+	// The stripe serialises check-then-act sequences on the same key (here
+	// the duplicate check against the primary index).
+	defer t.rows.lock(pk)()
+	t.primaryMu.RLock()
+	_, dup := t.primary.First(pk)
+	t.primaryMu.RUnlock()
+	if dup {
+		return 0, st, fmt.Errorf("%w: %v", ErrDupKey, pk)
 	}
 	rid, err := t.store.Insert(row)
 	if err != nil {
 		return 0, st, err
 	}
-	t.primary.Insert(row[t.pkCol], uint64(rid))
-	if t.profile {
+	t.primaryMu.Lock()
+	t.primary.Insert(pk, uint64(rid))
+	t.primaryMu.Unlock()
+	if profile {
 		st.Table = time.Since(t0)
 		t0 = time.Now()
 	}
@@ -194,10 +241,10 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 	// Pre-existing complete indexes (e.g. the host index).
 	for col, tr := range t.secondary {
 		if !t.newCols[col] {
-			tr.Insert(row[col], id)
+			t.withSecondary(col, func() { tr.Insert(row[col], id) })
 		}
 	}
-	if t.profile {
+	if profile {
 		st.Existing = time.Since(t0)
 		t0 = time.Now()
 	}
@@ -205,33 +252,62 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 	// indexes, and Correlation Maps.
 	for col, tr := range t.secondary {
 		if t.newCols[col] {
-			tr.Insert(row[col], id)
+			t.withSecondary(col, func() { tr.Insert(row[col], id) })
 		}
 	}
 	for col, hx := range t.hermits {
-		hx.Insert(rid, row[col], row[t.hostOf[col]])
+		hx.Insert(rid, row[col], row[t.hostOf[col]]) // TRS-Tree self-latches
 	}
 	for col, cx := range t.cms {
-		cx.Insert(row[col], row[t.cmHostOf[col]])
+		t.withCM(col, func() { cx.Insert(row[col], row[t.cmHostOf[col]]) })
 	}
 	for key, tr := range t.composites {
-		tr.Insert(row[key[0]], row[key[1]], uint64(rid))
+		t.withComposite(key, func() { tr.Insert(row[key[0]], row[key[1]], uint64(rid)) })
 	}
 	for key, hx := range t.compositeHermits {
 		hx.Insert(rid, row[key[1]], row[t.compositeHostOf[key]])
 	}
-	if t.profile {
+	if profile {
 		st.New = time.Since(t0)
 	}
 	return rid, st, nil
 }
 
+// withLatch runs fn holding a structure's write latch.
+func withLatch(mu *sync.RWMutex, fn func()) {
+	mu.Lock()
+	fn()
+	mu.Unlock()
+}
+
+// withSecondary runs fn holding col's secondary-index write latch.
+func (t *Table) withSecondary(col int, fn func()) { withLatch(t.secondaryMu.get(col), fn) }
+
+// withCM runs fn holding col's Correlation Map write latch.
+func (t *Table) withCM(col int, fn func()) { withLatch(t.cmMu.get(col), fn) }
+
+// withComposite runs fn holding the composite index write latch for key.
+func (t *Table) withComposite(key colPair, fn func()) { withLatch(t.compositeMu.get(key), fn) }
+
+// hostLatchFor returns the latch to bind for an index hosted on hostCol:
+// the host column's secondary B+-tree latch, or the primary latch when the
+// lookup will scan the primary index (host == t.primary).
+func (t *Table) hostLatchFor(hostCol int, host *btree.Tree) *sync.RWMutex {
+	if mu := t.secondaryMu.get(hostCol); mu != nil && host != t.primary {
+		return mu
+	}
+	return &t.primaryMu
+}
+
 // Delete removes the row with the given primary key, maintaining all
 // indexes. It reports whether the key existed.
 func (t *Table) Delete(pk float64) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	defer t.rows.lock(pk)()
+	t.primaryMu.RLock()
 	v, ok := t.primary.First(pk)
+	t.primaryMu.RUnlock()
 	if !ok {
 		return false, nil
 	}
@@ -242,21 +318,23 @@ func (t *Table) Delete(pk float64) (bool, error) {
 	}
 	id := t.identify(rid, row)
 	for col, tr := range t.secondary {
-		tr.Delete(row[col], id)
+		t.withSecondary(col, func() { tr.Delete(row[col], id) })
 	}
 	for col, hx := range t.hermits {
 		hx.Delete(rid, row[col], row[t.hostOf[col]])
 	}
 	for col, cx := range t.cms {
-		cx.Delete(row[col], row[t.cmHostOf[col]])
+		t.withCM(col, func() { cx.Delete(row[col], row[t.cmHostOf[col]]) })
 	}
 	for key, tr := range t.composites {
-		tr.Delete(row[key[0]], row[key[1]], uint64(rid))
+		t.withComposite(key, func() { tr.Delete(row[key[0]], row[key[1]], uint64(rid)) })
 	}
 	for key, hx := range t.compositeHermits {
 		hx.Delete(rid, row[key[1]], row[t.compositeHostOf[key]])
 	}
+	t.primaryMu.Lock()
 	t.primary.Delete(pk, uint64(rid))
+	t.primaryMu.Unlock()
 	if err := t.store.Delete(rid); err != nil {
 		return false, err
 	}
@@ -265,11 +343,19 @@ func (t *Table) Delete(pk float64) (bool, error) {
 
 // UpdateColumn changes one column of the row with the given primary key,
 // maintaining indexes on that column (as a secondary key, as a Hermit
-// target, or as a Hermit/CM host).
+// target, or as a Hermit/CM host). The primary-key column itself cannot
+// be changed — the primary index and the per-key write stripes are keyed
+// by it; delete and re-insert instead.
 func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	if col == t.pkCol {
+		return fmt.Errorf("engine: update: cannot change primary-key column %q (delete and re-insert)", t.cols[col])
+	}
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	defer t.rows.lock(pk)()
+	t.primaryMu.RLock()
 	rv, ok := t.primary.First(pk)
+	t.primaryMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("engine: update: no row with pk %v", pk)
 	}
@@ -287,8 +373,10 @@ func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
 	}
 	id := t.identify(rid, row)
 	if tr, ok := t.secondary[col]; ok {
-		tr.Delete(old, id)
-		tr.Insert(v, id)
+		t.withSecondary(col, func() {
+			tr.Delete(old, id)
+			tr.Insert(v, id)
+		})
 	}
 	// col as Hermit target: host value unchanged, target moved — reindex.
 	if hx, ok := t.hermits[col]; ok {
@@ -303,8 +391,40 @@ func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
 	}
 	for target, host := range t.cmHostOf {
 		if host == col {
-			t.cms[target].Delete(row[target], old)
-			t.cms[target].Insert(row[target], v)
+			t.withCM(target, func() {
+				t.cms[target].Delete(row[target], old)
+				t.cms[target].Insert(row[target], v)
+			})
+		}
+	}
+	// col in a composite index, as either component: reindex the pair.
+	for key, tr := range t.composites {
+		if key[0] != col && key[1] != col {
+			continue
+		}
+		newA, newB := row[key[0]], row[key[1]]
+		if key[0] == col {
+			newA = v
+		} else {
+			newB = v
+		}
+		t.withComposite(key, func() {
+			tr.Delete(row[key[0]], row[key[1]], uint64(rid))
+			tr.Insert(newA, newB, uint64(rid))
+		})
+	}
+	// col in a composite Hermit index: as target (key[1]) or as host. The
+	// leading column key[0] is not stored in the TRS-Tree (lookups resolve
+	// it through the hosting composite index, reindexed above).
+	for key, hx := range t.compositeHermits {
+		hostCol := t.compositeHostOf[key]
+		switch col {
+		case key[1]:
+			hx.Delete(rid, old, row[hostCol])
+			hx.Insert(rid, v, row[hostCol])
+		case hostCol:
+			hx.Delete(rid, row[key[1]], old)
+			hx.Insert(rid, row[key[1]], v)
 		}
 	}
 	return t.store.Set(rid, col, v)

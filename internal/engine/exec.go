@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hermit/internal/storage"
+)
+
+// This file is the batched executor: a worker pool that drains a slice of
+// operations across goroutines, relying on the engine's fine-grained
+// latching (latches.go) for correctness. It is the serving surface a real
+// deployment would put behind a network front end, and the machinery the
+// concurrency benchmark drives.
+
+// OpKind selects what an Op does.
+type OpKind int
+
+const (
+	// OpRange is a single-column range query (Col, Lo, Hi).
+	OpRange OpKind = iota
+	// OpPoint is a single-column equality query (Col, Lo).
+	OpPoint
+	// OpRange2 is a conjunctive two-column range query
+	// (Col, Lo, Hi) AND (BCol, BLo, BHi).
+	OpRange2
+	// OpInsert appends Row to the table.
+	OpInsert
+	// OpDelete removes the row with primary key PK.
+	OpDelete
+	// OpUpdate sets column Col of the row with primary key PK to Value.
+	OpUpdate
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRange:
+		return "range"
+	case OpPoint:
+		return "point"
+	case OpRange2:
+		return "range2"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return "update"
+	}
+}
+
+// Op is one operation in a batch.
+type Op struct {
+	// Table names the target table (DB.ExecuteBatch only; Table-level
+	// batches ignore it).
+	Table string
+	Kind  OpKind
+
+	// Query operands.
+	Col    int
+	Lo, Hi float64
+	// Second predicate for OpRange2.
+	BCol     int
+	BLo, BHi float64
+
+	// Write operands.
+	Row   []float64 // OpInsert
+	PK    float64   // OpDelete, OpUpdate
+	Value float64   // OpUpdate
+}
+
+// OpResult is the outcome of one Op, at the batch position of its Op.
+type OpResult struct {
+	// RIDs holds the matching tuples of a query.
+	RIDs []storage.RID
+	// Stats describes a query's execution.
+	Stats QueryStats
+	// RID is the location of an inserted row.
+	RID storage.RID
+	// Found reports whether an OpDelete removed a row.
+	Found bool
+	// Err is the per-operation failure, if any.
+	Err error
+}
+
+// runOps drains ops[next..] across workers goroutines, resolving each Op's
+// table through lookup and writing results in order.
+func runOps(ops []Op, workers int, lookup func(name string) (*Table, error)) []OpResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	results := make([]OpResult, len(ops))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				tb, err := lookup(ops[i].Table)
+				if err != nil {
+					results[i] = OpResult{Err: err}
+					continue
+				}
+				results[i] = tb.execOp(ops[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// execOp dispatches one operation against the table.
+func (t *Table) execOp(op Op) OpResult {
+	var r OpResult
+	switch op.Kind {
+	case OpRange:
+		r.RIDs, r.Stats, r.Err = t.RangeQuery(op.Col, op.Lo, op.Hi)
+	case OpPoint:
+		r.RIDs, r.Stats, r.Err = t.PointQuery(op.Col, op.Lo)
+	case OpRange2:
+		r.RIDs, r.Stats, r.Err = t.RangeQuery2(op.Col, op.Lo, op.Hi, op.BCol, op.BLo, op.BHi)
+	case OpInsert:
+		r.RID, r.Err = t.Insert(op.Row)
+	case OpDelete:
+		r.Found, r.Err = t.Delete(op.PK)
+	case OpUpdate:
+		r.Err = t.UpdateColumn(op.PK, op.Col, op.Value)
+	default:
+		r.Err = fmt.Errorf("engine: unknown op kind %d", op.Kind)
+	}
+	return r
+}
+
+// ExecuteBatch runs a batch of operations across tables on a pool of
+// workers goroutines (<= 0 selects GOMAXPROCS). Results are positionally
+// aligned with ops; per-operation failures land in OpResult.Err rather
+// than aborting the batch. Operations in one batch may be reordered by
+// scheduling — callers needing an order between two ops must put them in
+// separate batches.
+func (db *DB) ExecuteBatch(ops []Op, workers int) []OpResult {
+	return runOps(ops, workers, db.Table)
+}
+
+// ExecuteBatch runs a batch of operations against this table; Op.Table is
+// ignored. See DB.ExecuteBatch.
+func (t *Table) ExecuteBatch(ops []Op, workers int) []OpResult {
+	return runOps(ops, workers, func(string) (*Table, error) { return t, nil })
+}
+
+// QueryConcurrent serves a slice of single-column range queries on a pool
+// of workers goroutines. It is the read-only fast path of ExecuteBatch:
+// queries on different indexes proceed without contention.
+func (t *Table) QueryConcurrent(queries []RangeReq, workers int) []OpResult {
+	ops := make([]Op, len(queries))
+	for i, q := range queries {
+		ops[i] = Op{Kind: OpRange, Col: q.Col, Lo: q.Lo, Hi: q.Hi}
+	}
+	return t.ExecuteBatch(ops, workers)
+}
+
+// RangeReq is one single-column range predicate for QueryConcurrent.
+type RangeReq struct {
+	Col    int
+	Lo, Hi float64
+}

@@ -19,8 +19,8 @@ func (t *Table) CreateBTreeIndex(col int, markNew bool) (*btree.Tree, error) {
 	if col < 0 || col >= len(t.cols) {
 		return nil, ErrNoSuchColumn
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.catalog.Lock()
+	defer t.catalog.Unlock()
 	if _, dup := t.secondary[col]; dup {
 		return nil, ErrDupIndex
 	}
@@ -51,6 +51,7 @@ func (t *Table) CreateBTreeIndex(col int, markNew bool) (*btree.Tree, error) {
 		return nil, err
 	}
 	t.secondary[col] = tr
+	t.secondaryMu.add(col)
 	if markNew {
 		t.newCols[col] = true
 	}
@@ -88,8 +89,8 @@ func (t *Table) CreateHermitIndex(col, hostCol int, opts ...HermitOption) (*herm
 	if col < 0 || col >= len(t.cols) || hostCol < 0 || hostCol >= len(t.cols) {
 		return nil, ErrNoSuchColumn
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.catalog.Lock()
+	defer t.catalog.Unlock()
 	if _, dup := t.hermits[col]; dup {
 		return nil, ErrDupIndex
 	}
@@ -129,6 +130,8 @@ func (t *Table) CreateHermitIndex(col, hostCol int, opts ...HermitOption) (*herm
 	}
 	t.hermits[col] = hx
 	t.hostOf[col] = hostCol
+	// Bind the latch of the structure the lookup will actually scan.
+	t.hermitHostMu[col] = t.hostLatchFor(hostCol, host)
 	return hx, nil
 }
 
@@ -138,10 +141,12 @@ func (t *Table) CreateHermitIndex(col, hostCol int, opts ...HermitOption) (*herm
 // Hermit index on the best host, otherwise it falls back to a complete
 // B+-tree. It returns the kind actually built.
 func (t *Table) CreateIndexAuto(col int, disc correlation.Config, opts ...HermitOption) (IndexKind, error) {
+	t.catalog.RLock()
 	hosts := make([]int, 0, len(t.secondary))
 	for hc := range t.secondary {
 		hosts = append(hosts, hc)
 	}
+	t.catalog.RUnlock()
 	if t.scheme == hermit.PhysicalPointers {
 		hosts = append(hosts, t.pkCol)
 	}
@@ -169,8 +174,8 @@ func (t *Table) CreateCMIndex(col, hostCol int, cfg cm.Config) (*cm.Index, error
 	if col < 0 || col >= len(t.cols) || hostCol < 0 || hostCol >= len(t.cols) {
 		return nil, ErrNoSuchColumn
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.catalog.Lock()
+	defer t.catalog.Unlock()
 	if _, dup := t.cms[col]; dup {
 		return nil, ErrDupIndex
 	}
@@ -190,7 +195,9 @@ func (t *Table) CreateCMIndex(col, hostCol int, cfg cm.Config) (*cm.Index, error
 		return nil, err
 	}
 	t.cms[col] = cx
+	t.cmMu.add(col)
 	t.cmHostOf[col] = hostCol
+	t.cmHostMu[col] = t.hostLatchFor(hostCol, host)
 	return cx, nil
 }
 
@@ -229,6 +236,13 @@ func (k IndexKind) String() string {
 // IndexOn reports which index kind serves queries on col (the routing
 // priority Lookup uses).
 func (t *Table) IndexOn(col int) IndexKind {
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	return t.indexOnLocked(col)
+}
+
+// indexOnLocked is IndexOn with t.catalog already held.
+func (t *Table) indexOnLocked(col int) IndexKind {
 	switch {
 	case t.hermits[col] != nil:
 		return KindHermit
@@ -244,13 +258,25 @@ func (t *Table) IndexOn(col int) IndexKind {
 }
 
 // Hermit returns the Hermit index on col, if any.
-func (t *Table) Hermit(col int) *hermit.Index { return t.hermits[col] }
+func (t *Table) Hermit(col int) *hermit.Index {
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	return t.hermits[col]
+}
 
 // Secondary returns the complete B+-tree index on col, if any.
-func (t *Table) Secondary(col int) *btree.Tree { return t.secondary[col] }
+func (t *Table) Secondary(col int) *btree.Tree {
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	return t.secondary[col]
+}
 
 // CM returns the Correlation Map index on col, if any.
-func (t *Table) CM(col int) *cm.Index { return t.cms[col] }
+func (t *Table) CM(col int) *cm.Index {
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+	return t.cms[col]
+}
 
 // MemoryStats is the storage breakdown the paper's memory figures report.
 type MemoryStats struct {
@@ -267,29 +293,42 @@ func (m MemoryStats) Total() uint64 {
 
 // Memory returns the table's memory breakdown.
 func (t *Table) Memory() MemoryStats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
 	var m MemoryStats
 	m.TableBytes = t.store.SizeBytes()
+	t.primaryMu.RLock()
 	m.PrimaryBytes = t.primary.SizeBytes()
+	t.primaryMu.RUnlock()
 	for col, tr := range t.secondary {
+		mu := t.secondaryMu.get(col)
+		mu.RLock()
+		sz := tr.SizeBytes()
+		mu.RUnlock()
 		if t.newCols[col] {
-			m.NewBytes += tr.SizeBytes()
+			m.NewBytes += sz
 		} else {
-			m.ExistingBytes += tr.SizeBytes()
+			m.ExistingBytes += sz
 		}
 	}
 	for _, hx := range t.hermits {
-		m.NewBytes += hx.SizeBytes()
+		m.NewBytes += hx.SizeBytes() // TRS-Tree self-latches
 	}
-	for _, cx := range t.cms {
+	for col, cx := range t.cms {
+		mu := t.cmMu.get(col)
+		mu.RLock()
 		m.NewBytes += cx.SizeBytes()
+		mu.RUnlock()
 	}
 	for key, tr := range t.composites {
+		mu := t.compositeMu.get(key)
+		mu.RLock()
+		sz := tr.SizeBytes()
+		mu.RUnlock()
 		if t.compositeNew[key] {
-			m.NewBytes += tr.SizeBytes()
+			m.NewBytes += sz
 		} else {
-			m.ExistingBytes += tr.SizeBytes()
+			m.ExistingBytes += sz
 		}
 	}
 	for _, hx := range t.compositeHermits {

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"math"
+	"sync"
+)
+
+// The engine's concurrency protocol (this file plus the call sites in
+// engine.go, query.go, indexes.go and composite.go):
+//
+//   - t.catalog (RWMutex) guards the *catalog*: the index maps and their
+//     latch maps. Index creation takes it exclusively; every row operation
+//     and query takes it shared, so queries and writes never wait on each
+//     other here — only on DDL.
+//   - One latch per index structure. The B+-trees (primary, secondary,
+//     composite) and Correlation Maps are not internally synchronised, so
+//     each carries its own RWMutex; readers of different indexes share
+//     nothing. TRS-Trees latch themselves (see trstree), so Hermit indexes
+//     need no engine latch for the tree — only for the host structures
+//     their lookups traverse.
+//   - t.rows is a striped writer lock keyed by primary key. It serialises
+//     logical row operations (insert/delete/update) on the same key — the
+//     check-then-act sequences such as duplicate-key detection — while
+//     writes to different keys proceed in parallel and only serialise
+//     briefly on the individual structure latches they touch.
+//   - The row store (storage.Table) has its own internal latch and is
+//     always the innermost lock.
+//
+// Lock ordering (outer to inner): catalog -> row stripe -> index latch
+// (secondary/cm/composite before primary) -> store. Writers hold at most
+// one index latch at a time; readers may hold a host-index latch and the
+// primary latch together, always acquiring the primary latch last.
+
+// stripeBits sizes the striped writer lock: lockStripes = 2^stripeBits.
+// stripeOf takes the top stripeBits of the mixed hash (Fibonacci hashing
+// concentrates entropy in the high bits), so the two constants must move
+// together — hence the derivation.
+const (
+	stripeBits  = 6
+	lockStripes = 1 << stripeBits
+)
+
+// stripedLock serialises row mutations per primary key.
+type stripedLock struct {
+	stripes [lockStripes]sync.Mutex
+}
+
+// lock acquires the stripe covering pk and returns its unlock function.
+func (s *stripedLock) lock(pk float64) func() {
+	m := &s.stripes[stripeOf(pk)]
+	m.Lock()
+	return m.Unlock
+}
+
+// stripeOf hashes a primary key to a stripe index. Keys are float64s, so
+// the hash mixes the raw bits (Fibonacci multiplicative hashing); +0 and
+// -0 compare equal as keys and must map to the same stripe.
+func stripeOf(pk float64) uint64 {
+	if pk == 0 {
+		return 0 // ±0 compare equal as keys; normalise to one stripe
+	}
+	b := math.Float64bits(pk)
+	return (b * 0x9e3779b97f4a7c15) >> (64 - stripeBits)
+}
+
+// latchSet hands out one RWMutex per index structure. Entries are created
+// under the catalog write latch (index creation) and only read afterwards.
+type latchSet[K comparable] struct {
+	m map[K]*sync.RWMutex
+}
+
+func newLatchSet[K comparable]() latchSet[K] {
+	return latchSet[K]{m: make(map[K]*sync.RWMutex)}
+}
+
+// add registers a latch for key; called with t.catalog held exclusively.
+func (l *latchSet[K]) add(key K) *sync.RWMutex {
+	if l.m == nil {
+		l.m = make(map[K]*sync.RWMutex)
+	}
+	mu := &sync.RWMutex{}
+	l.m[key] = mu
+	return mu
+}
+
+// get returns the latch for key; called with t.catalog held (shared is
+// enough — the map is immutable between DDL operations).
+func (l *latchSet[K]) get(key K) *sync.RWMutex { return l.m[key] }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"time"
 
 	"hermit/internal/hermit"
@@ -33,21 +34,40 @@ func (q QueryStats) FalsePositiveRatio() float64 {
 
 // RangeQuery returns the RIDs of rows with lo <= col <= hi, routed through
 // the best available index: Hermit, then CM, then a complete B+-tree, then
-// the primary index, then a full scan.
+// the primary index, then a full scan. Queries hold only the catalog read
+// latch (shared with all other queries and writers) plus the read latch of
+// the index structures they traverse, so concurrent queries on different
+// indexes do not contend.
 func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	if col < 0 || col >= len(t.cols) {
 		return nil, QueryStats{}, ErrNoSuchColumn
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
 	return t.rangeQueryLocked(col, lo, hi)
 }
 
-// rangeQueryLocked routes a single-column predicate; t.mu is held.
+// rangeQueryLocked routes a single-column predicate; t.catalog is held
+// shared.
 func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
-	switch kind := t.IndexOn(col); kind {
+	switch kind := t.indexOnLocked(col); kind {
 	case KindHermit:
+		// The Hermit lookup traverses its self-latching TRS-Tree, then the
+		// host index, then (under logical pointers) the primary index; the
+		// latter two are engine-latched. Acquire host before primary — the
+		// reader-side lock order writers never invert (latches.go).
+		hostMu := t.hermitHostMu[col]
+		hostMu.RLock()
+		var pMu *sync.RWMutex
+		if t.scheme == hermit.LogicalPointers && hostMu != &t.primaryMu {
+			pMu = &t.primaryMu
+			pMu.RLock()
+		}
 		res := t.hermits[col].Lookup(lo, hi)
+		if pMu != nil {
+			pMu.RUnlock()
+		}
+		hostMu.RUnlock()
 		return res.RIDs, QueryStats{
 			Kind:       kind,
 			Rows:       len(res.RIDs),
@@ -55,14 +75,22 @@ func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryS
 			Breakdown:  res.Breakdown,
 		}, nil
 	case KindCM:
+		// CM lookups read the bucket map and scan the host index (CM is
+		// physical-pointers only, so no primary hop).
+		cmMu := t.cmMu.get(col)
+		cmMu.RLock()
+		hostMu := t.cmHostMu[col]
+		hostMu.RLock()
 		res := t.cms[col].Lookup(lo, hi)
+		hostMu.RUnlock()
+		cmMu.RUnlock()
 		return res.RIDs, QueryStats{
 			Kind:       kind,
 			Rows:       len(res.RIDs),
 			Candidates: res.Candidates,
 		}, nil
 	case KindBTree:
-		return t.baselineRange(t.secondary[col], kind, lo, hi)
+		return t.baselineRange(t.secondary[col], t.secondaryMu.get(col), kind, lo, hi)
 	case KindPrimary:
 		return t.primaryRange(lo, hi)
 	default:
@@ -77,33 +105,38 @@ func (t *Table) PointQuery(col int, v float64) ([]storage.RID, QueryStats, error
 
 // baselineRange executes the conventional secondary-index plan: index scan,
 // optional primary-index resolution (logical pointers), base-table fetch.
-// This is the Baseline of every figure.
+// This is the Baseline of every figure. mu is the scanned index's latch.
 func (t *Table) baselineRange(idx interface {
 	Scan(lo, hi float64, fn func(key float64, id uint64) bool)
-}, kind IndexKind, lo, hi float64) ([]storage.RID, QueryStats, error) {
+}, mu *sync.RWMutex, kind IndexKind, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: kind}
+	profile := t.profile.Load()
 	var t0 time.Time
-	if t.profile {
+	if profile {
 		t0 = time.Now()
 	}
 	var ids []uint64
+	mu.RLock()
 	idx.Scan(lo, hi, func(_ float64, id uint64) bool {
 		ids = append(ids, id)
 		return true
 	})
-	if t.profile {
+	mu.RUnlock()
+	if profile {
 		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
 		t0 = time.Now()
 	}
 	var rids []storage.RID
 	if t.scheme == hermit.LogicalPointers {
 		rids = make([]storage.RID, 0, len(ids))
+		t.primaryMu.RLock()
 		for _, pk := range ids {
 			if v, ok := t.primary.First(float64(pk)); ok {
 				rids = append(rids, storage.RID(v))
 			}
 		}
-		if t.profile {
+		t.primaryMu.RUnlock()
+		if profile {
 			st.Breakdown[hermit.PhasePrimaryIndex] += time.Since(t0)
 			t0 = time.Now()
 		}
@@ -122,7 +155,7 @@ func (t *Table) baselineRange(idx interface {
 			out = append(out, rid)
 		}
 	}
-	if t.profile {
+	if profile {
 		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
 	}
 	st.Rows = len(out)
@@ -130,16 +163,30 @@ func (t *Table) baselineRange(idx interface {
 	return out, st, nil
 }
 
-// primaryRange serves range queries on the primary-key column.
+// primaryRange serves range queries on the primary-key column. The
+// base-table touch doubles as a liveness filter: a concurrent Delete that
+// completes after the primary latch is released below can tombstone rows
+// whose RIDs were already harvested into rids. (Delete removes the primary
+// entry before tombstoning the store row, so a held latch never observes a
+// primary entry pointing at a tombstone — the window is entirely in this
+// local buffer.)
 func (t *Table) primaryRange(lo, hi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindPrimary}
 	var rids []storage.RID
+	t.primaryMu.RLock()
 	t.primary.Scan(lo, hi, func(_ float64, v uint64) bool {
 		rids = append(rids, storage.RID(v))
 		return true
 	})
-	st.Rows, st.Candidates = len(rids), len(rids)
-	return rids, st, nil
+	t.primaryMu.RUnlock()
+	out := rids[:0]
+	for _, rid := range rids {
+		if _, err := t.store.Value(rid, t.pkCol); err == nil {
+			out = append(out, rid)
+		}
+	}
+	st.Rows, st.Candidates = len(out), len(out)
+	return out, st, nil
 }
 
 // scanRange is the unindexed fallback: a full table scan.

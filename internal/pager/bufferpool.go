@@ -143,17 +143,36 @@ func (bp *Pool) Unpin(f *Frame, dirty bool) {
 	}
 }
 
-// FlushAll writes every dirty page back to disk.
+// ErrDirtyPinned reports that FlushAll left dirty pinned pages unwritten.
+var ErrDirtyPinned = errors.New("pager: dirty pinned pages not flushed")
+
+// FlushAll writes every unpinned dirty page back to disk. Pinned pages are
+// skipped — their holders may be mutating Data concurrently, so writing
+// them here would race (and could persist a torn page); they are flushed
+// on eviction or on a later FlushAll once unpinned. If any dirty pinned
+// page was skipped, FlushAll flushes everything else and then returns
+// ErrDirtyPinned, so shutdown paths (DiskTable.Close) fail loudly instead
+// of silently dropping the unwritten pages; mid-run callers racing active
+// pins may treat that error as retryable.
 func (bp *Pool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	skipped := 0
 	for _, f := range bp.frames {
-		if f.dirty {
-			if err := bp.pager.Write(f.ID, f.Data); err != nil {
-				return err
-			}
-			f.dirty = false
+		if !f.dirty {
+			continue
 		}
+		if f.pins > 0 {
+			skipped++
+			continue
+		}
+		if err := bp.pager.Write(f.ID, f.Data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	if skipped > 0 {
+		return fmt.Errorf("%w: %d page(s) still pinned", ErrDirtyPinned, skipped)
 	}
 	return nil
 }

@@ -150,10 +150,12 @@ func (n *node) width() float64 { return n.hi - n.lo }
 
 // Tree is a TRS-Tree. Create one with Build or BuildParallel.
 //
-// Concurrency: Lookup takes a read latch; Insert/Delete take the read latch
-// too (they mutate disjoint leaf state and the engine serialises writers);
-// reorganization takes the write latch only for the brief install phase
-// (Appendix B's coarse-grained protocol).
+// Concurrency: the tree latches itself. Lookup takes the read latch;
+// Insert/Delete/Update take the write latch (they mutate leaf outlier
+// buffers and counters, and may divert to the reorganization side buffer).
+// Reorganization scans and rebuilds off-latch, parking concurrent writers
+// in a temporal side buffer, and takes the write latch only for the brief
+// install-and-replay phase (Appendix B's coarse-grained protocol).
 type Tree struct {
 	mu     sync.RWMutex
 	params Params
