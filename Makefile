@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-concurrency bench-durability fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ bench: build
 # Concurrency sweep with the machine-readable BENCH_concurrency.json.
 bench-concurrency: build
 	$(GO) run ./cmd/hermit-bench -exp concurrency
+
+# Durability sweep (sync policies + recovery) with BENCH_durability.json.
+bench-durability: build
+	$(GO) run ./cmd/hermit-bench -exp durability
 
 fmt:
 	gofmt -w .

@@ -7,6 +7,7 @@
 //	hermit-bench -exp all -scale 0.05
 //	hermit-bench -exp fig16,fig17,fig18 -scale 0.1 -measure 1s
 //	hermit-bench -exp concurrency -concurrency 16
+//	hermit-bench -exp durability -measure 500ms
 //
 // -scale 1.0 restores the paper's dataset sizes (20M-row synthetic sweeps);
 // the default 0.02 completes the full suite on a laptop in minutes. Shapes

@@ -45,7 +45,15 @@ type (
 	// DiskTable is the disk-based engine (buffer pool + page B+-trees).
 	DiskTable = engine.DiskTable
 	// DurableDB wraps the engine with WAL + checkpoint persistence (§6).
+	// It is safe for concurrent use: mutations must go through its logged
+	// methods (Insert/Delete/UpdateColumn/ExecuteBatch), which coordinate
+	// with Checkpoint and are acknowledged under the configured SyncPolicy.
 	DurableDB = engine.DurableDB
+	// DurableOptions selects a DurableDB's sync policy and group-commit
+	// interval.
+	DurableOptions = engine.DurableOptions
+	// SyncPolicy selects when a durable mutation is acknowledged.
+	SyncPolicy = engine.SyncPolicy
 	// IndexDef records how to rebuild one index during recovery.
 	IndexDef = engine.IndexDef
 	// QueryStats describes one query's execution.
@@ -102,6 +110,17 @@ const (
 	OpUpdate = engine.OpUpdate
 )
 
+// WAL sync policies for DurableDB (see DurableOptions): SyncNever
+// acknowledges after the OS write (default; survives process crashes, not
+// power loss), SyncGroup batches fsyncs across concurrent writers on a
+// commit interval (group commit), SyncAlways fsyncs before acknowledging
+// every mutation.
+const (
+	SyncNever  = engine.SyncNever
+	SyncGroup  = engine.SyncGroup
+	SyncAlways = engine.SyncAlways
+)
+
 // Tuple-identifier schemes (paper §5.1).
 type PointerScheme = hermit.PointerScheme
 
@@ -126,6 +145,9 @@ var (
 	OpenDiskTable = engine.OpenDiskTable
 	// OpenDurable opens a WAL + checkpoint durable database in a directory.
 	OpenDurable = engine.OpenDurable
+	// OpenDurableOptions opens a durable database with an explicit sync
+	// policy (no-sync / group-commit / sync-every-op).
+	OpenDurableOptions = engine.OpenDurableOptions
 	// DefaultParams returns the paper's default TRS-Tree parameters
 	// (fanout 8, max height 10, outlier ratio 0.1, error bound 2).
 	DefaultParams = trstree.DefaultParams

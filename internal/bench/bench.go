@@ -118,6 +118,7 @@ var Registry = []Experiment{
 	{"fig30", "CM vs Hermit memory vs noise (Sigmoid)", Fig30CMSigmoidMemory},
 	{"ablation", "Ablations: sampling, range union, outlier buffer", Ablations},
 	{"concurrency", "Concurrent serving: throughput vs goroutines", RunConcurrency},
+	{"durability", "Durable inserts vs sync policy; recovery vs WAL length", RunDurability},
 }
 
 // ByID returns the experiment with the given id.

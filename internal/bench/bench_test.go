@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
 		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
-		"concurrency",
+		"concurrency", "durability",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -209,6 +209,63 @@ func TestSmokeConcurrency(t *testing.T) {
 	for _, p := range rep.ReadOnly {
 		if p.OpsPerSec <= 0 || p.Speedup <= 0 {
 			t.Fatalf("non-positive throughput in %+v", p)
+		}
+	}
+}
+
+func TestSmokeDurability(t *testing.T) {
+	e, ok := ByID("durability")
+	if !ok {
+		t.Fatal("durability experiment not registered")
+	}
+	cfg := tinyConfig(t)
+	cfg.Concurrency = 4
+	cfg.JSONDir = t.TempDir()
+	buf := &bytes.Buffer{}
+	cfg.Out = buf
+	if err := e.Run(cfg); err != nil {
+		t.Fatalf("durability: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"no-sync", "group-commit", "sync-every-op", "recovery"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("durability output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_durability.json"))
+	if err != nil {
+		t.Fatalf("BENCH_durability.json not written: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Throughput []struct {
+			Policy    string  `json:"policy"`
+			OpsPerSec float64 `json:"ops_per_sec"`
+		} `json:"insert_throughput"`
+		Recovery []struct {
+			WALRecords int     `json:"wal_records"`
+			RecoveryMS float64 `json:"recovery_ms"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_durability.json malformed: %v\n%s", err, data)
+	}
+	if rep.Experiment != "durability" || len(rep.Throughput) != 9 || len(rep.Recovery) != 3 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	seen := map[string]bool{}
+	for _, p := range rep.Throughput {
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("non-positive throughput in %+v", p)
+		}
+		seen[p.Policy] = true
+	}
+	if !seen["no-sync"] || !seen["group-commit"] || !seen["sync-every-op"] {
+		t.Fatalf("missing sync policies: %+v", rep.Throughput)
+	}
+	for _, p := range rep.Recovery {
+		if p.WALRecords <= 0 || p.RecoveryMS <= 0 {
+			t.Fatalf("bad recovery point %+v", p)
 		}
 	}
 }

@@ -7,6 +7,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"hermit/internal/hermit"
 	"hermit/internal/storage"
@@ -16,17 +21,93 @@ import (
 
 // DurableDB wraps the in-memory engine with the persistence scheme §6
 // sketches for main-memory RDBMSs: write-ahead logging plus checkpointing.
-// Every mutation (DML and DDL) is appended to the WAL before it is applied;
-// Checkpoint persists a full image (catalog manifest + row files) and
-// truncates the log; OpenDurable recovers by loading the last checkpoint
-// and replaying the log tail. Indexes — including Hermit's TRS-Trees — are
-// rebuilt from their recorded definitions during recovery, which is the
-// cheap option the paper's construction numbers (§7.5) justify.
+//
+// Concurrency contract: DurableDB is safe for concurrent use. Mutations
+// (Insert/Delete/UpdateColumn and the batched ExecuteBatch) coordinate
+// through a reader/writer latch plus a per-primary-key stripe, so writers
+// on different keys proceed in parallel while Checkpoint and DDL quiesce
+// them; the WAL itself serialises frames through a single appender
+// goroutine with group commit. Queries may use the *Table returned by
+// Table directly — but mutations through that handle bypass both the log
+// and the durable layer's coordination, so they must go through the
+// DurableDB methods.
+//
+// Durability protocol: every mutation is applied to the engine (which
+// validates it) and then appended to the WAL under its key's stripe, so a
+// rejected operation — e.g. a duplicate primary key — never poisons the
+// log, and per-key apply order equals log order. The call returns when the
+// record is acknowledged under the configured sync policy (no-sync /
+// group-commit / sync-every-op); an acknowledged synced write is never
+// lost by a crash.
+//
+// Checkpoint persists a full image under the next checkpoint epoch —
+// per-table row files and a fresh WAL segment, all epoch-stamped — and
+// atomically publishes it by renaming the manifest, which records the
+// (epoch, WAL start position) pair recovery resumes from. Replay therefore
+// never double-applies on top of a checkpoint image: a crash anywhere in
+// Checkpoint leaves either the old manifest (old image + old WAL replayed
+// in full) or the new one (new image + the new, empty segment). Stale
+// epochs are garbage-collected on open and after each checkpoint.
+//
+// OpenDurable recovers by loading the manifest's checkpoint image,
+// truncating the current WAL segment to its last valid frame (so a
+// crash-torn tail can never shadow later appends), and replaying the tail.
+// Records whose replay fails are counted and skipped — surfaced through
+// RecoverySkipped — rather than permanently aborting recovery. Indexes,
+// including Hermit's TRS-Trees, are rebuilt from their recorded
+// definitions, the cheap option the paper's construction numbers (§7.5)
+// justify.
 type DurableDB struct {
-	db     *DB
-	dir    string
-	log    *wal.Log
-	tables map[string]*durableMeta
+	db   *DB
+	dir  string
+	opts DurableOptions
+
+	// mu is the durable layer's latch: mutations hold it shared (plus a
+	// rows stripe); DDL, Checkpoint and Close hold it exclusively. It
+	// protects tables (map and Defs slices) and the log pointer, which
+	// Checkpoint swaps at segment rotation.
+	mu      sync.RWMutex
+	log     *wal.Log
+	epoch   uint64
+	tables  map[string]*durableMeta
+	rows    stripedLock
+	orphans []*wal.Log // pre-rotation logs left open by a simulated crash
+
+	skipped     int
+	lastSkipErr error
+
+	// failpoint, when non-nil, is invoked at every step boundary of
+	// Checkpoint with a step label; a returned error simulates a crash at
+	// that boundary (the checkpoint aborts with the on-disk state exactly
+	// as a process kill would leave it). Test hook only.
+	failpoint func(step string) error
+}
+
+// SyncPolicy selects when a durable mutation is acknowledged.
+type SyncPolicy = wal.Policy
+
+// Sync policies, re-exported from the wal package.
+const (
+	// SyncNever acknowledges after the OS write (fast; survives process
+	// crashes, not power loss). The default.
+	SyncNever = wal.SyncNever
+	// SyncGroup batches fsyncs across concurrent writers (group commit).
+	SyncGroup = wal.SyncGroup
+	// SyncAlways fsyncs before acknowledging each mutation.
+	SyncAlways = wal.SyncAlways
+)
+
+// DurableOptions configures the durability/latency trade-off.
+type DurableOptions struct {
+	// Policy is the WAL sync policy (default SyncNever).
+	Policy SyncPolicy
+	// GroupInterval is the group-commit interval for SyncGroup
+	// (wal.DefaultGroupInterval when zero).
+	GroupInterval time.Duration
+}
+
+func (o DurableOptions) walOptions() wal.Options {
+	return wal.Options{Policy: o.Policy, GroupInterval: o.GroupInterval}
 }
 
 type durableMeta struct {
@@ -45,9 +126,19 @@ type IndexDef struct {
 	Params  trstree.Params `json:"params,omitempty"`
 }
 
+// manifestVersion identifies the epoch-based checkpoint layout.
+const manifestVersion = 2
+
+// manifest is the durably-published checkpoint descriptor. Epoch names the
+// row files and WAL segment of the image; WALStart is the byte offset in
+// that segment where replay begins (0 after a rotation). The pair makes
+// recovery idempotent: replay can never start before the image's cut.
 type manifest struct {
-	Scheme int                     `json:"scheme"`
-	Tables map[string]*durableMeta `json:"tables"`
+	Version  int                     `json:"version"`
+	Scheme   int                     `json:"scheme"`
+	Epoch    uint64                  `json:"epoch"`
+	WALStart int64                   `json:"wal_start"`
+	Tables   map[string]*durableMeta `json:"tables"`
 }
 
 type ddlTable struct {
@@ -59,39 +150,57 @@ type ddlIndex struct {
 	Def IndexDef `json:"def"`
 }
 
-// OpenDurable opens (or creates) a durable database in dir: it loads the
-// last checkpoint if present, replays the WAL tail, and opens the log for
-// appending.
-func (f durablePaths) String() string { return f.dir }
-
 type durablePaths struct{ dir string }
 
+func (f durablePaths) String() string   { return f.dir }
 func (f durablePaths) manifest() string { return filepath.Join(f.dir, "manifest.json") }
-func (f durablePaths) rows(t string) string {
-	return filepath.Join(f.dir, "table_"+t+".rows")
+func (f durablePaths) rows(t string, epoch uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("table_%s.%08d.rows", t, epoch))
 }
-func (f durablePaths) wal() string { return filepath.Join(f.dir, "wal.log") }
+func (f durablePaths) wal(epoch uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("wal.%08d.log", epoch))
+}
 
-// OpenDurable opens the durable database stored in dir.
+// OpenDurable opens (or creates) a durable database in dir with default
+// options: it loads the last checkpoint if present, repairs and replays
+// the WAL tail, and opens the log for appending.
 func OpenDurable(dir string, scheme hermit.PointerScheme) (*DurableDB, error) {
+	return OpenDurableOptions(dir, scheme, DurableOptions{})
+}
+
+// OpenDurableOptions opens the durable database stored in dir with the
+// given sync policy.
+func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOptions) (*DurableDB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	p := durablePaths{dir}
+	// A pre-epoch database stored its WAL at a fixed path; opening it as
+	// epoch 0 would silently ignore every record in it.
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); err == nil {
+		return nil, fmt.Errorf("engine: %s holds a pre-epoch WAL (wal.log); migrate it before opening", dir)
+	}
 	d := &DurableDB{
 		db:     NewDB(scheme),
 		dir:    dir,
+		opts:   opts,
 		tables: make(map[string]*durableMeta),
 	}
 	// Phase 1: checkpoint image.
+	var walStart int64
 	if raw, err := os.ReadFile(p.manifest()); err == nil {
 		var m manifest
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return nil, fmt.Errorf("engine: corrupt manifest: %w", err)
 		}
+		if m.Version != manifestVersion {
+			return nil, fmt.Errorf("engine: checkpoint manifest version %d, want %d", m.Version, manifestVersion)
+		}
 		if m.Scheme != int(scheme) {
 			return nil, fmt.Errorf("engine: checkpoint scheme %d != requested %d", m.Scheme, scheme)
 		}
+		d.epoch = m.Epoch
+		walStart = m.WALStart
 		for name, meta := range m.Tables {
 			if err := d.restoreTable(p, name, meta); err != nil {
 				return nil, err
@@ -100,25 +209,43 @@ func OpenDurable(dir string, scheme hermit.PointerScheme) (*DurableDB, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
-	// Phase 2: WAL tail.
-	if err := wal.Replay(p.wal(), d.apply); err != nil {
+	// Phase 2: replay the WAL tail. Replay stops at the first torn or
+	// corrupt frame on its own; a record that fails to apply is counted
+	// and skipped, never aborting recovery.
+	walPath := p.wal(d.epoch)
+	err := wal.ReplayFrom(walPath, walStart, func(rec wal.Record) error {
+		if aerr := d.apply(rec); aerr != nil {
+			d.skipped++
+			d.lastSkipErr = aerr
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	// Phase 3: open the log for appending.
-	log, err := wal.Open(p.wal())
+	// Phase 3: open the log for appending — wal.OpenWith truncates any
+	// crash-torn tail, which is what keeps post-recovery appends reachable
+	// — and clear stale-epoch leftovers.
+	log, err := wal.OpenWith(walPath, opts.walOptions())
 	if err != nil {
 		return nil, err
 	}
 	d.log = log
+	d.gcStale()
 	return d, nil
 }
+
+// RecoverySkipped reports how many WAL records failed to apply during the
+// last open (with the last such error), e.g. records from a log written by
+// a buggy earlier version. Zero on a clean recovery.
+func (d *DurableDB) RecoverySkipped() (int, error) { return d.skipped, d.lastSkipErr }
 
 func (d *DurableDB) restoreTable(p durablePaths, name string, meta *durableMeta) error {
 	tb, err := d.db.CreateTable(name, meta.Cols, meta.PKCol)
 	if err != nil {
 		return err
 	}
-	rows, err := readRowsFile(p.rows(name), len(meta.Cols))
+	rows, err := readRowsFile(p.rows(name, d.epoch), len(meta.Cols))
 	if err != nil {
 		return err
 	}
@@ -216,123 +343,320 @@ func (d *DurableDB) apply(rec wal.Record) error {
 
 // CreateTable creates and logs a table.
 func (d *DurableDB) CreateTable(name string, cols []string, pkCol int) (*Table, error) {
+	d.mu.Lock()
 	tb, err := d.db.CreateTable(name, cols, pkCol)
 	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
 	d.tables[name] = &durableMeta{Cols: cols, PKCol: pkCol}
 	payload, err := json.Marshal(ddlTable{Cols: cols, PKCol: pkCol})
 	if err != nil {
+		d.mu.Unlock()
 		return nil, err
 	}
-	if err := d.log.Append(wal.Record{Op: wal.OpCreateTable, Table: name, Payload: payload}); err != nil {
+	tk, err := d.log.Submit(wal.Record{Op: wal.OpCreateTable, Table: name, Payload: payload})
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tk.Wait(); err != nil {
 		return nil, err
 	}
 	return tb, nil
 }
 
-// Table returns the named table for querying. Mutations must go through
-// the durable methods below to be logged.
+// Table returns the named table. Queries through it are safe; mutations
+// through it bypass the WAL and the durable layer's latching — use the
+// DurableDB mutation methods instead.
 func (d *DurableDB) Table(name string) (*Table, error) { return d.db.Table(name) }
 
 // CreateIndex creates and logs an index per def.
 func (d *DurableDB) CreateIndex(table string, def IndexDef) error {
+	d.mu.Lock()
 	tb, err := d.db.Table(table)
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	if err := applyIndexDef(tb, def); err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	d.tables[table].Defs = append(d.tables[table].Defs, def)
 	payload, err := json.Marshal(ddlIndex{Def: def})
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
-	return d.log.Append(wal.Record{Op: wal.OpCreateIndex, Table: table, Payload: payload})
+	tk, err := d.log.Submit(wal.Record{Op: wal.OpCreateIndex, Table: table, Payload: payload})
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = tk.Wait()
+	return err
 }
 
-// Insert logs and applies a row insert.
+// mutate applies one validated mutation and logs it, holding the shared
+// latch (vs Checkpoint/DDL) and the primary key's stripe (so per-key log
+// order equals apply order). It returns once the record is acknowledged
+// under the sync policy. A failed apply is returned without logging —
+// validate-then-log, the fix for WAL poisoning.
+func (d *DurableDB) mutate(table string, pk float64, apply func(tb *Table) error, rec func() wal.Record) error {
+	d.mu.RLock()
+	tb, err := d.db.Table(table)
+	if err != nil {
+		d.mu.RUnlock()
+		return err
+	}
+	unlock := d.rows.lock(pk)
+	var tk *wal.Ticket
+	if err = apply(tb); err == nil {
+		if tk, err = d.log.Submit(rec()); err != nil {
+			err = fmt.Errorf("engine: wal submit after apply (in-memory state ahead of log until next checkpoint): %w", err)
+		}
+	}
+	unlock()
+	d.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if _, werr := tk.Wait(); werr != nil {
+		return fmt.Errorf("engine: wal append after apply (in-memory state ahead of log until next checkpoint): %w", werr)
+	}
+	return nil
+}
+
+// Insert validates+applies a row insert, then logs it.
 func (d *DurableDB) Insert(table string, row []float64) (storage.RID, error) {
-	tb, err := d.db.Table(table)
-	if err != nil {
-		return 0, err
+	var pk float64
+	d.mu.RLock()
+	if meta := d.tables[table]; meta != nil && meta.PKCol < len(row) {
+		pk = row[meta.PKCol]
 	}
-	if err := d.log.Append(wal.Record{Op: wal.OpInsert, Table: table, Payload: encodeFloats(row)}); err != nil {
-		return 0, err
-	}
-	return tb.Insert(row)
+	d.mu.RUnlock()
+	var rid storage.RID
+	err := d.mutate(table, pk,
+		func(tb *Table) error {
+			var aerr error
+			rid, aerr = tb.Insert(row)
+			return aerr
+		},
+		func() wal.Record {
+			return wal.Record{Op: wal.OpInsert, Table: table, Payload: encodeFloats(row)}
+		})
+	return rid, err
 }
 
-// Delete logs and applies a delete by primary key.
+// Delete validates+applies a delete by primary key, then logs it. A delete
+// of an absent key is applied but not logged (found=false, no record
+// needed for replay).
 func (d *DurableDB) Delete(table string, pk float64) (bool, error) {
-	tb, err := d.db.Table(table)
-	if err != nil {
-		return false, err
+	var found bool
+	err := d.mutate(table, pk,
+		func(tb *Table) error {
+			var aerr error
+			found, aerr = tb.Delete(pk)
+			if aerr != nil || !found {
+				return errSkipLog{aerr}
+			}
+			return nil
+		},
+		func() wal.Record {
+			return wal.Record{Op: wal.OpDelete, Table: table, Payload: encodeFloats([]float64{pk})}
+		})
+	if e, ok := err.(errSkipLog); ok {
+		return found, e.err
 	}
-	if err := d.log.Append(wal.Record{Op: wal.OpDelete, Table: table, Payload: encodeFloats([]float64{pk})}); err != nil {
-		return false, err
-	}
-	return tb.Delete(pk)
+	return found, err
 }
 
-// UpdateColumn logs and applies a single-column update.
+// errSkipLog aborts logging inside mutate while carrying the apply outcome.
+type errSkipLog struct{ err error }
+
+func (e errSkipLog) Error() string {
+	if e.err == nil {
+		return "engine: not logged"
+	}
+	return e.err.Error()
+}
+
+// UpdateColumn validates+applies a single-column update, then logs it.
 func (d *DurableDB) UpdateColumn(table string, pk float64, col int, v float64) error {
-	tb, err := d.db.Table(table)
-	if err != nil {
-		return err
-	}
-	rec := wal.Record{
-		Op:      wal.OpUpdate,
-		Table:   table,
-		Payload: encodeFloats([]float64{pk, float64(col), v}),
-	}
-	if err := d.log.Append(rec); err != nil {
-		return err
-	}
-	return tb.UpdateColumn(pk, col, v)
+	return d.mutate(table, pk,
+		func(tb *Table) error { return tb.UpdateColumn(pk, col, v) },
+		func() wal.Record {
+			return wal.Record{
+				Op:      wal.OpUpdate,
+				Table:   table,
+				Payload: encodeFloats([]float64{pk, float64(col), v}),
+			}
+		})
 }
 
-// Sync flushes the WAL to stable storage (group-commit boundary).
-func (d *DurableDB) Sync() error { return d.log.Sync() }
+// Sync forces an fsync covering every mutation acknowledged so far — a
+// durability barrier regardless of the configured policy. The latch is
+// held across the fsync so a concurrent Checkpoint cannot rotate (and
+// close) the segment out from under the barrier.
+func (d *DurableDB) Sync() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.log.Sync()
+}
 
-// Checkpoint persists a full image (manifest + per-table row files) and
-// truncates the WAL.
+// fp triggers the checkpoint failpoint hook (tests only; no-op otherwise).
+func (d *DurableDB) fp(step string) error {
+	if d.failpoint != nil {
+		return d.failpoint(step)
+	}
+	return nil
+}
+
+// Checkpoint persists a full image under the next epoch and atomically
+// publishes it. The protocol, with the crash outcome of each window:
+//
+//  1. Quiesce mutations and flush the WAL (crash: old manifest, full
+//     old-WAL replay — nothing lost).
+//  2. Write each table's rows under the next epoch (tmp + fsync + rename;
+//     crash: new-epoch files are unreferenced garbage, GC'd later).
+//  3. Create the next epoch's empty WAL segment (crash: same).
+//  4. Write manifest.tmp and rename it over manifest.json, fsyncing file
+//     and directory — the commit point. A crash before the rename recovers
+//     the old epoch in full; after it, the new image plus the new (empty)
+//     segment. Replay can never be applied on top of the wrong image, so
+//     recovery never double-applies.
+//  5. Switch appending to the new segment and delete stale-epoch files
+//     (crash: recovery GCs them instead).
 func (d *DurableDB) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	p := durablePaths{d.dir}
+	if err := d.fp("begin"); err != nil {
+		return err
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	if err := d.fp("after-wal-sync"); err != nil {
+		return err
+	}
+	next := d.epoch + 1
+	names := make([]string, 0, len(d.tables))
 	for name := range d.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		tb, err := d.db.Table(name)
 		if err != nil {
 			return err
 		}
-		if err := writeRowsFile(p.rows(name), tb.Store()); err != nil {
+		if err := writeRowsFile(p.rows(name, next), tb.Store()); err != nil {
+			return err
+		}
+		if err := d.fp("after-rows:" + name); err != nil {
 			return err
 		}
 	}
-	m := manifest{Scheme: int(d.db.Scheme()), Tables: d.tables}
-	raw, err := json.MarshalIndent(m, "", "  ")
+	newLog, err := wal.OpenWith(p.wal(next), d.opts.walOptions())
 	if err != nil {
 		return err
 	}
+	// Make the rows-file renames and the new segment durable before the
+	// manifest can name them: without this ordering, a power loss right
+	// after the manifest rename could publish an epoch whose files the
+	// directory lost.
+	syncDir(d.dir)
+	if err := d.fp("after-new-wal"); err != nil {
+		newLog.Close()
+		return err
+	}
+	m := manifest{
+		Version:  manifestVersion,
+		Scheme:   int(d.db.Scheme()),
+		Epoch:    next,
+		WALStart: 0,
+		Tables:   d.tables,
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		newLog.Close()
+		return err
+	}
 	tmp := p.manifest() + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := writeFileSync(tmp, raw); err != nil {
+		newLog.Close()
+		return err
+	}
+	if err := d.fp("after-manifest-tmp"); err != nil {
+		newLog.Close()
 		return err
 	}
 	if err := os.Rename(tmp, p.manifest()); err != nil {
+		newLog.Close()
 		return err
 	}
-	if err := d.log.Sync(); err != nil {
+	syncDir(d.dir)
+	// Commit point passed: publish the new epoch in memory before anything
+	// else can fail, so a post-commit failpoint leaves d consistent with
+	// the on-disk manifest.
+	old := d.log
+	d.log = newLog
+	d.epoch = next
+	if err := d.fp("after-manifest-rename"); err != nil {
+		d.orphans = append(d.orphans, old) // closed by Close; simulated crash
 		return err
 	}
-	return d.log.Truncate()
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("engine: closing rotated wal: %w", err)
+	}
+	d.gcStale()
+	return d.fp("after-gc")
+}
+
+// gcStale removes artifacts from other epochs and leftover temp files.
+// Best-effort: failures leave garbage that the next pass retries.
+func (d *DurableDB) gcStale() {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var epoch uint64
+		var ok bool
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(d.dir, name))
+			continue
+		case strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log"):
+			epoch, ok = parseEpoch(name[len("wal.") : len(name)-len(".log")])
+		case strings.HasPrefix(name, "table_") && strings.HasSuffix(name, ".rows"):
+			base := name[:len(name)-len(".rows")]
+			if i := strings.LastIndex(base, "."); i >= 0 {
+				epoch, ok = parseEpoch(base[i+1:])
+			}
+		}
+		if ok && epoch != d.epoch {
+			os.Remove(filepath.Join(d.dir, name))
+		}
+	}
+}
+
+func parseEpoch(s string) (uint64, bool) {
+	epoch, err := strconv.ParseUint(s, 10, 64)
+	return epoch, err == nil
 }
 
 // Close syncs and closes the WAL. The checkpoint files stay on disk.
 func (d *DurableDB) Close() error {
-	if err := d.log.Sync(); err != nil {
-		d.log.Close()
-		return err
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, o := range d.orphans {
+		o.Close()
 	}
+	d.orphans = nil
 	return d.log.Close()
 }
 
@@ -350,6 +674,32 @@ func decodeFloats(raw []byte) []float64 {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 	}
 	return out
+}
+
+// writeFileSync writes data and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Best-effort
+// (some platforms reject directory fsync).
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
 }
 
 // writeRowsFile dumps live rows: u32 width, u64 count, then raw rows.
@@ -393,7 +743,11 @@ func readRowsFile(path string, width int) ([][]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil // empty table at checkpoint time
+			// writeRowsFile creates a file even for an empty table, so a
+			// manifest-referenced rows file can only be missing through
+			// corruption or external deletion: fail loudly rather than
+			// silently recovering zero rows.
+			return nil, fmt.Errorf("engine: rows file %q named by manifest is missing", path)
 		}
 		return nil, err
 	}

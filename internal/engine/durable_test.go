@@ -3,7 +3,6 @@ package engine
 import (
 	"math/rand"
 	"os"
-	"path/filepath"
 	"testing"
 
 	"hermit/internal/hermit"
@@ -145,7 +144,7 @@ func TestDurableTornTailIgnored(t *testing.T) {
 	}
 	d.Close()
 	// Tear the final WAL record mid-frame (crash during append).
-	walPath := filepath.Join(dir, "wal.log")
+	walPath := durablePaths{dir}.wal(0)
 	raw, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)

@@ -86,9 +86,9 @@ type OpResult struct {
 	Err error
 }
 
-// runOps drains ops[next..] across workers goroutines, resolving each Op's
-// table through lookup and writing results in order.
-func runOps(ops []Op, workers int, lookup func(name string) (*Table, error)) []OpResult {
+// runOps drains ops[next..] across workers goroutines, executing each Op
+// through exec and writing results in order.
+func runOps(ops []Op, workers int, exec func(Op) OpResult) []OpResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -107,12 +107,7 @@ func runOps(ops []Op, workers int, lookup func(name string) (*Table, error)) []O
 				if i >= len(ops) {
 					return
 				}
-				tb, err := lookup(ops[i].Table)
-				if err != nil {
-					results[i] = OpResult{Err: err}
-					continue
-				}
-				results[i] = tb.execOp(ops[i])
+				results[i] = exec(ops[i])
 			}
 		}()
 	}
@@ -149,13 +144,60 @@ func (t *Table) execOp(op Op) OpResult {
 // scheduling — callers needing an order between two ops must put them in
 // separate batches.
 func (db *DB) ExecuteBatch(ops []Op, workers int) []OpResult {
-	return runOps(ops, workers, db.Table)
+	return runOps(ops, workers, func(op Op) OpResult {
+		tb, err := db.Table(op.Table)
+		if err != nil {
+			return OpResult{Err: err}
+		}
+		return tb.execOp(op)
+	})
 }
 
 // ExecuteBatch runs a batch of operations against this table; Op.Table is
 // ignored. See DB.ExecuteBatch.
 func (t *Table) ExecuteBatch(ops []Op, workers int) []OpResult {
-	return runOps(ops, workers, func(string) (*Table, error) { return t, nil })
+	return runOps(ops, workers, t.execOp)
+}
+
+// ExecuteBatch runs a batch of operations on a pool of workers goroutines,
+// with mutations logged through the WAL: the durable counterpart of
+// DB.ExecuteBatch. Writes in one batch are acknowledged under the sync
+// policy individually, so under group commit the batch amortises fsyncs
+// across its workers. See DB.ExecuteBatch for ordering semantics.
+func (d *DurableDB) ExecuteBatch(ops []Op, workers int) []OpResult {
+	return runOps(ops, workers, d.execOp)
+}
+
+// execOp dispatches one operation: mutations through the logged durable
+// methods, queries straight at the table.
+func (d *DurableDB) execOp(op Op) OpResult {
+	var r OpResult
+	switch op.Kind {
+	case OpInsert:
+		r.RID, r.Err = d.Insert(op.Table, op.Row)
+	case OpDelete:
+		r.Found, r.Err = d.Delete(op.Table, op.PK)
+	case OpUpdate:
+		r.Err = d.UpdateColumn(op.Table, op.PK, op.Col, op.Value)
+	default:
+		tb, err := d.db.Table(op.Table)
+		if err != nil {
+			return OpResult{Err: err}
+		}
+		r = tb.execOp(op)
+	}
+	return r
+}
+
+// QueryConcurrent serves a slice of single-column range queries against
+// one table on a pool of workers goroutines: the durable counterpart of
+// Table.QueryConcurrent.
+func (d *DurableDB) QueryConcurrent(table string, queries []RangeReq, workers int) []OpResult {
+	ops := make([]Op, len(queries))
+	for i, q := range queries {
+		ops[i] = Op{Table: table, Kind: OpRange, Col: q.Col, Lo: q.Lo, Hi: q.Hi}
+	}
+	return d.ExecuteBatch(ops, workers)
 }
 
 // QueryConcurrent serves a slice of single-column range queries on a pool

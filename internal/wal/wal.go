@@ -1,9 +1,27 @@
 // Package wal implements the write-ahead log the paper's fault-tolerance
 // discussion (§6) assumes for the in-memory engine: every mutation is
-// framed, checksummed and appended to a log file before it is applied, and
-// recovery replays the log on top of the last checkpoint. A torn or
-// corrupted tail record — the normal result of a crash mid-append — ends
-// replay cleanly rather than erroring.
+// framed, checksummed, LSN-stamped and appended to a log file before the
+// caller is acknowledged, and recovery replays the log on top of the last
+// checkpoint.
+//
+// The log is safe for concurrent use. All appends funnel through a single
+// appender goroutine, so frames never interleave; callers submit a record
+// and receive a Ticket they can wait on. How long Wait blocks is the sync
+// policy:
+//
+//   - SyncNever: acknowledged once the frame is written to the OS. Survives
+//     process crashes, not power loss. The fastest policy and the default.
+//   - SyncGroup: acknowledged once an fsync covering the record completes.
+//     The appender batches waiters and issues one fsync per commit interval
+//     (group commit), amortising the flush across concurrent writers.
+//   - SyncAlways: acknowledged after an fsync with no batching delay; the
+//     appender still coalesces the fsync across whatever records drained in
+//     the same batch.
+//
+// A torn or corrupted tail frame — the normal result of a crash mid-append —
+// ends replay cleanly rather than erroring, and Open repairs it by
+// truncating to the last valid frame so that later appends are never
+// shadowed behind unreadable bytes.
 package wal
 
 import (
@@ -13,6 +31,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
+	"time"
 )
 
 // Op identifies a logged operation. The engine defines the semantics; the
@@ -28,76 +48,410 @@ const (
 	OpCreateIndex
 )
 
-// Record is one logged operation.
+// Record is one logged operation. LSN is assigned by the appender and is
+// strictly increasing within a log file; the value set by callers on
+// Append/Submit is ignored.
 type Record struct {
+	LSN     uint64
 	Op      Op
 	Table   string
 	Payload []byte
 }
 
-// ErrTableNameTooLong is returned for table names above 64 KiB.
-var ErrTableNameTooLong = errors.New("wal: table name too long")
+// Errors returned by the log.
+var (
+	// ErrTableNameTooLong is returned for table names above 64 KiB.
+	ErrTableNameTooLong = errors.New("wal: table name too long")
+	// ErrRecordTooLarge is returned for records whose frame body would
+	// exceed the size replay accepts (maxBodyLen).
+	ErrRecordTooLarge = errors.New("wal: record too large")
+	// ErrClosed is returned for operations on a closed log.
+	ErrClosed = errors.New("wal: closed")
+)
 
-// Log is an append-only record log.
-type Log struct {
-	f    *os.File
-	path string
+// Policy selects when an append is acknowledged (see the package comment).
+type Policy int
+
+const (
+	// SyncNever acknowledges after the OS write, never fsyncing.
+	SyncNever Policy = iota
+	// SyncGroup batches fsyncs on a commit interval (group commit).
+	SyncGroup
+	// SyncAlways fsyncs before acknowledging, with no added delay.
+	SyncAlways
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case SyncNever:
+		return "no-sync"
+	case SyncGroup:
+		return "group-commit"
+	default:
+		return "sync-every-op"
+	}
 }
 
-// Open opens (creating if necessary) the log at path for appending.
-func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+// DefaultGroupInterval is the commit interval used when Options leaves it
+// zero: long enough to batch concurrent writers, short enough to keep
+// single-writer latency in the low milliseconds.
+const DefaultGroupInterval = 2 * time.Millisecond
+
+// Options configures a log's durability behaviour.
+type Options struct {
+	// Policy is the acknowledgement policy. The zero value is SyncNever.
+	Policy Policy
+	// GroupInterval is the group-commit interval for SyncGroup
+	// (DefaultGroupInterval when zero).
+	GroupInterval time.Duration
+}
+
+func (o Options) interval() time.Duration {
+	if o.GroupInterval <= 0 {
+		return DefaultGroupInterval
+	}
+	return o.GroupInterval
+}
+
+// Log is an append-only record log with a single appender goroutine.
+type Log struct {
+	path string
+	f    *os.File
+	opts Options
+
+	reqs chan request // unbuffered: a completed send is owned by the appender
+	quit chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+	finalErr  error // sticky appender error, published before done closes
+}
+
+type reqKind uint8
+
+const (
+	reqAppend reqKind = iota
+	reqSync
+)
+
+type request struct {
+	kind reqKind
+	rec  Record
+	ch   chan result // buffered(1); the appender never blocks acking
+}
+
+type result struct {
+	lsn uint64
+	err error
+}
+
+// Ticket is the handle for one submitted record; Wait blocks until the
+// record is acknowledged under the log's sync policy.
+type Ticket struct{ ch chan result }
+
+// Wait returns the record's LSN once it is acknowledged.
+func (t *Ticket) Wait() (uint64, error) {
+	r := <-t.ch
+	return r.lsn, r.err
+}
+
+// Open opens (creating if necessary) the log at path with default options,
+// repairing a torn tail first.
+func Open(path string) (*Log, error) { return OpenWith(path, Options{}) }
+
+// OpenWith opens the log at path: it scans to the last valid frame,
+// truncates any torn tail so subsequent appends are reachable by Replay,
+// seeks to the end and starts the appender goroutine.
+func OpenWith(path string, opts Options) (*Log, error) {
+	validLen, lastLSN, _, err := scanValid(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	return &Log{f: f, path: path}, nil
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: open: %w", err)
+	} else if fi.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: repair tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{
+		path: path,
+		f:    f,
+		opts: opts,
+		reqs: make(chan request),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go l.run(lastLSN)
+	return l, nil
 }
 
-// Append frames, checksums and writes the record. The frame is
+// RepairTail truncates the file at path to its last valid frame and
+// returns the resulting length. A missing file is zero-length and not an
+// error.
+func RepairTail(path string) (int64, error) {
+	validLen, _, _, err := scanValid(path)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("wal: repair tail: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err != nil {
+		return 0, err
+	} else if fi.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			return 0, fmt.Errorf("wal: repair tail: %w", err)
+		}
+	}
+	return validLen, nil
+}
+
+// Submit validates and enqueues a record, returning a Ticket to wait on.
+// The record is on its way to the log once Submit returns: records
+// submitted sequentially from one goroutine are logged in that order.
+func (l *Log) Submit(rec Record) (*Ticket, error) {
+	if len(rec.Table) > 1<<16-1 {
+		return nil, ErrTableNameTooLong
+	}
+	// Reject here what replay would reject there: a frame body above
+	// maxBodyLen reads as corruption on reopen, truncating it and every
+	// acknowledged record after it.
+	if minBodyLen+len(rec.Table)+len(rec.Payload) > maxBodyLen {
+		return nil, ErrRecordTooLarge
+	}
+	req := request{kind: reqAppend, rec: rec, ch: make(chan result, 1)}
+	select {
+	case l.reqs <- req:
+		return &Ticket{ch: req.ch}, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Append submits a record and waits for acknowledgement under the log's
+// sync policy, returning the record's LSN.
+func (l *Log) Append(rec Record) (uint64, error) {
+	t, err := l.Submit(rec)
+	if err != nil {
+		return 0, err
+	}
+	return t.Wait()
+}
+
+// Sync forces an fsync covering every record submitted so far and returns
+// once it completes (a durability barrier, regardless of policy).
+func (l *Log) Sync() error {
+	req := request{kind: reqSync, ch: make(chan result, 1)}
+	select {
+	case l.reqs <- req:
+	case <-l.done:
+		return ErrClosed
+	}
+	r := <-req.ch
+	return r.err
+}
+
+// Close drains pending appends, flushes, stops the appender and closes the
+// file. Outstanding Tickets are acknowledged before Close returns.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.quit)
+		<-l.done
+		err := l.finalErr
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.closeErr = err
+	})
+	<-l.done
+	return l.closeErr
+}
+
+// run is the appender goroutine: the only writer of l.f after OpenWith.
+func (l *Log) run(lastLSN uint64) {
+	type waiter struct {
+		lsn uint64
+		ch  chan result
+	}
+	var (
+		lsn      = lastLSN
+		sticky   error    // first write/sync failure; everything after fails
+		pending  []waiter // waiters to acknowledge at the next fsync
+		lastSync time.Time
+		timer    *time.Timer
+		timerC   <-chan time.Time
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	// flush fsyncs and acknowledges every pending waiter.
+	flush := func() {
+		stopTimer()
+		err := sticky
+		if err == nil {
+			if err = l.f.Sync(); err != nil {
+				sticky = err
+			}
+		}
+		lastSync = time.Now()
+		for _, w := range pending {
+			w.ch <- result{w.lsn, err}
+		}
+		pending = pending[:0]
+	}
+	// groupFlush implements group commit: flush immediately if the commit
+	// interval has already elapsed since the last fsync (no added latency),
+	// otherwise arm the timer so the fsync rate stays capped at one per
+	// interval, with every waiter that queues meanwhile absorbed into it.
+	groupFlush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if wait := l.opts.interval() - time.Since(lastSync); wait > 0 {
+			if timer == nil {
+				timer = time.NewTimer(wait)
+				timerC = timer.C
+			}
+			return
+		}
+		flush()
+	}
+	handle := func(req request) {
+		switch req.kind {
+		case reqSync:
+			flush()
+			req.ch <- result{lsn, sticky}
+		case reqAppend:
+			if sticky != nil {
+				req.ch <- result{0, sticky}
+				return
+			}
+			lsn++
+			if _, err := l.f.Write(encodeFrame(req.rec, lsn)); err != nil {
+				sticky = fmt.Errorf("wal: append: %w", err)
+				lsn--
+				req.ch <- result{0, sticky}
+				return
+			}
+			switch l.opts.Policy {
+			case SyncNever:
+				req.ch <- result{lsn, nil}
+			case SyncAlways, SyncGroup:
+				pending = append(pending, waiter{lsn, req.ch}) // flushed after this batch drains
+			}
+		}
+	}
+	// drain handles every request deliverable without blocking.
+	drain := func() {
+		for {
+			select {
+			case req := <-l.reqs:
+				handle(req)
+			default:
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case req := <-l.reqs:
+			handle(req)
+			drain() // batch concurrent submitters under one fsync
+			if len(pending) > 0 {
+				if l.opts.Policy == SyncAlways {
+					flush()
+				} else {
+					groupFlush()
+				}
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		case <-l.quit:
+			drain()
+			flush()
+			l.finalErr = sticky
+			close(l.done)
+			return
+		}
+	}
+}
+
+// Frame layout:
 //
 //	u32 bodyLen | u32 crc32(body) | body
-//	body = op byte | u16 tableLen | table | payload
-func (l *Log) Append(rec Record) error {
-	if len(rec.Table) > 1<<16-1 {
-		return ErrTableNameTooLong
-	}
-	body := make([]byte, 0, 3+len(rec.Table)+len(rec.Payload))
-	body = append(body, byte(rec.Op))
-	var tl [2]byte
-	binary.LittleEndian.PutUint16(tl[:], uint16(len(rec.Table)))
-	body = append(body, tl[:]...)
-	body = append(body, rec.Table...)
-	body = append(body, rec.Payload...)
-	frame := make([]byte, 8+len(body))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+//	body = u64 lsn | op byte | u16 tableLen | table | payload
+const (
+	frameHdrLen = 8
+	minBodyLen  = 11
+	maxBodyLen  = 64 << 20
+)
+
+func encodeFrame(rec Record, lsn uint64) []byte {
+	bodyLen := minBodyLen + len(rec.Table) + len(rec.Payload)
+	frame := make([]byte, frameHdrLen+bodyLen)
+	body := frame[frameHdrLen:]
+	binary.LittleEndian.PutUint64(body[0:8], lsn)
+	body[8] = byte(rec.Op)
+	binary.LittleEndian.PutUint16(body[9:11], uint16(len(rec.Table)))
+	copy(body[11:], rec.Table)
+	copy(body[11+len(rec.Table):], rec.Payload)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyLen))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
-	copy(frame[8:], body)
-	if _, err := l.f.Write(frame); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	return nil
+	return frame
 }
 
-// Sync flushes the log to stable storage.
-func (l *Log) Sync() error { return l.f.Sync() }
-
-// Truncate discards all records (after a checkpoint has captured them).
-func (l *Log) Truncate() error {
-	if err := l.f.Truncate(0); err != nil {
-		return err
+// decodeBody parses a checksum-verified body. ok=false flags a structurally
+// invalid body (treated as corruption by readers).
+func decodeBody(body []byte) (Record, bool) {
+	if len(body) < minBodyLen {
+		return Record{}, false
 	}
-	_, err := l.f.Seek(0, io.SeekStart)
-	return err
+	tableLen := int(binary.LittleEndian.Uint16(body[9:11]))
+	if minBodyLen+tableLen > len(body) {
+		return Record{}, false
+	}
+	return Record{
+		LSN:     binary.LittleEndian.Uint64(body[0:8]),
+		Op:      Op(body[8]),
+		Table:   string(body[11 : 11+tableLen]),
+		Payload: body[11+tableLen:],
+	}, true
 }
-
-// Close closes the log file.
-func (l *Log) Close() error { return l.f.Close() }
 
 // Replay reads records from the log at path in append order, invoking fn
 // for each. A truncated or checksum-failing tail ends replay without error
 // (crash semantics); an error from fn aborts replay and is returned.
 // A missing file replays zero records.
 func Replay(path string, fn func(Record) error) error {
+	return ReplayFrom(path, 0, fn)
+}
+
+// ReplayFrom replays records starting at byte offset off (which must be a
+// frame boundary, e.g. a position recorded by a checkpoint manifest). An
+// offset at or past the end of the valid log replays zero records.
+func ReplayFrom(path string, off int64, fn func(Record) error) error {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -106,35 +460,78 @@ func Replay(path string, fn func(Record) error) error {
 		return fmt.Errorf("wal: replay open: %w", err)
 	}
 	defer f.Close()
-	var hdr [8]byte
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return fmt.Errorf("wal: replay seek: %w", err)
+		}
+	}
+	var lastLSN uint64
+	first := true
+	return readFrames(f, func(rec Record) (bool, error) {
+		// LSNs are strictly increasing within a file; a regression means
+		// the bytes are stale or corrupt, so stop as with a torn tail.
+		if !first && rec.LSN <= lastLSN {
+			return false, nil
+		}
+		first, lastLSN = false, rec.LSN
+		if err := fn(rec); err != nil {
+			return false, err
+		}
+		return true, nil
+	})
+}
+
+// readFrames decodes frames from r until EOF, corruption, or fn stops it.
+func readFrames(r io.Reader, fn func(Record) (bool, error)) error {
+	var hdr [frameHdrLen]byte
 	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil // clean EOF or torn header: end of usable log
 		}
 		bodyLen := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		const maxRecord = 64 << 20
-		if bodyLen < 3 || bodyLen > maxRecord {
+		if bodyLen < minBodyLen || bodyLen > maxBodyLen {
 			return nil // corrupt length: stop
 		}
 		body := make([]byte, bodyLen)
-		if _, err := io.ReadFull(f, body); err != nil {
+		if _, err := io.ReadFull(r, body); err != nil {
 			return nil // torn body
 		}
 		if crc32.ChecksumIEEE(body) != crc {
 			return nil // corrupt record
 		}
-		tableLen := int(binary.LittleEndian.Uint16(body[1:3]))
-		if 3+tableLen > len(body) {
+		rec, ok := decodeBody(body)
+		if !ok {
 			return nil
 		}
-		rec := Record{
-			Op:      Op(body[0]),
-			Table:   string(body[3 : 3+tableLen]),
-			Payload: body[3+tableLen:],
-		}
-		if err := fn(rec); err != nil {
+		cont, err := fn(rec)
+		if err != nil || !cont {
 			return err
 		}
 	}
+}
+
+// scanValid returns the byte length of the valid frame prefix of the file
+// at path, the last valid frame's LSN, and the frame count. A missing file
+// scans as empty.
+func scanValid(path string) (validLen int64, lastLSN uint64, n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, 0, nil
+		}
+		return 0, 0, 0, fmt.Errorf("wal: scan: %w", err)
+	}
+	defer f.Close()
+	first := true
+	err = readFrames(f, func(rec Record) (bool, error) {
+		if !first && rec.LSN <= lastLSN {
+			return false, nil
+		}
+		first, lastLSN = false, rec.LSN
+		validLen += int64(frameHdrLen + minBodyLen + len(rec.Table) + len(rec.Payload))
+		n++
+		return true, nil
+	})
+	return validLen, lastLSN, n, err
 }

@@ -5,13 +5,25 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func logPath(t *testing.T) string {
 	t.Helper()
 	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func mustAppend(t *testing.T, l *Log, rec Record) uint64 {
+	t.Helper()
+	lsn, err := l.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lsn
 }
 
 func TestAppendReplayRoundtrip(t *testing.T) {
@@ -26,9 +38,9 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 		{Op: OpUpdate, Table: "", Payload: []byte{9}},
 		{Op: OpCreateTable, Table: "t3", Payload: []byte(`{"cols":["a"]}`)},
 	}
-	for _, r := range want {
-		if err := l.Append(r); err != nil {
-			t.Fatal(err)
+	for i, r := range want {
+		if lsn := mustAppend(t, l, r); lsn != uint64(i+1) {
+			t.Fatalf("record %d assigned LSN %d", i, lsn)
 		}
 	}
 	if err := l.Sync(); err != nil {
@@ -48,6 +60,9 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 		if got[i].Op != want[i].Op || got[i].Table != want[i].Table ||
 			!bytes.Equal(got[i].Payload, want[i].Payload) {
 			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+		if got[i].LSN != uint64(i+1) {
+			t.Fatalf("record %d: LSN %d, want %d", i, got[i].LSN, i+1)
 		}
 	}
 }
@@ -69,9 +84,7 @@ func TestTornTailStopsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte{byte(i)}}); err != nil {
-			t.Fatal(err)
-		}
+		mustAppend(t, l, Record{Op: OpInsert, Table: "t", Payload: []byte{byte(i)}})
 	}
 	l.Close()
 	raw, err := os.ReadFile(path)
@@ -94,11 +107,81 @@ func TestTornTailStopsCleanly(t *testing.T) {
 	}
 }
 
+// The torn-tail append bug: records written after a crash-torn tail must be
+// reachable, which requires Open to truncate the tail before appending.
+func TestOpenRepairsTornTailBeforeAppend(t *testing.T) {
+	path := logPath(t)
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, Record{Op: OpInsert, Table: "t", Payload: []byte{byte(i)}})
+	}
+	l.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen (must repair) and append three more records.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if lsn := mustAppend(t, l2, Record{Op: OpDelete, Table: "t", Payload: []byte{byte(100 + i)}}); lsn != uint64(10+i) {
+			t.Fatalf("post-repair LSN %d, want %d (continue after last valid frame)", lsn, 10+i)
+		}
+	}
+	l2.Close()
+	var got []Record
+	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("replayed %d records, want 12 (9 surviving + 3 appended)", len(got))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d: LSN %d not contiguous", i, r.LSN)
+		}
+	}
+}
+
+func TestRepairTail(t *testing.T) {
+	path := logPath(t)
+	l, _ := Open(path)
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, Record{Op: OpInsert, Table: "t", Payload: []byte{byte(i)}})
+	}
+	l.Close()
+	raw, _ := os.ReadFile(path)
+	whole := int64(len(raw))
+	os.WriteFile(path, raw[:len(raw)-3], 0o644)
+	n, err := RepairTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := whole - whole/5; n != want {
+		t.Fatalf("repaired length %d, want %d", n, want)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != n {
+		t.Fatalf("file size %d after repair, want %d", fi.Size(), n)
+	}
+	// Missing file: zero length, no error.
+	if n, err := RepairTail(filepath.Join(t.TempDir(), "none.log")); err != nil || n != 0 {
+		t.Fatalf("missing file: %d, %v", n, err)
+	}
+}
+
 func TestCorruptRecordStops(t *testing.T) {
 	path := logPath(t)
 	l, _ := Open(path)
-	l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte("aaaa")})
-	l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte("bbbb")})
+	mustAppend(t, l, Record{Op: OpInsert, Table: "t", Payload: []byte("aaaa")})
+	mustAppend(t, l, Record{Op: OpInsert, Table: "t", Payload: []byte("bbbb")})
 	l.Close()
 	raw, _ := os.ReadFile(path)
 	raw[len(raw)-1] ^= 0xFF // flip a payload byte of the second record
@@ -112,19 +195,36 @@ func TestCorruptRecordStops(t *testing.T) {
 	}
 }
 
-func TestTruncate(t *testing.T) {
+func TestReplayFromOffset(t *testing.T) {
 	path := logPath(t)
 	l, _ := Open(path)
-	l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte{1}})
-	if err := l.Truncate(); err != nil {
-		t.Fatal(err)
+	var sizes []int64
+	for i := 0; i < 4; i++ {
+		mustAppend(t, l, Record{Op: OpInsert, Table: "t", Payload: []byte{byte(i)}})
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, fi.Size())
 	}
-	l.Append(Record{Op: OpDelete, Table: "t", Payload: []byte{2}})
 	l.Close()
-	var got []Record
-	Replay(path, func(r Record) error { got = append(got, r); return nil })
-	if len(got) != 1 || got[0].Op != OpDelete {
-		t.Fatalf("after truncate: %+v", got)
+	// Replaying from the offset after record i yields records i+1..4.
+	for i, off := range sizes {
+		var got []byte
+		if err := ReplayFrom(path, off, func(r Record) error { got = append(got, r.Payload[0]); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3-i {
+			t.Fatalf("offset %d: replayed %d records, want %d", off, len(got), 3-i)
+		}
+		for j, b := range got {
+			if int(b) != i+1+j {
+				t.Fatalf("offset %d: record %d payload %d", off, j, b)
+			}
+		}
 	}
 }
 
@@ -132,8 +232,124 @@ func TestTableNameTooLong(t *testing.T) {
 	l, _ := Open(logPath(t))
 	defer l.Close()
 	long := make([]byte, 1<<16)
-	if err := l.Append(Record{Op: OpInsert, Table: string(long)}); err != ErrTableNameTooLong {
+	if _, err := l.Append(Record{Op: OpInsert, Table: string(long)}); err != ErrTableNameTooLong {
 		t.Fatalf("want ErrTableNameTooLong, got %v", err)
+	}
+}
+
+// A record replay would read as corruption must be rejected at Submit, not
+// acknowledged and then silently truncated on the next open.
+func TestRecordTooLargeRejected(t *testing.T) {
+	l, _ := Open(logPath(t))
+	defer l.Close()
+	huge := make([]byte, maxBodyLen)
+	if _, err := l.Append(Record{Op: OpInsert, Table: "t", Payload: huge}); err != ErrRecordTooLarge {
+		t.Fatalf("want ErrRecordTooLarge, got %v", err)
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	l, _ := Open(logPath(t))
+	mustAppend(t, l, Record{Op: OpInsert, Table: "t"})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Op: OpInsert, Table: "t"}); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("sync after close: %v", err)
+	}
+}
+
+// Concurrent appenders under each policy: every record must be durable by
+// the time its Append returns, frames must never interleave, and LSNs must
+// be dense.
+func TestConcurrentAppendAllPolicies(t *testing.T) {
+	for _, opts := range []Options{
+		{Policy: SyncNever},
+		{Policy: SyncGroup, GroupInterval: 200 * time.Microsecond},
+		{Policy: SyncAlways},
+	} {
+		t.Run(opts.Policy.String(), func(t *testing.T) {
+			path := logPath(t)
+			l, err := OpenWith(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers, perWriter = 8, 50
+			var mu sync.Mutex
+			var lsns []uint64
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						lsn, err := l.Append(Record{Op: OpInsert, Table: "t", Payload: []byte{byte(w), byte(i)}})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						mu.Lock()
+						lsns = append(lsns, lsn)
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+			if len(lsns) != writers*perWriter {
+				t.Fatalf("%d acknowledged appends", len(lsns))
+			}
+			for i, lsn := range lsns {
+				if lsn != uint64(i+1) {
+					t.Fatalf("LSNs not dense: position %d has %d", i, lsn)
+				}
+			}
+			n := 0
+			if err := Replay(path, func(r Record) error { n++; return nil }); err != nil {
+				t.Fatal(err)
+			}
+			if n != writers*perWriter {
+				t.Fatalf("replayed %d records, want %d", n, writers*perWriter)
+			}
+		})
+	}
+}
+
+// A Sync barrier must cover every record submitted before it, even with the
+// group timer still pending.
+func TestSyncBarrierCoversSubmitted(t *testing.T) {
+	l, err := OpenWith(logPath(t), Options{Policy: SyncGroup, GroupInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tk, err := l.Submit(Record{Op: OpInsert, Table: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		if _, err := tk.Wait(); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("group-commit waiter not released by Sync barrier")
 	}
 }
 
@@ -161,7 +377,7 @@ func TestQuickRoundtrip(t *testing.T) {
 				Table:   string(rune('a' + rng.Intn(26))),
 				Payload: p,
 			}
-			if err := l.Append(recs[i]); err != nil {
+			if _, err := l.Append(recs[i]); err != nil {
 				return false
 			}
 		}
