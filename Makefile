@@ -3,10 +3,15 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-concurrency bench-durability fmt fmt-check vet ci
+.PHONY: build build-examples test race bench bench-concurrency bench-durability bench-advisor fmt fmt-check vet doc-check ci
 
 build:
 	$(GO) build ./...
+
+# Examples are package main and never imported, so build them explicitly:
+# this is what keeps them from rotting against API changes.
+build-examples:
+	$(GO) build ./examples/...
 
 test: build
 	$(GO) test ./...
@@ -26,6 +31,11 @@ bench-concurrency: build
 bench-durability: build
 	$(GO) run ./cmd/hermit-bench -exp durability
 
+# Advisor sweep (auto-indexing latency before/after, convergence time) with
+# BENCH_advisor.json.
+bench-advisor: build
+	$(GO) run ./cmd/hermit-bench -exp advisor
+
 fmt:
 	gofmt -w .
 
@@ -36,4 +46,9 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet test bench
+# Godoc lint: every exported identifier in the public API and the engine
+# must carry a doc comment.
+doc-check:
+	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/advisor
+
+ci: fmt-check vet doc-check test build-examples bench

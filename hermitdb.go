@@ -28,6 +28,7 @@
 package hermitdb
 
 import (
+	"hermit/internal/advisor"
 	"hermit/internal/correlation"
 	"hermit/internal/engine"
 	"hermit/internal/hermit"
@@ -109,6 +110,87 @@ const (
 	OpDelete = engine.OpDelete
 	OpUpdate = engine.OpUpdate
 )
+
+// Cost-based planning and self-tuning. Every RangeQuery/PointQuery is
+// routed through the access path the planner estimates cheapest, using
+// per-path runtime feedback (hit counts, false-positive EWMAs, sampled
+// latency EWMAs); Table.Explain exposes the plan without executing it:
+//
+//	plan, _ := tb.Explain(2, 100, 120)
+//	fmt.Println(plan.Chosen, plan.Candidates[0].Cost)
+//
+// The background advisor closes the loop the paper leaves to the DBA: it
+// watches the observed query mix, discovers correlated column pairs from
+// samples, and auto-creates (or drops) Hermit indexes versus complete
+// B+-trees under a size budget:
+//
+//	adv := db.EnableAdvisor(hermitdb.DefaultAdvisorOptions())
+//	defer adv.Stop()
+//
+// On a DurableDB the advisor's DDL is WAL-logged and survives recovery.
+type (
+	// Plan is the planner's costed decision for one predicate, as returned
+	// by Table.Explain.
+	Plan = engine.Plan
+	// PathEstimate is one access path's entry in a Plan.
+	PathEstimate = engine.PathEstimate
+	// AccessPath identifies one way the engine can serve a predicate.
+	AccessPath = engine.AccessPath
+	// RoutingMode selects cost-based or fixed-priority routing
+	// (Table.SetRouting).
+	RoutingMode = engine.RoutingMode
+	// ColumnQueryStats summarises one column's observed workload
+	// (Table.QueryStatsFor).
+	ColumnQueryStats = engine.ColumnQueryStats
+	// Advisor is the background self-tuning loop; obtain one with
+	// DB.EnableAdvisor or DurableDB.EnableAdvisor.
+	Advisor = advisor.Advisor
+	// AdvisorOptions tunes the advisor (sampling, size budget, outlier and
+	// false-positive thresholds, pass interval).
+	AdvisorOptions = engine.AdvisorOptions
+	// AdvisorAction records one decision the advisor carried out.
+	AdvisorAction = advisor.Action
+)
+
+// Access paths the planner can choose.
+const (
+	// PathScan is the sequential-scan fallback.
+	PathScan = engine.PathScan
+	// PathPrimary scans the primary index.
+	PathPrimary = engine.PathPrimary
+	// PathBTree scans a complete secondary B+-tree.
+	PathBTree = engine.PathBTree
+	// PathHermit runs the Hermit mechanism (TRS-Tree + host index).
+	PathHermit = engine.PathHermit
+	// PathCM runs a Correlation Map lookup.
+	PathCM = engine.PathCM
+	// PathTRSDirect resolves TRS-Tree host ranges by a sequential scan.
+	PathTRSDirect = engine.PathTRSDirect
+)
+
+// Routing modes for Table.SetRouting.
+const (
+	// RouteCost plans every query with the cost model (the default).
+	RouteCost = engine.RouteCost
+	// RouteStatic restores the fixed pre-planner priority.
+	RouteStatic = engine.RouteStatic
+)
+
+// Advisor action kinds (AdvisorAction.Kind).
+const (
+	// AdvisorCreatedHermit: a Hermit index was auto-created.
+	AdvisorCreatedHermit = advisor.CreatedHermit
+	// AdvisorCreatedBTree: a complete B+-tree index was auto-created.
+	AdvisorCreatedBTree = advisor.CreatedBTree
+	// AdvisorDroppedIndex: an idle advisor-created index was dropped.
+	AdvisorDroppedIndex = advisor.DroppedIndex
+	// AdvisorReplacedWithBTree: a misbehaving Hermit was rebuilt complete.
+	AdvisorReplacedWithBTree = advisor.ReplacedWithBTree
+)
+
+// DefaultAdvisorOptions returns the advisor defaults (2s pass interval,
+// 2000-row samples, unlimited budget, 25% outlier ceiling).
+var DefaultAdvisorOptions = advisor.DefaultOptions
 
 // WAL sync policies for DurableDB (see DurableOptions): SyncNever
 // acknowledges after the OS write (default; survives process crashes, not

@@ -1,0 +1,266 @@
+package advisor
+
+import (
+	"math/rand"
+	"testing"
+
+	"hermit/internal/correlation"
+	"hermit/internal/storage"
+	"hermit/internal/trstree"
+)
+
+// fakeCatalog implements Catalog over raw storage tables so the decision
+// loop can be exercised deterministically, without the engine.
+type fakeCatalog struct {
+	stores map[string]*storage.Table
+	infos  map[string]*TableInfo
+	log    []string
+}
+
+func (f *fakeCatalog) TableNames() []string {
+	names := make([]string, 0, len(f.stores))
+	for n := range f.stores {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (f *fakeCatalog) Info(table string) (TableInfo, error) { return *f.infos[table], nil }
+
+func (f *fakeCatalog) Store(table string) (*storage.Table, error) { return f.stores[table], nil }
+
+func (f *fakeCatalog) CreateHermitIndex(table string, col, host int, _ trstree.Params) error {
+	f.infos[table].Columns[col].Kind = KindHermit
+	f.infos[table].Columns[col].IndexBytes = 8 << 10
+	f.log = append(f.log, "hermit")
+	return nil
+}
+
+func (f *fakeCatalog) CreateBTreeIndex(table string, col int) error {
+	f.infos[table].Columns[col].Kind = KindBTree
+	f.infos[table].Columns[col].IndexBytes = 256 << 10
+	f.log = append(f.log, "btree")
+	return nil
+}
+
+func (f *fakeCatalog) DropIndex(table string, col int, _ IndexKind) error {
+	f.infos[table].Columns[col].Kind = KindNone
+	f.infos[table].Columns[col].IndexBytes = 0
+	f.log = append(f.log, "drop")
+	return nil
+}
+
+// buildFake loads a 4-column table: pk, host (linear in target with the
+// given junk fraction), target, random payload.
+func buildFake(t *testing.T, rows int, junk float64) *fakeCatalog {
+	t.Helper()
+	st := storage.NewTable(4)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < rows; i++ {
+		c := rng.Float64() * 1000
+		b := 3*c + 50 + rng.NormFloat64()*2
+		if rng.Float64() < junk {
+			b = rng.Float64() * 50000
+		}
+		if _, err := st.Insert([]float64{float64(i), b, c, rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := &TableInfo{
+		Name: "t", PKCol: 0, Rows: rows, PhysicalPointers: true,
+		Columns: []ColumnInfo{
+			{Name: "pk", Kind: KindPrimary},
+			{Name: "host", Kind: KindBTree, IndexBytes: 128 << 10},
+			{Name: "target"},
+			{Name: "payload"},
+		},
+	}
+	return &fakeCatalog{
+		stores: map[string]*storage.Table{"t": st},
+		infos:  map[string]*TableInfo{"t": info},
+	}
+}
+
+func TestAdvisorCreatesHermitOnCorrelatedPair(t *testing.T) {
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[2].Queries = 100
+	a := New(cat, Options{MinQueries: 50})
+	acts, err := a.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 1 || acts[0].Kind != CreatedHermit || acts[0].Col != 2 || acts[0].Host != 1 {
+		t.Fatalf("actions: %+v", acts)
+	}
+	if acts[0].OutlierRatio > 0.05 {
+		t.Fatalf("clean pair estimated %.1f%% outliers", acts[0].OutlierRatio*100)
+	}
+	// Second pass is a no-op: the column is served now.
+	if acts, _ := a.RunOnce(); len(acts) != 0 {
+		t.Fatalf("second pass acted: %+v", acts)
+	}
+}
+
+func TestAdvisorFallsBackToBTree(t *testing.T) {
+	// Uncorrelated column: no usable host.
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[3].Queries = 100
+	a := New(cat, Options{MinQueries: 50})
+	acts, _ := a.RunOnce()
+	if len(acts) != 1 || acts[0].Kind != CreatedBTree || acts[0].Col != 3 {
+		t.Fatalf("actions: %+v", acts)
+	}
+
+	// Correlated but outlier-heavy pair: Hermit would buffer the junk mass.
+	cat = buildFake(t, 4000, 0.2)
+	cat.infos["t"].Columns[2].Queries = 100
+	a = New(cat, Options{MinQueries: 50, MaxOutlierRatio: 0.1, Discovery: discoverLoose()})
+	acts, _ = a.RunOnce()
+	if len(acts) != 1 || acts[0].Kind != CreatedBTree || acts[0].Col != 2 {
+		t.Fatalf("actions: %+v", acts)
+	}
+	if acts[0].OutlierRatio <= 0.1 {
+		t.Fatalf("junky pair estimated only %.1f%% outliers", acts[0].OutlierRatio*100)
+	}
+}
+
+// discoverLoose lowers the correlation thresholds so the 20%-junk pair
+// still counts as correlated and the decision is made by the outlier
+// estimate, not by discovery.
+func discoverLoose() correlation.Config {
+	c := correlation.DefaultConfig()
+	c.PearsonThreshold = 0.5
+	c.SpearmanThreshold = 0.5
+	return c
+}
+
+func TestAdvisorRespectsSizeBudget(t *testing.T) {
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[2].Queries = 100
+	cat.infos["t"].Columns[3].Queries = 100
+	a := New(cat, Options{MinQueries: 50, SizeBudget: 16 << 10})
+	acts, _ := a.RunOnce()
+	// The Hermit estimate (~4 KiB) fits; the B+-tree for the uncorrelated
+	// column (rows*32 = 128 KiB) does not.
+	for _, act := range acts {
+		if act.Kind == CreatedBTree {
+			t.Fatalf("budget ignored: %+v", act)
+		}
+	}
+	if len(cat.log) != 1 || cat.log[0] != "hermit" {
+		t.Fatalf("catalog log: %v", cat.log)
+	}
+}
+
+func TestAdvisorMinQueriesGate(t *testing.T) {
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[2].Queries = 10 // below the gate
+	a := New(cat, Options{MinQueries: 50})
+	if acts, _ := a.RunOnce(); len(acts) != 0 {
+		t.Fatalf("acted below MinQueries: %+v", acts)
+	}
+}
+
+func TestAdvisorDropsIdleIndex(t *testing.T) {
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[2].Queries = 100
+	a := New(cat, Options{MinQueries: 50, DropAfterPasses: 2})
+	if acts, _ := a.RunOnce(); len(acts) != 1 {
+		t.Fatalf("setup: %+v", acts)
+	}
+	// No new queries arrive: two idle passes, then the drop.
+	if acts, _ := a.RunOnce(); len(acts) != 0 {
+		t.Fatalf("dropped after one idle pass: %+v", acts)
+	}
+	acts, _ := a.RunOnce()
+	if len(acts) != 1 || acts[0].Kind != DroppedIndex {
+		t.Fatalf("want idle drop, got: %+v", acts)
+	}
+	if cat.infos["t"].Columns[2].Kind != KindNone {
+		t.Fatal("index still present")
+	}
+	// Activity resets the clock.
+	cat.infos["t"].Columns[2].Queries = 300
+	if acts, _ := a.RunOnce(); len(acts) != 1 || acts[0].Kind != CreatedHermit {
+		t.Fatalf("recreation: %+v", acts)
+	}
+	cat.infos["t"].Columns[2].Queries = 400
+	if acts, _ := a.RunOnce(); len(acts) != 0 {
+		t.Fatalf("dropped an active index: %+v", acts)
+	}
+}
+
+func TestAdvisorReplacesHighFPHermit(t *testing.T) {
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[2].Queries = 100
+	a := New(cat, Options{MinQueries: 50, MaxFPRate: 0.5})
+	if acts, _ := a.RunOnce(); len(acts) != 1 || acts[0].Kind != CreatedHermit {
+		t.Fatal("setup failed")
+	}
+	// Execution observes a rotten false-positive ratio (data drifted).
+	cat.infos["t"].Columns[2].ObservedFP = 0.9
+	cat.infos["t"].Columns[2].FPObservations = 64
+	acts, _ := a.RunOnce()
+	if len(acts) != 1 || acts[0].Kind != ReplacedWithBTree {
+		t.Fatalf("want replacement, got: %+v", acts)
+	}
+	if cat.infos["t"].Columns[2].Kind != KindBTree {
+		t.Fatalf("column served by %v after replacement", cat.infos["t"].Columns[2].Kind)
+	}
+	if got := a.Actions(); len(got) != 2 {
+		t.Fatalf("action history: %+v", got)
+	}
+}
+
+func TestAdvisorBadHermitDropWithoutBudgetIsNotAReplacement(t *testing.T) {
+	cat := buildFake(t, 4000, 0)
+	cat.infos["t"].Columns[2].Queries = 100
+	// Budget fits the Hermit (~4 KiB estimate) but not its 128 KiB B+-tree
+	// replacement (rows * 32).
+	a := New(cat, Options{MinQueries: 50, MaxFPRate: 0.5, SizeBudget: 16 << 10})
+	if acts, _ := a.RunOnce(); len(acts) != 1 || acts[0].Kind != CreatedHermit {
+		t.Fatal("setup failed")
+	}
+	cat.infos["t"].Columns[2].ObservedFP = 0.9
+	cat.infos["t"].Columns[2].FPObservations = 64
+	acts, _ := a.RunOnce()
+	if len(acts) != 1 || acts[0].Kind != DroppedIndex {
+		t.Fatalf("want an honest drop action, got: %+v", acts)
+	}
+	if cat.infos["t"].Columns[2].Kind != KindNone {
+		t.Fatalf("column served by %v", cat.infos["t"].Columns[2].Kind)
+	}
+}
+
+func TestEstimateOutlierRatio(t *testing.T) {
+	build := func(junk float64) *storage.Table {
+		st := storage.NewTable(2)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 5000; i++ {
+			c := rng.Float64() * 1000
+			b := -2*c + 300 + rng.NormFloat64()
+			if rng.Float64() < junk {
+				b = rng.Float64() * 40000
+			}
+			st.Insert([]float64{c, b})
+		}
+		return st
+	}
+	clean, err := EstimateOutlierRatio(build(0), 0, 1, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Ratio > 0.05 {
+		t.Fatalf("clean linear pair: %.1f%% outliers", clean.Ratio*100)
+	}
+	dirty, err := EstimateOutlierRatio(build(0.15), 0, 1, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Ratio < 0.08 || dirty.Ratio > 0.30 {
+		t.Fatalf("15%%-junk pair estimated at %.1f%%", dirty.Ratio*100)
+	}
+	if _, err := EstimateOutlierRatio(storage.NewTable(2), 0, 1, 100, 1); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package advisor
+
+import (
+	"errors"
+	"sort"
+
+	"hermit/internal/stats"
+	"hermit/internal/storage"
+)
+
+// ErrNoSample is returned when a table yields no pairs to estimate from.
+var ErrNoSample = errors.New("advisor: no rows to sample")
+
+// OutlierEstimate is the advisor's prediction of how well a TRS-Tree would
+// model a (target, host) column pair: the fraction of tuples a leaf-local
+// linear model would banish to its outlier buffer. It drives the
+// Hermit-versus-B+-tree decision (a high ratio means big outlier buffers,
+// high false-positive ratios, and a TRS-Tree that buys little).
+type OutlierEstimate struct {
+	// Ratio is the estimated outlier fraction in [0, 1].
+	Ratio float64
+	// Segments is how many piecewise fits the estimate used.
+	Segments int
+	// Sampled is the number of pairs examined.
+	Sampled int
+}
+
+// estimateSegments approximates a shallow TRS-Tree: enough pieces to track
+// the monotone curves the paper targets (sigmoid, per-ticker price bands)
+// without fitting noise.
+const estimateSegments = 16
+
+// EstimateOutlierRatio reservoir-samples up to sampleSize (target, host)
+// pairs in one scan and mirrors a one-level-deep TRS-Tree: the target range
+// is cut into segments, each segment gets its own OLS fit, and a pair is
+// counted as an outlier when its residual exceeds six robust standard
+// deviations (1.4826·MAD) of its segment — the heavy-tail mass a leaf would
+// have to buffer. The robust scale keeps the estimate sharp: a clean linear
+// or monotone correlation with ordinary noise scores near zero, while a
+// secondary cluster (the Stock application's crash days, uncorrelated
+// subpopulations) is counted at its true mass instead of inflating the
+// yardstick it is measured against.
+func EstimateOutlierRatio(st *storage.Table, target, host, sampleSize int, seed int64) (OutlierEstimate, error) {
+	if sampleSize <= 0 {
+		sampleSize = 2000
+	}
+	res := stats.NewReservoir(sampleSize, seed)
+	err := st.ScanPairs(target, host, func(_ storage.RID, m, n float64) bool {
+		res.Add(m, n)
+		return true
+	})
+	if err != nil {
+		return OutlierEstimate{}, err
+	}
+	xs, ys := res.Sample()
+	if len(xs) == 0 {
+		return OutlierEstimate{}, ErrNoSample
+	}
+	// Order by target value so segments are contiguous target ranges with
+	// equal point counts (equi-depth, robust to skewed distributions).
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+
+	segs := estimateSegments
+	minPer := 8 // below this a fit is noise, not signal
+	if len(xs)/segs < minPer {
+		segs = len(xs) / minPer
+		if segs < 1 {
+			segs = 1
+		}
+	}
+	out := OutlierEstimate{Segments: segs, Sampled: len(xs)}
+	outliers := 0
+	per := len(xs) / segs
+	var sx, sy []float64
+	for s := 0; s < segs; s++ {
+		loI, hiI := s*per, (s+1)*per
+		if s == segs-1 {
+			hiI = len(xs)
+		}
+		sx, sy = sx[:0], sy[:0]
+		for _, i := range idx[loI:hiI] {
+			sx = append(sx, xs[i])
+			sy = append(sy, ys[i])
+		}
+		outliers += segmentOutliers(sx, sy)
+	}
+	out.Ratio = float64(outliers) / float64(len(xs))
+	return out, nil
+}
+
+// trimIterations bounds the robust refit loop; each round discards points
+// beyond three robust sigmas and refits, so a heavy junk mass loses its
+// leverage over the line within a few rounds.
+const trimIterations = 3
+
+// segmentOutliers counts the segment's outliers under a robust fit. A
+// plain OLS fit is dragged toward the very outliers being measured (large
+// junk values have quadratic leverage), which inflates every residual and
+// hides the junk inside the yardstick. The loop therefore alternates fit →
+// robust scale → trim: after a few rounds the line sits on the inlier
+// mass, and the final count measures the original points against it.
+func segmentOutliers(sx, sy []float64) int {
+	kx := append([]float64(nil), sx...)
+	ky := append([]float64(nil), sy...)
+	var model stats.LinearModel
+	var sigma float64
+	var resid []float64
+	for iter := 0; iter < trimIterations; iter++ {
+		m, err := stats.FitLinear(kx, ky)
+		if err != nil {
+			return 0
+		}
+		model = m
+		resid = model.Residuals(kx, ky, resid)
+		sigma = robustSigma(append([]float64(nil), resid...))
+		if sigma == 0 {
+			break
+		}
+		cut := 3 * sigma
+		n := 0
+		for i := range kx {
+			if resid[i] <= cut {
+				kx[n], ky[n] = kx[i], ky[i]
+				n++
+			}
+		}
+		// Never trim below half the segment: the model must keep standing
+		// on the majority mass.
+		if n == len(kx) || n < len(sx)/2 {
+			break
+		}
+		kx, ky = kx[:n], ky[:n]
+	}
+	resid = model.Residuals(sx, sy, resid)
+	count := 0
+	if sigma == 0 {
+		// Over half the segment sits exactly on the model; anything off it
+		// is an outlier.
+		for _, r := range resid {
+			if r > 0 {
+				count++
+			}
+		}
+		return count
+	}
+	cut := 6 * sigma
+	for _, r := range resid {
+		if r > cut {
+			count++
+		}
+	}
+	return count
+}
+
+// robustSigma returns 1.4826 times the median absolute residual — the MAD
+// estimate of the standard deviation, immune to the outliers being counted.
+// The residuals slice is reordered.
+func robustSigma(resid []float64) float64 {
+	if len(resid) == 0 {
+		return 0
+	}
+	sort.Float64s(resid)
+	med := resid[len(resid)/2] // residuals are absolute values already
+	return 1.4826 * med
+}

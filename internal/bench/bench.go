@@ -119,6 +119,7 @@ var Registry = []Experiment{
 	{"ablation", "Ablations: sampling, range union, outlier buffer", Ablations},
 	{"concurrency", "Concurrent serving: throughput vs goroutines", RunConcurrency},
 	{"durability", "Durable inserts vs sync policy; recovery vs WAL length", RunDurability},
+	{"advisor", "Self-tuning: advisor auto-indexing and planner re-routing", RunAdvisor},
 }
 
 // ByID returns the experiment with the given id.
@@ -137,13 +138,18 @@ func header(w io.Writer, id, title string) {
 }
 
 // buildSynthetic creates a Synthetic table under the given scheme with the
-// host index on colB in place, ready for a new index on colC.
+// host index on colB in place, ready for a new index on colC. The table is
+// pinned to static routing: every figure compares named mechanisms, so the
+// cost planner must not re-route wide predicates to a scan mid-experiment
+// (the advisor experiment, which measures the planner itself, builds its
+// own table).
 func buildSynthetic(cfg Config, scheme hermit.PointerScheme, rowsN int, fn workload.CorrelationKind, noise float64) (*engine.Table, error) {
 	db := engine.NewDB(scheme)
 	tb, err := db.CreateTable("synthetic", workload.SyntheticSpec{}.Columns(), workload.SyntheticSpec{}.PKCol())
 	if err != nil {
 		return nil, err
 	}
+	tb.SetRouting(engine.RouteStatic)
 	spec := workload.SyntheticSpec{Rows: rowsN, Fn: fn, Noise: noise, Seed: cfg.Seed}
 	err = spec.Generate(func(row []float64) error {
 		_, err := tb.Insert(row)

@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
 		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
-		"concurrency", "durability",
+		"concurrency", "durability", "advisor",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -267,5 +267,45 @@ func TestSmokeDurability(t *testing.T) {
 		if p.WALRecords <= 0 || p.RecoveryMS <= 0 {
 			t.Fatalf("bad recovery point %+v", p)
 		}
+	}
+}
+
+func TestSmokeAdvisor(t *testing.T) {
+	e, ok := ByID("advisor")
+	if !ok {
+		t.Fatal("advisor experiment not registered")
+	}
+	cfg := tinyConfig(t)
+	cfg.JSONDir = t.TempDir()
+	buf := &bytes.Buffer{}
+	cfg.Out = buf
+	if err := e.Run(cfg); err != nil {
+		t.Fatalf("advisor: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"before auto-indexing", "advisor acted", "after auto-indexing"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("advisor output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_advisor.json"))
+	if err != nil {
+		t.Fatalf("BENCH_advisor.json not written: %v", err)
+	}
+	var rep advisorReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_advisor.json malformed: %v\n%s", err, data)
+	}
+	if rep.Experiment != "advisor" || rep.BeforeOpsPerSec <= 0 || rep.AfterOpsPerSec <= 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Action.Kind != "create-hermit" || rep.Action.Host < 0 {
+		t.Fatalf("advisor took the wrong action: %+v", rep.Action)
+	}
+	if rep.QueriesToConverge <= 0 || rep.ConvergenceMS <= 0 {
+		t.Fatalf("convergence not recorded: %+v", rep)
+	}
+	if rep.PlannerChosenAfter != "hermit" {
+		t.Fatalf("planner serving %q after auto-indexing", rep.PlannerChosenAfter)
 	}
 }

@@ -41,6 +41,7 @@ func buildStock(cfg Config, scheme hermit.PointerScheme, spec workload.StockSpec
 	if err != nil {
 		return nil, err
 	}
+	tb.SetRouting(engine.RouteStatic) // figures name their mechanism; see buildSynthetic
 	if err := spec.Generate(func(row []float64) error {
 		_, err := tb.Insert(row)
 		return err
@@ -197,6 +198,7 @@ func buildSensor(cfg Config, scheme hermit.PointerScheme, rowsN int) (*engine.Ta
 	if err != nil {
 		return nil, spec, err
 	}
+	tb.SetRouting(engine.RouteStatic) // figures name their mechanism; see buildSynthetic
 	if err := spec.Generate(func(row []float64) error {
 		_, err := tb.Insert(row)
 		return err

@@ -390,6 +390,7 @@ func buildMultiColumn(cfg Config, rowsN, targets int, makeHermit bool) (*engine.
 	if err != nil {
 		return nil, nil, err
 	}
+	tb.SetRouting(engine.RouteStatic) // figures name their mechanism; see buildSynthetic
 	spec := workload.SyntheticSpec{Rows: rowsN, Fn: workload.Linear, Noise: 0.01, Seed: cfg.Seed}
 	row := make([]float64, len(cols))
 	err = spec.Generate(func(src []float64) error {

@@ -7,7 +7,6 @@ package correlation
 
 import (
 	"errors"
-	"math/rand"
 	"sort"
 
 	"hermit/internal/stats"
@@ -182,8 +181,8 @@ func strength(m Measure) float64 {
 	return s
 }
 
-// samplePairs extracts up to cfg.SampleSize (target, host) pairs using
-// reservoir sampling over one table scan, so discovery costs one pass no
+// samplePairs extracts up to cfg.SampleSize (target, host) pairs with a
+// stats.Reservoir over one table scan, so discovery costs one pass no
 // matter the table size.
 func samplePairs(t *storage.Table, target, host int, cfg Config) (xs, ys []float64, err error) {
 	if t.Len() == 0 {
@@ -193,26 +192,14 @@ func samplePairs(t *storage.Table, target, host int, cfg Config) (xs, ys []float
 	if limit <= 0 || limit > t.Len() {
 		limit = t.Len()
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	xs = make([]float64, 0, limit)
-	ys = make([]float64, 0, limit)
-	seen := 0
+	res := stats.NewReservoir(limit, cfg.Seed)
 	err = t.ScanPairs(target, host, func(_ storage.RID, m, n float64) bool {
-		seen++
-		if len(xs) < limit {
-			xs = append(xs, m)
-			ys = append(ys, n)
-			return true
-		}
-		// Reservoir replacement.
-		j := rng.Intn(seen)
-		if j < limit {
-			xs[j], ys[j] = m, n
-		}
+		res.Add(m, n)
 		return true
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	xs, ys = res.Sample()
 	return xs, ys, nil
 }

@@ -150,6 +150,11 @@ type ddlIndex struct {
 	Def IndexDef `json:"def"`
 }
 
+type ddlDropIndex struct {
+	Col  int    `json:"col"`
+	Kind string `json:"kind"` // "btree" | "hermit" | "cm"
+}
+
 type durablePaths struct{ dir string }
 
 func (f durablePaths) String() string   { return f.dir }
@@ -307,6 +312,24 @@ func (d *DurableDB) apply(rec wal.Record) error {
 		}
 		d.tables[rec.Table].Defs = append(d.tables[rec.Table].Defs, ddl.Def)
 		return nil
+	case wal.OpDropIndex:
+		var ddl ddlDropIndex
+		if err := json.Unmarshal(rec.Payload, &ddl); err != nil {
+			return err
+		}
+		tb, err := d.db.Table(rec.Table)
+		if err != nil {
+			return err
+		}
+		kind, err := kindFromString(ddl.Kind)
+		if err != nil {
+			return err
+		}
+		if err := tb.DropIndex(ddl.Col, kind); err != nil {
+			return err
+		}
+		d.removeDef(rec.Table, ddl.Col, ddl.Kind)
+		return nil
 	case wal.OpInsert:
 		tb, err := d.db.Table(rec.Table)
 		if err != nil {
@@ -390,6 +413,73 @@ func (d *DurableDB) CreateIndex(table string, def IndexDef) error {
 		return err
 	}
 	tk, err := d.log.Submit(wal.Record{Op: wal.OpCreateIndex, Table: table, Payload: payload})
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = tk.Wait()
+	return err
+}
+
+// kindFromString maps an IndexDef kind string to the engine's IndexKind
+// vocabulary (single-column kinds only; composites are not droppable).
+func kindFromString(s string) (IndexKind, error) {
+	switch s {
+	case "btree":
+		return KindBTree, nil
+	case "hermit":
+		return KindHermit, nil
+	case "cm":
+		return KindCM, nil
+	default:
+		return KindNone, fmt.Errorf("engine: unknown droppable index kind %q", s)
+	}
+}
+
+// removeDef deletes the first recorded index definition matching (col,
+// kind) so post-drop checkpoints no longer rebuild the index.
+func (d *DurableDB) removeDef(table string, col int, kind string) {
+	meta := d.tables[table]
+	if meta == nil {
+		return
+	}
+	for i, def := range meta.Defs {
+		if def.Col == col && def.Kind == kind {
+			meta.Defs = append(meta.Defs[:i], meta.Defs[i+1:]...)
+			return
+		}
+	}
+}
+
+// DropIndex drops and logs the removal of the index of the given kind
+// ("btree", "hermit" or "cm") on col: the advisor's durable reclamation
+// path. Like all durable DDL it quiesces mutations and checkpoints via the
+// exclusive latch, and the drop is WAL-logged so recovery replays it; the
+// index also leaves the recorded definitions, so later checkpoints do not
+// resurrect it.
+func (d *DurableDB) DropIndex(table string, col int, kind string) error {
+	d.mu.Lock()
+	tb, err := d.db.Table(table)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	k, err := kindFromString(kind)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := tb.DropIndex(col, k); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.removeDef(table, col, kind)
+	payload, err := json.Marshal(ddlDropIndex{Col: col, Kind: kind})
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	tk, err := d.log.Submit(wal.Record{Op: wal.OpDropIndex, Table: table, Payload: payload})
 	d.mu.Unlock()
 	if err != nil {
 		return err

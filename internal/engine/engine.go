@@ -78,6 +78,7 @@ func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error)
 		compositeMu:  newLatchSet[colPair](),
 		hermitHostMu: make(map[int]*sync.RWMutex),
 		cmHostMu:     make(map[int]*sync.RWMutex),
+		runtime:      newColRuntime(len(cols)),
 	}
 	db.tables[name] = t
 	return t, nil
@@ -142,6 +143,22 @@ type Table struct {
 	// scans the originally bound structure.
 	hermitHostMu map[int]*sync.RWMutex
 	cmHostMu     map[int]*sync.RWMutex
+
+	// runtime holds the planner's per-column statistics (query/update
+	// counters, cached bounds, per-path latency and false-positive EWMAs);
+	// writes counts all row mutations. Both are written lock-free on hot
+	// paths (see planner.go) and read by the planner and the advisor.
+	runtime []colRuntime
+	writes  atomic.Uint64
+	routing atomic.Int32 // RoutingMode; RouteCost by default
+	// Table-wide latency calibration (planner.go): EWMAs of observed
+	// nanoseconds and of the model cost across all timed queries. The
+	// global ratio anchors per-path calibration so a path that has never
+	// run (e.g. scan on an indexed column) is compared on the same scale
+	// as the paths that have.
+	calLat  atomic.Uint64 // float64 bits
+	calCost atomic.Uint64 // float64 bits
+	calObs  atomic.Uint64
 
 	profile atomic.Bool
 }
@@ -229,6 +246,10 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 	rid, err := t.store.Insert(row)
 	if err != nil {
 		return 0, st, err
+	}
+	t.writes.Add(1)
+	for i, v := range row {
+		t.runtime[i].widen(v)
 	}
 	t.primaryMu.Lock()
 	t.primary.Insert(pk, uint64(rid))
@@ -338,6 +359,7 @@ func (t *Table) Delete(pk float64) (bool, error) {
 	if err := t.store.Delete(rid); err != nil {
 		return false, err
 	}
+	t.writes.Add(1)
 	return true, nil
 }
 
@@ -364,6 +386,9 @@ func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
 	if err != nil {
 		return err
 	}
+	t.writes.Add(1)
+	t.runtime[col].updates.Add(1)
+	t.runtime[col].widen(v)
 	if old == v {
 		return nil
 	}

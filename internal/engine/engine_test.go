@@ -388,6 +388,10 @@ func TestMemoryBreakdown(t *testing.T) {
 
 func TestCMIndexInEngine(t *testing.T) {
 	_, tb := newSynthetic(t, hermit.PhysicalPointers, 10000, linearFn, 0.05, 11)
+	// Pin static routing: this test exercises the CM mechanism itself, and
+	// the cost planner would (correctly) abandon CM for a scan once it
+	// observes CM's coarse-bucket false-positive ratio.
+	tb.SetRouting(RouteStatic)
 	cfg := cm.Config{TargetBucket: 16, HostBucket: 64}
 	if _, err := tb.CreateCMIndex(2, 1, cfg); err != nil {
 		t.Fatal(err)
@@ -422,6 +426,10 @@ func TestCMIndexInEngine(t *testing.T) {
 
 func TestProfileQueryBreakdown(t *testing.T) {
 	_, tb := newSynthetic(t, hermit.LogicalPointers, 10000, sigmoidFn, 0.02, 13)
+	// Pin static routing: the breakdown assertions target the Hermit and
+	// baseline mechanisms specifically, and these wide predicates are ones
+	// the cost planner would route to a scan under logical pointers.
+	tb.SetRouting(RouteStatic)
 	if _, err := tb.CreateHermitIndex(2, 1, WithProfile()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -199,6 +200,72 @@ func (t *Table) CreateCMIndex(col, hostCol int, cfg cm.Config) (*cm.Index, error
 	t.cmHostOf[col] = hostCol
 	t.cmHostMu[col] = t.hostLatchFor(hostCol, host)
 	return cx, nil
+}
+
+// Errors returned by DropIndex.
+var (
+	// ErrNoSuchIndex is returned when no index of the requested kind exists
+	// on the column.
+	ErrNoSuchIndex = errors.New("engine: no such index")
+	// ErrHostInUse is returned when a complete index still hosts a Hermit
+	// or CM index; drop the dependents first.
+	ErrHostInUse = errors.New("engine: index hosts a Hermit or CM index; drop dependents first")
+)
+
+// DropIndex removes the index of the given kind (KindBTree, KindHermit or
+// KindCM) from col. A complete B+-tree cannot be dropped while a Hermit or
+// CM index is bound to it as a host (the dependents' lookups scan it), and
+// primary/composite indexes cannot be dropped at all. DDL takes the catalog
+// latch exclusively, so in-flight queries drain before the structure goes
+// away. It is the advisor's reclamation hook, but callers can use it
+// directly.
+func (t *Table) DropIndex(col int, kind IndexKind) error {
+	if col < 0 || col >= len(t.cols) {
+		return ErrNoSuchColumn
+	}
+	t.catalog.Lock()
+	defer t.catalog.Unlock()
+	switch kind {
+	case KindHermit:
+		if t.hermits[col] == nil {
+			return fmt.Errorf("%w: no hermit index on column %d", ErrNoSuchIndex, col)
+		}
+		delete(t.hermits, col)
+		delete(t.hostOf, col)
+		delete(t.hermitHostMu, col)
+		t.resetPathStats(col, PathHermit, PathTRSDirect)
+	case KindCM:
+		if t.cms[col] == nil {
+			return fmt.Errorf("%w: no cm index on column %d", ErrNoSuchIndex, col)
+		}
+		delete(t.cms, col)
+		delete(t.cmHostOf, col)
+		delete(t.cmHostMu, col)
+		t.resetPathStats(col, PathCM)
+	case KindBTree:
+		if t.secondary[col] == nil {
+			return fmt.Errorf("%w: no btree index on column %d", ErrNoSuchIndex, col)
+		}
+		for target, host := range t.hostOf {
+			if host == col {
+				return fmt.Errorf("%w (hermit on column %d)", ErrHostInUse, target)
+			}
+		}
+		for target, host := range t.cmHostOf {
+			if host == col {
+				return fmt.Errorf("%w (cm on column %d)", ErrHostInUse, target)
+			}
+		}
+		delete(t.secondary, col)
+		delete(t.newCols, col)
+		t.resetPathStats(col, PathBTree)
+		// The latchSet entry stays: queries racing past DDL resolve the
+		// column's structures under the catalog latch and find the map
+		// empty, never the latch.
+	default:
+		return fmt.Errorf("%w: kind %v is not droppable", ErrNoSuchIndex, kind)
+	}
+	return nil
 }
 
 // IndexKind identifies which mechanism serves a column.

@@ -13,6 +13,9 @@ import (
 type QueryStats struct {
 	// Kind is the index mechanism that served the query.
 	Kind IndexKind
+	// Path is the access path the planner executed (finer-grained than
+	// Kind: PathHermit and PathTRSDirect both report KindHermit).
+	Path AccessPath
 	// Rows is the number of qualifying tuples.
 	Rows int
 	// Candidates counts tuples fetched before validation (equals Rows for
@@ -33,25 +36,68 @@ func (q QueryStats) FalsePositiveRatio() float64 {
 }
 
 // RangeQuery returns the RIDs of rows with lo <= col <= hi, routed through
-// the best available index: Hermit, then CM, then a complete B+-tree, then
-// the primary index, then a full scan. Queries hold only the catalog read
-// latch (shared with all other queries and writers) plus the read latch of
-// the index structures they traverse, so concurrent queries on different
-// indexes do not contend.
+// the access path the cost-based planner estimates cheapest (see
+// planner.go); SetRouting(RouteStatic) restores the fixed pre-planner
+// priority (Hermit, then CM, then a complete B+-tree, then the primary
+// index, then a full scan). Execution results — hit counts, false-positive
+// ratios, sampled latencies — are fed back into the planner's per-path
+// statistics. Queries hold only the catalog read latch (shared with all
+// other queries and writers) plus the read latch of the index structures
+// they traverse, so concurrent queries on different indexes do not contend.
 func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	if col < 0 || col >= len(t.cols) {
 		return nil, QueryStats{}, ErrNoSuchColumn
 	}
 	t.catalog.RLock()
 	defer t.catalog.RUnlock()
-	return t.rangeQueryLocked(col, lo, hi)
+	var chosen AccessPath
+	var modelCost float64
+	if RoutingMode(t.routing.Load()) == RouteCost {
+		var ests [numPaths]PathEstimate
+		chosen, ests, _, _ = t.planLocked(col, lo, hi)
+		modelCost = ests[chosen].Cost
+	} else {
+		chosen = t.staticPathLocked(col)
+	}
+	// Latency is sampled (1 in latencySampleMask+1) so the feedback loop
+	// does not tax every query with clock reads.
+	timed := t.runtime[col].paths[chosen].count.Load()&latencySampleMask == 0
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	rids, st, err := t.execPathLocked(chosen, col, lo, hi)
+	if err != nil {
+		return nil, st, err
+	}
+	var elapsed time.Duration
+	if timed {
+		elapsed = time.Since(t0)
+	}
+	t.recordQuery(col, chosen, modelCost, elapsed, st)
+	st.Path = chosen
+	return rids, st, nil
 }
 
-// rangeQueryLocked routes a single-column predicate; t.catalog is held
-// shared.
+// staticPathLocked is the fixed pre-planner routing priority; t.catalog is
+// held shared.
+func (t *Table) staticPathLocked(col int) AccessPath {
+	return pathForKind(t.indexOnLocked(col))
+}
+
+// rangeQueryLocked routes a single-column predicate through the static
+// priority; t.catalog is held shared. (The composite two-column fallback
+// uses it so RangeQuery2's behaviour is independent of the planner.)
 func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
-	switch kind := t.indexOnLocked(col); kind {
-	case KindHermit:
+	return t.execPathLocked(t.staticPathLocked(col), col, lo, hi)
+}
+
+// execPathLocked executes the predicate over one access path; t.catalog is
+// held shared. The caller guarantees the path is available (planLocked or
+// staticPathLocked).
+func (t *Table) execPathLocked(path AccessPath, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	switch path {
+	case PathHermit:
 		// The Hermit lookup traverses its self-latching TRS-Tree, then the
 		// host index, then (under logical pointers) the primary index; the
 		// latter two are engine-latched. Acquire host before primary — the
@@ -69,12 +115,12 @@ func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryS
 		}
 		hostMu.RUnlock()
 		return res.RIDs, QueryStats{
-			Kind:       kind,
+			Kind:       KindHermit,
 			Rows:       len(res.RIDs),
 			Candidates: res.Candidates,
 			Breakdown:  res.Breakdown,
 		}, nil
-	case KindCM:
+	case PathCM:
 		// CM lookups read the bucket map and scan the host index (CM is
 		// physical-pointers only, so no primary hop).
 		cmMu := t.cmMu.get(col)
@@ -85,14 +131,16 @@ func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryS
 		hostMu.RUnlock()
 		cmMu.RUnlock()
 		return res.RIDs, QueryStats{
-			Kind:       kind,
+			Kind:       KindCM,
 			Rows:       len(res.RIDs),
 			Candidates: res.Candidates,
 		}, nil
-	case KindBTree:
-		return t.baselineRange(t.secondary[col], t.secondaryMu.get(col), kind, lo, hi)
-	case KindPrimary:
+	case PathBTree:
+		return t.baselineRange(t.secondary[col], t.secondaryMu.get(col), KindBTree, lo, hi)
+	case PathPrimary:
 		return t.primaryRange(lo, hi)
+	case PathTRSDirect:
+		return t.trsDirectRange(col, lo, hi)
 	default:
 		return t.scanRange(col, lo, hi)
 	}

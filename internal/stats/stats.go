@@ -1,7 +1,9 @@
-// Package stats provides the statistical primitives used by the TRS-Tree
-// and the correlation discovery module: simple (univariate) linear
-// regression solved in closed form by ordinary least squares, Pearson and
-// Spearman correlation coefficients, and streaming moment accumulators.
+// Package stats provides the statistical primitives used by the TRS-Tree,
+// the correlation discovery module and the access-path advisor: simple
+// (univariate) linear regression solved in closed form by ordinary least
+// squares, Pearson and Spearman correlation coefficients, streaming moment
+// accumulators, reservoir sampling, and exponentially weighted moving
+// averages.
 //
 // The paper (§4.1) deliberately uses the closed-form OLS solution instead of
 // gradient descent: it needs a single scan of the data and is exact for the
@@ -11,6 +13,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"sort"
 )
 
@@ -235,3 +238,108 @@ func (mo *Moments) Fit() (LinearModel, error) {
 
 // Reset returns the accumulator to its zero state for reuse.
 func (mo *Moments) Reset() { *mo = Moments{} }
+
+// Reservoir draws a uniform fixed-size sample of (x, y) pairs from a stream
+// of unknown length using Algorithm R: the first Cap pairs are kept, and the
+// i-th pair thereafter replaces a random slot with probability Cap/i. One
+// pass, O(Cap) memory, every stream element equally likely to be retained —
+// the sampling substrate correlation discovery and the advisor share
+// (CORDS-style sampled search, paper App. D.1).
+type Reservoir struct {
+	cap  int
+	seen int
+	rng  *rand.Rand
+	xs   []float64
+	ys   []float64
+}
+
+// NewReservoir creates a paired reservoir holding at most capacity pairs.
+// The seed makes sampling deterministic; 0 is replaced by 1 so a zero-value
+// configuration still yields a reproducible sample.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Reservoir{
+		cap: capacity,
+		rng: rand.New(rand.NewSource(seed)),
+		xs:  make([]float64, 0, capacity),
+		ys:  make([]float64, 0, capacity),
+	}
+}
+
+// Add offers one pair to the reservoir.
+func (r *Reservoir) Add(x, y float64) {
+	r.seen++
+	if len(r.xs) < r.cap {
+		r.xs = append(r.xs, x)
+		r.ys = append(r.ys, y)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.cap {
+		r.xs[j], r.ys[j] = x, y
+	}
+}
+
+// Seen returns how many pairs were offered (not how many were kept).
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Sample returns the retained pairs. The slices are the reservoir's own
+// backing storage: callers must not Add after using them, or must copy.
+func (r *Reservoir) Sample() (xs, ys []float64) { return r.xs, r.ys }
+
+// EWMA is an exponentially weighted moving average: each observation moves
+// the average a fixed fraction Alpha of the way toward itself, so recent
+// behaviour dominates while history decays geometrically. The engine's
+// planner keeps per-access-path latency and false-positive EWMAs (with
+// atomics layered on top of this arithmetic); the advisor and benches use
+// this plain form.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; 0 is replaced by
+	// DefaultEWMAAlpha on the first observation.
+	Alpha float64
+
+	value float64
+	n     int
+}
+
+// DefaultEWMAAlpha weights a new observation at 1/8 — smooth enough to ride
+// out one-off stalls, fresh enough to track workload shifts within a few
+// dozen observations.
+const DefaultEWMAAlpha = 0.125
+
+// Observe folds one observation into the average. The first observation
+// initialises the average exactly.
+func (e *EWMA) Observe(v float64) {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		e.Alpha = DefaultEWMAAlpha
+	}
+	e.n++
+	if e.n == 1 {
+		e.value = v
+		return
+	}
+	e.value += e.Alpha * (v - e.value)
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// N returns the number of observations folded in.
+func (e *EWMA) N() int { return e.n }
+
+// EWMAStep is the pure update rule shared by EWMA and the engine's atomic
+// (CAS-loop) variants: the average after folding v into cur with factor
+// alpha, where n is the observation count before v (n == 0 initialises).
+func EWMAStep(cur, v, alpha float64, n int) float64 {
+	if n == 0 {
+		return v
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	return cur + alpha*(v-cur)
+}

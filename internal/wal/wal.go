@@ -39,13 +39,15 @@ import (
 // log only frames and checksums.
 type Op byte
 
-// Operation codes used by the engine's durable layer.
+// Operation codes used by the engine's durable layer. Codes are appended,
+// never renumbered: logs written by older binaries replay on newer ones.
 const (
 	OpInsert Op = iota + 1
 	OpDelete
 	OpUpdate
 	OpCreateTable
 	OpCreateIndex
+	OpDropIndex
 )
 
 // Record is one logged operation. LSN is assigned by the appender and is
