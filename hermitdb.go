@@ -32,6 +32,7 @@ import (
 	"hermit/internal/correlation"
 	"hermit/internal/engine"
 	"hermit/internal/hermit"
+	"hermit/internal/partition"
 	"hermit/internal/storage"
 	"hermit/internal/trstree"
 	"hermit/internal/workload"
@@ -109,6 +110,48 @@ const (
 	OpInsert = engine.OpInsert
 	OpDelete = engine.OpDelete
 	OpUpdate = engine.OpUpdate
+)
+
+// Hash-partitioned tables with parallel scatter-gather execution. A
+// partitioned table splits rows across N per-partition engine instances
+// (each with its own indexes, latches and planner state) by a hash of the
+// primary key: mutations and pk point queries route to one partition,
+// range queries fan out across a bounded worker pool and return an
+// ordered merge. The same wrapper fronts a DurableDB, where every WAL
+// record carries its partition id and checkpoints/recovery rebuild each
+// partition:
+//
+//	pt, _ := hermitdb.CreatePartitionedTable(hermitdb.PhysicalPointers,
+//		"orders", cols, 0, hermitdb.PartitionOptions{Partitions: 8})
+//	rids, stats, _ := pt.RangeQuery(2, 100, 120) // stats.FanOut == 8
+type (
+	// PartitionedTable is a hash-partitioned table with scatter-gather
+	// execution (see internal/partition).
+	PartitionedTable = partition.Table
+	// PartitionOptions selects the partition count and scatter pool bound.
+	PartitionOptions = partition.Options
+	// PartitionedRID identifies a row as (partition, in-partition RID).
+	PartitionedRID = partition.RID
+	// PartitionStats describes a partitioned query's execution (fan-out,
+	// routing, merged row counts, per-partition stats).
+	PartitionStats = partition.Stats
+	// PartitionedPlan is Explain's fan-out report: one costed engine plan
+	// per executing partition plus total/critical-path cost.
+	PartitionedPlan = partition.Plan
+	// PartitionedOpResult is the outcome of one batched op on a
+	// partitioned table.
+	PartitionedOpResult = partition.OpResult
+)
+
+// Partitioned-table constructors, re-exported from internal/partition.
+var (
+	// CreatePartitionedTable creates an in-memory partitioned table.
+	CreatePartitionedTable = partition.New
+	// CreatePartitionedDurable creates a WAL-logged partitioned table in a
+	// DurableDB; it survives close/reopen, checkpoints and crashes.
+	CreatePartitionedDurable = partition.CreateDurable
+	// OpenPartitionedDurable wraps a recovered durable partitioned table.
+	OpenPartitionedDurable = partition.OpenDurable
 )
 
 // Cost-based planning and self-tuning. Every RangeQuery/PointQuery is

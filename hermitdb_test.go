@@ -92,3 +92,82 @@ func TestFacadeAutoIndex(t *testing.T) {
 		t.Fatalf("auto hermit returned %d rows, want %d", len(rids), want)
 	}
 }
+
+// TestPartitionedFacade exercises the README partitioned-table path
+// through the public API only: creation, routed and scattered queries,
+// Explain's fan-out, and the durable round trip.
+func TestPartitionedFacade(t *testing.T) {
+	spec := hermitdb.SyntheticSpec{Rows: 2000, Fn: hermitdb.Linear, Noise: 0.01, Seed: 4}
+	pt, err := hermitdb.CreatePartitionedTable(hermitdb.PhysicalPointers,
+		"syn", spec.Columns(), spec.PKCol(),
+		hermitdb.PartitionOptions{Partitions: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Generate(func(row []float64) error {
+		_, err := pt.Insert(row)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CreateBTreeIndex(spec.HostCol(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CreateHermitIndex(spec.TargetCol(), spec.HostCol(), hermitdb.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	rids, stats, err := pt.RangeQuery(spec.TargetCol(), 100, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FanOut != 4 || stats.Routed {
+		t.Fatalf("range stats: %+v, want 4-way scatter", stats)
+	}
+	if len(rids) == 0 {
+		t.Fatal("range query returned no rows")
+	}
+	if _, st, err := pt.PointQuery(spec.PKCol(), 7); err != nil || !st.Routed {
+		t.Fatalf("pk point query: routed=%v err=%v", st.Routed, err)
+	}
+	plan, err := pt.Explain(spec.TargetCol(), 100, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FanOut != 4 || len(plan.PerPartition) != 4 {
+		t.Fatalf("Explain fan-out: %+v", plan)
+	}
+
+	dir := t.TempDir()
+	d, err := hermitdb.OpenDurable(dir, hermitdb.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := hermitdb.CreatePartitionedDurable(d, "orders",
+		[]string{"id", "qty"}, 0, hermitdb.PartitionOptions{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := dt.Insert([]float64{float64(i), float64(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := hermitdb.OpenDurable(dir, hermitdb.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	dt2, err := hermitdb.OpenPartitionedDurable(d2, "orders", hermitdb.PartitionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt2.Len() != 100 {
+		t.Fatalf("recovered %d rows, want 100", dt2.Len())
+	}
+	if rids, _, err := dt2.PointQuery(0, 42); err != nil || len(rids) != 1 {
+		t.Fatalf("recovered pk lookup: %v, %v", rids, err)
+	}
+}

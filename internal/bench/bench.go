@@ -120,6 +120,7 @@ var Registry = []Experiment{
 	{"concurrency", "Concurrent serving: throughput vs goroutines", RunConcurrency},
 	{"durability", "Durable inserts vs sync policy; recovery vs WAL length", RunDurability},
 	{"advisor", "Self-tuning: advisor auto-indexing and planner re-routing", RunAdvisor},
+	{"partition", "Hash partitioning: scatter-gather throughput vs partitions x goroutines", RunPartition},
 }
 
 // ByID returns the experiment with the given id.

@@ -35,6 +35,7 @@ type advisorReport struct {
 	Rows               int                 `json:"rows"`
 	Scale              float64             `json:"scale"`
 	MeasureForMS       int64               `json:"measure_for_ms"`
+	Seed               int64               `json:"seed"`
 	BeforeOpsPerSec    float64             `json:"before_ops_per_sec"`
 	AfterOpsPerSec     float64             `json:"after_ops_per_sec"`
 	Speedup            float64             `json:"speedup"`
@@ -77,6 +78,7 @@ func RunAdvisor(cfg Config) error {
 		Rows:         n,
 		Scale:        cfg.Scale,
 		MeasureForMS: cfg.MeasureFor.Milliseconds(),
+		Seed:         cfg.Seed,
 	}
 	fmt.Fprintf(cfg.Out, "rows=%d target=col%d (unindexed, correlated with indexed col%d)\n",
 		n, spec.TargetCol(), spec.HostCol())

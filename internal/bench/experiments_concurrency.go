@@ -38,6 +38,7 @@ type concurrencyReport struct {
 	NumCPU           int                `json:"num_cpu"`
 	GOMAXPROCS       int                `json:"gomaxprocs"`
 	MeasureForMS     int64              `json:"measure_for_ms"`
+	Seed             int64              `json:"seed"`
 	ReadOnly         []concurrencyPoint `json:"read_only_range"`
 	Mixed            []concurrencyPoint `json:"mixed_90_10"`
 	ReadSpeedupAtMax float64            `json:"read_speedup_at_max"`
@@ -86,6 +87,7 @@ func RunConcurrency(cfg Config) error {
 		NumCPU:       runtime.NumCPU(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		MeasureForMS: cfg.MeasureFor.Milliseconds(),
+		Seed:         cfg.Seed,
 	}
 
 	fmt.Fprintf(cfg.Out, "-- read-only range queries --\n")

@@ -48,6 +48,7 @@ type durabilityReport struct {
 	NumCPU          int                         `json:"num_cpu"`
 	GOMAXPROCS      int                         `json:"gomaxprocs"`
 	MeasureForMS    int64                       `json:"measure_for_ms"`
+	Seed            int64                       `json:"seed"`
 	GroupIntervalUS int64                       `json:"group_interval_us"`
 	Throughput      []durabilityThroughputPoint `json:"insert_throughput"`
 	Recovery        []durabilityRecoveryPoint   `json:"recovery"`
@@ -72,6 +73,7 @@ func RunDurability(cfg Config) error {
 		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		MeasureForMS:    cfg.MeasureFor.Milliseconds(),
+		Seed:            cfg.Seed,
 		GroupIntervalUS: durabilityGroupInterval.Microseconds(),
 	}
 

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/partition"
+	"hermit/internal/trstree"
+	"hermit/internal/workload"
+)
+
+// The partition experiment measures what hash partitioning with
+// scatter-gather execution buys: aggregate range-scan and mixed 90/10
+// throughput as the partition count and client goroutine count grow, plus
+// the routing overhead partitioning adds to primary-key point queries.
+// Results are printed and, when Config.JSONDir is set, recorded in
+// BENCH_partition.json.
+
+// partitionCaveat documents the single-CPU container this repo's CI runs
+// in; recorded verbatim in the JSON so readers of the artifact see it.
+const partitionCaveat = "speedups are bounded by GOMAXPROCS: on a 1-CPU " +
+	"container every sweep is ~1x by construction and partitioning only " +
+	"adds merge overhead; on multi-core hardware range-scan throughput " +
+	"scales with partition count until cores are saturated"
+
+// partitionPoint is one plotted (partition count, goroutine count) cell.
+type partitionPoint struct {
+	Partitions int     `json:"partitions"`
+	Goroutines int     `json:"goroutines"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Speedup is relative to 1 partition at the same goroutine count.
+	Speedup float64 `json:"speedup_vs_1_partition"`
+}
+
+// partitionOverhead compares primary-key point-query throughput on a
+// single-partition table against an N-partition one (pure routing cost).
+type partitionOverhead struct {
+	Partitions          int     `json:"partitions"`
+	SinglePartOpsPerSec float64 `json:"ops_per_sec_1_partition"`
+	MultiPartOpsPerSec  float64 `json:"ops_per_sec_n_partitions"`
+	OverheadPct         float64 `json:"overhead_pct"`
+}
+
+// partitionReport is the schema of BENCH_partition.json.
+type partitionReport struct {
+	Experiment    string            `json:"experiment"`
+	Rows          int               `json:"rows"`
+	Scale         float64           `json:"scale"`
+	Seed          int64             `json:"seed"`
+	NumCPU        int               `json:"num_cpu"`
+	GOMAXPROCS    int               `json:"gomaxprocs"`
+	MeasureForMS  int64             `json:"measure_for_ms"`
+	Caveat        string            `json:"caveat"`
+	RangeScan     []partitionPoint  `json:"range_scan"`
+	Mixed         []partitionPoint  `json:"mixed_90_10"`
+	PointOverhead partitionOverhead `json:"point_overhead"`
+}
+
+// partitionCounts returns the swept partition counts.
+func partitionCounts() []int { return []int{1, 2, 4} }
+
+// buildPartitioned creates a partitioned Synthetic table with the host
+// index and a Hermit index on the target column in every partition.
+func buildPartitioned(cfg Config, parts, rowsN, workers int) (*partition.Table, error) {
+	spec := workload.SyntheticSpec{Rows: rowsN, Fn: workload.Linear, Noise: 0.01, Seed: cfg.Seed}
+	pt, err := partition.New(hermit.PhysicalPointers, "syn", spec.Columns(), spec.PKCol(),
+		partition.Options{Partitions: parts, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	pt.SetRouting(engine.RouteStatic)
+	if err := spec.Generate(func(row []float64) error {
+		_, err := pt.Insert(row)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := pt.CreateBTreeIndex(spec.HostCol(), false); err != nil {
+		return nil, err
+	}
+	if err := pt.CreateHermitIndex(spec.TargetCol(), spec.HostCol(), trstree.DefaultParams()); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// RunPartition drives the partition experiment.
+func RunPartition(cfg Config) error {
+	cfg = cfg.sanitized()
+	header(cfg.Out, "partition", "Hash partitioning: scatter-gather throughput vs partitions x goroutines")
+	n := cfg.rows(2_000_000)
+	fmt.Fprintf(cfg.Out, "rows=%d gomaxprocs=%d cpus=%d partitions=%v\n",
+		n, runtime.GOMAXPROCS(0), runtime.NumCPU(), partitionCounts())
+	fmt.Fprintf(cfg.Out, "note: %s\n", partitionCaveat)
+
+	rep := partitionReport{
+		Experiment:   "partition",
+		Rows:         n,
+		Scale:        cfg.Scale,
+		Seed:         cfg.Seed,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		MeasureForMS: cfg.MeasureFor.Milliseconds(),
+		Caveat:       partitionCaveat,
+	}
+	gcounts := goroutineCounts(cfg.Concurrency)
+
+	// baselines[g] is the 1-partition throughput at g goroutines, the
+	// denominator of every speedup in the same sweep.
+	for _, sweep := range []struct {
+		name    string
+		out     *[]partitionPoint
+		measure func(pt *partition.Table, g int, nextPK *float64) (float64, error)
+	}{
+		{"range-scan (Hermit target column)", &rep.RangeScan,
+			func(pt *partition.Table, g int, _ *float64) (float64, error) {
+				return measurePartitionRange(cfg, pt, g)
+			}},
+		{"mixed 90% read / 10% write (batched executor)", &rep.Mixed, func(pt *partition.Table, g int, nextPK *float64) (float64, error) {
+			return measurePartitionMixed(cfg, pt, g, nextPK)
+		}},
+	} {
+		fmt.Fprintf(cfg.Out, "-- %s --\n", sweep.name)
+		fmt.Fprintf(cfg.Out, "%-12s %-12s %14s %18s\n", "partitions", "goroutines", "throughput", "speedup-vs-1part")
+		baselines := make(map[int]float64)
+		for _, parts := range partitionCounts() {
+			pt, err := buildPartitioned(cfg, parts, n, cfg.Concurrency)
+			if err != nil {
+				return err
+			}
+			nextPK := float64(10 * n)
+			for _, g := range gcounts {
+				ops, err := sweep.measure(pt, g, &nextPK)
+				if err != nil {
+					return err
+				}
+				if parts == 1 {
+					baselines[g] = ops
+				}
+				p := partitionPoint{
+					Partitions: parts,
+					Goroutines: g,
+					OpsPerSec:  ops,
+					Speedup:    speedup(ops, baselines[g]),
+				}
+				*sweep.out = append(*sweep.out, p)
+				fmt.Fprintf(cfg.Out, "%-12d %-12d %14s %17.2fx\n", parts, g, fmtKops(ops), p.Speedup)
+			}
+		}
+	}
+
+	// Point-query overhead: the price of hash routing on the pk path.
+	single, err := buildPartitioned(cfg, 1, n, cfg.Concurrency)
+	if err != nil {
+		return err
+	}
+	multi, err := buildPartitioned(cfg, partitionCounts()[len(partitionCounts())-1], n, cfg.Concurrency)
+	if err != nil {
+		return err
+	}
+	so, err := measurePartitionPoint(cfg, single)
+	if err != nil {
+		return err
+	}
+	mo, err := measurePartitionPoint(cfg, multi)
+	if err != nil {
+		return err
+	}
+	rep.PointOverhead = partitionOverhead{
+		Partitions:          multi.Partitions(),
+		SinglePartOpsPerSec: so,
+		MultiPartOpsPerSec:  mo,
+	}
+	if so > 0 {
+		rep.PointOverhead.OverheadPct = (so - mo) / so * 100
+	}
+	fmt.Fprintf(cfg.Out, "-- pk point-query overhead --\n")
+	fmt.Fprintf(cfg.Out, "1 partition: %s   %d partitions: %s   overhead: %.1f%%\n",
+		fmtKops(so), multi.Partitions(), fmtKops(mo), rep.PointOverhead.OverheadPct)
+
+	if cfg.JSONDir != "" {
+		path := filepath.Join(cfg.JSONDir, "BENCH_partition.json")
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "[recorded %s]\n", path)
+	}
+	return nil
+}
+
+// measurePartitionRange drives scatter-gather range queries on the Hermit
+// target column from g client goroutines for cfg.MeasureFor, returning
+// aggregate operations/second.
+func measurePartitionRange(cfg Config, pt *partition.Table, g int) (float64, error) {
+	spec := workload.SyntheticSpec{}
+	var stop atomic.Bool
+	var total atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.QueryGen(0, workload.SyntheticSpan, 0.01, cfg.Seed+int64(500+w))
+			ops := int64(0)
+			for !stop.Load() {
+				q := gen()
+				if _, _, err := pt.RangeQuery(spec.TargetCol(), q.Lo, q.Hi); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					stop.Store(true)
+					return
+				}
+				ops++
+			}
+			total.Add(ops)
+		}(w)
+	}
+	time.Sleep(cfg.MeasureFor)
+	stop.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(total.Load()) / time.Since(start).Seconds(), nil
+}
+
+// measurePartitionMixed replays 90/10 read/write batches through the
+// partitioned batched executor with g workers, returning aggregate
+// operations/second. nextPK threads the fresh-key counter across sweeps so
+// no two batches insert the same key.
+func measurePartitionMixed(cfg Config, pt *partition.Table, g int, nextPK *float64) (float64, error) {
+	spec := workload.SyntheticSpec{}
+	const batchSize = 512
+	targetGen := workload.QueryGen(0, workload.SyntheticSpan, 0.005, cfg.Seed+7)
+	hostGen := workload.QueryGen(100, 2*workload.SyntheticSpan+100, 0.005, cfg.Seed+8)
+
+	var pendingDelete []float64
+	makeBatch := func() []engine.Op {
+		ops := make([]engine.Op, 0, batchSize)
+		var inserted []float64
+		for i := 0; i < batchSize; i++ {
+			switch {
+			case i%10 == 9: // 10% writes, alternating insert/delete
+				if len(pendingDelete) > 0 && i%20 == 19 {
+					pk := pendingDelete[0]
+					pendingDelete = pendingDelete[1:]
+					ops = append(ops, engine.Op{Kind: engine.OpDelete, PK: pk})
+				} else {
+					pk := *nextPK
+					*nextPK++
+					c := float64(int(pk) % 1000)
+					ops = append(ops, engine.Op{Kind: engine.OpInsert,
+						Row: []float64{pk, 2*c + 100, c, 0.5}})
+					inserted = append(inserted, pk)
+				}
+			case i%3 == 0:
+				q := hostGen()
+				ops = append(ops, engine.Op{Kind: engine.OpRange,
+					Col: spec.HostCol(), Lo: q.Lo, Hi: q.Hi})
+			default:
+				q := targetGen()
+				ops = append(ops, engine.Op{Kind: engine.OpRange,
+					Col: spec.TargetCol(), Lo: q.Lo, Hi: q.Hi})
+			}
+		}
+		pendingDelete = append(pendingDelete, inserted...)
+		return ops
+	}
+
+	start := time.Now()
+	total := 0
+	for time.Since(start) < cfg.MeasureFor {
+		batch := makeBatch()
+		for _, r := range pt.ExecuteBatch(batch, g) {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+		total += len(batch)
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}
+
+// measurePartitionPoint drives single-client primary-key point queries for
+// cfg.MeasureFor, returning operations/second (the routed fast path).
+func measurePartitionPoint(cfg Config, pt *partition.Table) (float64, error) {
+	gen := workload.PointGen(0, float64(pt.Len()), cfg.Seed+77)
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < cfg.MeasureFor {
+		if _, _, err := pt.PointQuery(0, float64(int(gen()))); err != nil {
+			return 0, err
+		}
+		ops++
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}

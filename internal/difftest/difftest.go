@@ -1,0 +1,446 @@
+// Package difftest is the model-based differential fuzz harness that keeps
+// the growing engine provably equivalent to a trivial oracle (in the
+// spirit of in-database model checking à la Wang & Wang, arXiv:2204.09819):
+// a seeded random operation stream — inserts, deletes, single-column
+// updates, point and range queries over schemas with correlated columns
+// from internal/workload — is applied simultaneously to a plain-map model
+// and to a real database configuration, and every result is compared
+// exactly. Because every value is a float64 that both sides store
+// bit-identically, comparisons are exact equality, never tolerance-based.
+//
+// The harness runs the same stream against several configurations (see
+// Configs): the in-memory engine under the cost planner and under static
+// routing, the hash-partitioned scatter-gather table, and durable
+// databases — plain and partitioned — that are closed, reopened and
+// checkpointed mid-stream, asserting the recovered state still matches the
+// oracle row for row. It is driven by `go test ./internal/difftest` with
+// the -difftest.ops flag scaling the stream length (CI runs ≥10k ops per
+// configuration under -race).
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/partition"
+	"hermit/internal/trstree"
+	"hermit/internal/workload"
+)
+
+// Config parameterises one differential run.
+type Config struct {
+	// Seed drives every random choice (schema, data, op stream).
+	Seed int64
+	// Ops is the operation-stream length.
+	Ops int
+	// Partitions is the partition count for partitioned configurations.
+	Partitions int
+	// Dir hosts durable files for durable configurations (a test TempDir).
+	Dir string
+}
+
+// Configs lists the differential configurations the harness covers.
+var Configs = []string{
+	"inmem-cost",          // in-memory engine, cost-based planner (default)
+	"inmem-static",        // in-memory engine, fixed static routing
+	"partitioned",         // hash-partitioned scatter-gather table
+	"durable",             // WAL+checkpoint engine, close/reopen mid-stream
+	"durable-partitioned", // partitioned durable table, close/reopen mid-stream
+}
+
+// schema is the generated table shape: col 0 is the primary key, col 1 the
+// host column b = fn(c) + noise, col 2 the correlated target c, and any
+// further columns are uniform payload.
+type schema struct {
+	cols  []string
+	fn    workload.CorrelationKind
+	noise float64
+}
+
+func genSchema(rng *rand.Rand) schema {
+	width := 3 + rng.Intn(4) // 3..6 columns
+	cols := make([]string, width)
+	cols[0], cols[1], cols[2] = "pk", "host", "target"
+	for i := 3; i < width; i++ {
+		cols[i] = fmt.Sprintf("x%d", i)
+	}
+	fns := []workload.CorrelationKind{workload.Linear, workload.Sigmoid, workload.Sin}
+	return schema{
+		cols:  cols,
+		fn:    fns[rng.Intn(len(fns))],
+		noise: []float64{0, 0.01, 0.05}[rng.Intn(3)],
+	}
+}
+
+// row generates one fresh row with primary key pk and a correlated
+// (host, target) pair.
+func (s schema) row(rng *rand.Rand, pk float64) []float64 {
+	row := make([]float64, len(s.cols))
+	c := rng.Float64() * workload.SyntheticSpan
+	b := s.fn.Eval(c)
+	if s.noise > 0 && rng.Float64() < s.noise {
+		b = rng.Float64() * 12000
+	}
+	row[0], row[1], row[2] = pk, b, c
+	for i := 3; i < len(row); i++ {
+		row[i] = rng.Float64()
+	}
+	return row
+}
+
+// valueRange returns the span queries and updates on col draw from.
+func (s schema) valueRange(col int) (lo, hi float64) {
+	switch col {
+	case 1:
+		return 0, 12000
+	case 2:
+		return 0, workload.SyntheticSpan
+	default:
+		return 0, 1
+	}
+}
+
+// model is the trivial oracle: live rows in a map keyed by primary key,
+// with a side slice for O(1) random picks of existing keys.
+type model struct {
+	rows  map[float64][]float64
+	pks   []float64
+	pkPos map[float64]int
+}
+
+func newModel() *model {
+	return &model{rows: make(map[float64][]float64), pkPos: make(map[float64]int)}
+}
+
+func (m *model) insert(row []float64) bool {
+	pk := row[0]
+	if _, dup := m.rows[pk]; dup {
+		return false
+	}
+	m.rows[pk] = append([]float64(nil), row...)
+	m.pkPos[pk] = len(m.pks)
+	m.pks = append(m.pks, pk)
+	return true
+}
+
+func (m *model) remove(pk float64) bool {
+	if _, ok := m.rows[pk]; !ok {
+		return false
+	}
+	delete(m.rows, pk)
+	pos := m.pkPos[pk]
+	last := m.pks[len(m.pks)-1]
+	m.pks[pos] = last
+	m.pkPos[last] = pos
+	m.pks = m.pks[:len(m.pks)-1]
+	delete(m.pkPos, pk)
+	return true
+}
+
+func (m *model) update(pk float64, col int, v float64) bool {
+	row, ok := m.rows[pk]
+	if !ok {
+		return false
+	}
+	row[col] = v
+	return true
+}
+
+// query returns the sorted primary keys of rows with lo <= row[col] <= hi.
+func (m *model) query(col int, lo, hi float64) []float64 {
+	var out []float64
+	for pk, row := range m.rows {
+		if row[col] >= lo && row[col] <= hi {
+			out = append(out, pk)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// pick returns a uniformly random live primary key.
+func (m *model) pick(rng *rand.Rand) (float64, bool) {
+	if len(m.pks) == 0 {
+		return 0, false
+	}
+	return m.pks[rng.Intn(len(m.pks))], true
+}
+
+// system is the real-database side of the comparison. Implementations
+// must report results in oracle vocabulary: sorted matching primary keys
+// for queries, the full live row set for state audits.
+type system interface {
+	insert(row []float64) error
+	remove(pk float64) (bool, error)
+	update(pk float64, col int, v float64) error
+	query(col int, lo, hi float64) ([]float64, error)
+	state() (map[float64][]float64, error)
+	// cycle is the durability round-trip: optionally checkpoint, then
+	// close and reopen, rebinding handles. Non-durable systems no-op.
+	cycle(checkpoint bool) error
+	close() error
+}
+
+// Failure describes a divergence between the oracle and the system.
+type Failure struct {
+	// Step is the op-stream position (or -1 for a state audit).
+	Step int
+	// What describes the divergence.
+	What string
+}
+
+// Error implements the error interface.
+func (f Failure) Error() string { return fmt.Sprintf("difftest: step %d: %s", f.Step, f.What) }
+
+// Run drives one differential configuration to completion, returning the
+// first divergence as a *Failure (nil when the system tracked the oracle
+// exactly over the whole stream).
+func Run(cfgName string, cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := genSchema(rng)
+	sys, err := build(cfgName, cfg, s)
+	if err != nil {
+		return err
+	}
+	defer sys.close()
+	m := newModel()
+
+	// Initial load: enough rows that index builds have signal.
+	nextPK := float64(0)
+	for i := 0; i < 300; i++ {
+		row := s.row(rng, nextPK)
+		nextPK++
+		m.insert(row)
+		if err := sys.insert(row); err != nil {
+			return Failure{Step: -1, What: fmt.Sprintf("initial insert: %v", err)}
+		}
+	}
+
+	cyclePeriod := cfg.Ops/4 + 1
+	for step := 0; step < cfg.Ops; step++ {
+		if err := runStep(rng, s, m, sys, step, &nextPK); err != nil {
+			return err
+		}
+		if step > 0 && step%cyclePeriod == 0 {
+			if err := sys.cycle(rng.Intn(2) == 0); err != nil {
+				return Failure{Step: step, What: fmt.Sprintf("cycle: %v", err)}
+			}
+			if err := audit(m, sys, step); err != nil {
+				return err
+			}
+		}
+	}
+	return audit(m, sys, cfg.Ops)
+}
+
+// runStep applies one random operation to both sides and compares.
+func runStep(rng *rand.Rand, s schema, m *model, sys system, step int, nextPK *float64) error {
+	width := len(s.cols)
+	switch p := rng.Float64(); {
+	case p < 0.30: // insert (sometimes a duplicate key)
+		var row []float64
+		if pk, ok := m.pick(rng); ok && rng.Float64() < 0.15 {
+			row = s.row(rng, pk)
+		} else {
+			row = s.row(rng, *nextPK)
+			*nextPK++
+		}
+		wantOK := m.insert(row)
+		err := sys.insert(row)
+		if wantOK && err != nil {
+			return Failure{step, fmt.Sprintf("insert pk=%v: oracle accepts, system errors: %v", row[0], err)}
+		}
+		if !wantOK && err == nil {
+			return Failure{step, fmt.Sprintf("insert pk=%v: duplicate accepted by system", row[0])}
+		}
+	case p < 0.42: // delete (sometimes an absent key)
+		pk, ok := m.pick(rng)
+		if !ok || rng.Float64() < 0.3 {
+			pk = *nextPK + 1000 + rng.Float64()
+		}
+		want := m.remove(pk)
+		got, err := sys.remove(pk)
+		if err != nil {
+			return Failure{step, fmt.Sprintf("delete pk=%v: %v", pk, err)}
+		}
+		if got != want {
+			return Failure{step, fmt.Sprintf("delete pk=%v: found=%v, oracle=%v", pk, got, want)}
+		}
+	case p < 0.57: // update (sometimes an absent key)
+		col := 1 + rng.Intn(width-1)
+		lo, hi := s.valueRange(col)
+		v := lo + rng.Float64()*(hi-lo)
+		pk, ok := m.pick(rng)
+		if !ok || rng.Float64() < 0.2 {
+			pk = *nextPK + 2000 + rng.Float64()
+		}
+		want := m.update(pk, col, v)
+		err := sys.update(pk, col, v)
+		if want && err != nil {
+			return Failure{step, fmt.Sprintf("update pk=%v col=%d: oracle accepts, system errors: %v", pk, col, err)}
+		}
+		if !want && err == nil {
+			return Failure{step, fmt.Sprintf("update pk=%v col=%d: absent key accepted", pk, col)}
+		}
+	case p < 0.85: // range query on a random column
+		col := rng.Intn(width)
+		var lo, hi float64
+		if col == 0 {
+			lo = rng.Float64() * *nextPK
+			hi = lo + rng.Float64()*rng.Float64()**nextPK
+		} else {
+			clo, chi := s.valueRange(col)
+			lo = clo + rng.Float64()*(chi-clo)
+			hi = lo + rng.Float64()*rng.Float64()*(chi-clo)
+		}
+		want := m.query(col, lo, hi)
+		got, err := sys.query(col, lo, hi)
+		if err != nil {
+			return Failure{step, fmt.Sprintf("range col=%d [%v,%v]: %v", col, lo, hi, err)}
+		}
+		if err := samePKs(want, got); err != nil {
+			return Failure{step, fmt.Sprintf("range col=%d [%v,%v]: %v", col, lo, hi, err)}
+		}
+	default: // point query, biased toward the primary key
+		col := 0
+		if rng.Float64() < 0.4 {
+			col = rng.Intn(width)
+		}
+		var v float64
+		if pk, ok := m.pick(rng); ok && col == 0 && rng.Float64() < 0.8 {
+			v = pk
+		} else if row, ok2 := m.rows[pickOrZero(m, rng)]; ok2 && rng.Float64() < 0.5 {
+			v = row[col]
+		} else {
+			lo, hi := s.valueRange(col)
+			v = lo + rng.Float64()*(hi-lo)
+		}
+		want := m.query(col, v, v)
+		got, err := sys.query(col, v, v)
+		if err != nil {
+			return Failure{step, fmt.Sprintf("point col=%d v=%v: %v", col, v, err)}
+		}
+		if err := samePKs(want, got); err != nil {
+			return Failure{step, fmt.Sprintf("point col=%d v=%v: %v", col, v, err)}
+		}
+	}
+	return nil
+}
+
+func pickOrZero(m *model, rng *rand.Rand) float64 {
+	pk, _ := m.pick(rng)
+	return pk
+}
+
+// samePKs compares two sorted primary-key lists exactly.
+func samePKs(want, got []float64) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d rows, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("row %d: pk %v, oracle %v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// audit compares the full live state row for row.
+func audit(m *model, sys system, step int) error {
+	got, err := sys.state()
+	if err != nil {
+		return Failure{step, fmt.Sprintf("state: %v", err)}
+	}
+	if len(got) != len(m.rows) {
+		return Failure{step, fmt.Sprintf("state: %d live rows, oracle %d", len(got), len(m.rows))}
+	}
+	for pk, want := range m.rows {
+		row, ok := got[pk]
+		if !ok {
+			return Failure{step, fmt.Sprintf("state: pk %v missing", pk)}
+		}
+		if len(row) != len(want) {
+			return Failure{step, fmt.Sprintf("state: pk %v width %d, oracle %d", pk, len(row), len(want))}
+		}
+		for c := range want {
+			if row[c] != want[c] {
+				return Failure{step, fmt.Sprintf("state: pk %v col %d = %v, oracle %v", pk, c, row[c], want[c])}
+			}
+		}
+	}
+	return nil
+}
+
+// build constructs the named system over the generated schema, with the
+// host B+-tree and target Hermit index in place (their maintenance under
+// the mutation stream is much of what the harness exercises).
+func build(cfgName string, cfg Config, s schema) (system, error) {
+	parts := cfg.Partitions
+	if parts <= 0 {
+		parts = 3
+	}
+	switch cfgName {
+	case "inmem-cost", "inmem-static":
+		db := engine.NewDB(hermit.PhysicalPointers)
+		tb, err := db.CreateTable("t", s.cols, 0)
+		if err != nil {
+			return nil, err
+		}
+		if cfgName == "inmem-static" {
+			tb.SetRouting(engine.RouteStatic)
+		}
+		if _, err := tb.CreateBTreeIndex(1, false); err != nil {
+			return nil, err
+		}
+		if _, err := tb.CreateHermitIndex(2, 1); err != nil {
+			return nil, err
+		}
+		return &memSystem{tb: tb}, nil
+	case "partitioned":
+		pt, err := partition.New(hermit.PhysicalPointers, "t", s.cols, 0,
+			partition.Options{Partitions: parts, Workers: 2})
+		if err != nil {
+			return nil, err
+		}
+		if err := pt.CreateBTreeIndex(1, false); err != nil {
+			return nil, err
+		}
+		if err := pt.CreateHermitIndex(2, 1, trstree.DefaultParams()); err != nil {
+			return nil, err
+		}
+		return &partSystem{pt: pt}, nil
+	case "durable", "durable-partitioned":
+		d, err := engine.OpenDurable(cfg.Dir, hermit.PhysicalPointers)
+		if err != nil {
+			return nil, err
+		}
+		ds := &durSystem{dir: cfg.Dir, d: d, name: "t"}
+		if cfgName == "durable-partitioned" {
+			ds.parts = parts
+			if err := d.CreatePartitionedTable("t", s.cols, 0, parts); err != nil {
+				return nil, err
+			}
+		} else {
+			if _, err := d.CreateTable("t", s.cols, 0); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.CreateIndex("t", engine.IndexDef{Kind: "btree", Col: 1}); err != nil {
+			return nil, err
+		}
+		if err := d.CreateIndex("t", engine.IndexDef{
+			Kind: "hermit", Col: 2, Host: 1, Params: trstree.DefaultParams(),
+		}); err != nil {
+			return nil, err
+		}
+		if err := ds.bind(); err != nil {
+			return nil, err
+		}
+		return ds, nil
+	default:
+		return nil, fmt.Errorf("difftest: unknown config %q", cfgName)
+	}
+}

@@ -53,8 +53,10 @@ func advisorKind(k IndexKind) advisor.IndexKind {
 	}
 }
 
-// engineKind converts the advisor's IndexKind back to the engine's.
-func engineKind(k advisor.IndexKind) IndexKind {
+// KindFromAdvisor converts the advisor's IndexKind mirror back to the
+// engine's vocabulary — shared by the engine's Catalog adapters and by
+// internal/partition's.
+func KindFromAdvisor(k advisor.IndexKind) IndexKind {
 	switch k {
 	case advisor.KindBTree:
 		return KindBTree
@@ -69,9 +71,11 @@ func engineKind(k advisor.IndexKind) IndexKind {
 	}
 }
 
-// advisorInfo snapshots the table for the advisor: per-column index kinds,
-// workload counters, false-positive EWMAs and index footprints.
-func (t *Table) advisorInfo() advisor.TableInfo {
+// AdvisorInfo snapshots the table for the advisor: per-column index kinds,
+// workload counters, false-positive EWMAs and index footprints. It is the
+// Catalog.Info building block shared by the engine's adapters and by
+// internal/partition, which aggregates one snapshot per partition.
+func (t *Table) AdvisorInfo() advisor.TableInfo {
 	t.catalog.RLock()
 	defer t.catalog.RUnlock()
 	info := advisor.TableInfo{
@@ -131,7 +135,7 @@ func (c dbCatalog) Info(table string) (advisor.TableInfo, error) {
 	if err != nil {
 		return advisor.TableInfo{}, err
 	}
-	return tb.advisorInfo(), nil
+	return tb.AdvisorInfo(), nil
 }
 
 func (c dbCatalog) Store(table string) (*storage.Table, error) {
@@ -165,7 +169,7 @@ func (c dbCatalog) DropIndex(table string, col int, kind advisor.IndexKind) erro
 	if err != nil {
 		return err
 	}
-	return tb.DropIndex(col, engineKind(kind))
+	return tb.DropIndex(col, KindFromAdvisor(kind))
 }
 
 // durableCatalog adapts DurableDB: DDL goes through the quiesced,
@@ -176,7 +180,13 @@ func (c durableCatalog) TableNames() []string {
 	c.d.mu.RLock()
 	defer c.d.mu.RUnlock()
 	names := make([]string, 0, len(c.d.tables))
-	for name := range c.d.tables {
+	for name, meta := range c.d.tables {
+		// Partitioned tables are advised through their scatter-gather
+		// wrapper (internal/partition), which aggregates per-partition
+		// counters; the logical name has no single engine table behind it.
+		if meta.Partitions > 0 {
+			continue
+		}
 		names = append(names, name)
 	}
 	return names
@@ -187,7 +197,7 @@ func (c durableCatalog) Info(table string) (advisor.TableInfo, error) {
 	if err != nil {
 		return advisor.TableInfo{}, err
 	}
-	return tb.advisorInfo(), nil
+	return tb.AdvisorInfo(), nil
 }
 
 func (c durableCatalog) Store(table string) (*storage.Table, error) {
@@ -207,5 +217,5 @@ func (c durableCatalog) CreateBTreeIndex(table string, col int) error {
 }
 
 func (c durableCatalog) DropIndex(table string, col int, kind advisor.IndexKind) error {
-	return c.d.DropIndex(table, col, engineKind(kind).String())
+	return c.d.DropIndex(table, col, KindFromAdvisor(kind).String())
 }

@@ -114,6 +114,12 @@ type durableMeta struct {
 	Cols  []string   `json:"cols"`
 	PKCol int        `json:"pk"`
 	Defs  []IndexDef `json:"defs"`
+	// Partitions is the hash-partition count of a partitioned table (0 for
+	// a plain table). A partitioned logical table is backed by engine
+	// tables PartitionName(name, 0..Partitions-1); mutations route by
+	// PartitionOf and every WAL record carries its partition id, so replay
+	// and checkpoints rebuild each partition exactly.
+	Partitions int `json:"parts,omitempty"`
 }
 
 // IndexDef records how to rebuild one index during recovery.
@@ -126,8 +132,10 @@ type IndexDef struct {
 	Params  trstree.Params `json:"params,omitempty"`
 }
 
-// manifestVersion identifies the epoch-based checkpoint layout.
-const manifestVersion = 2
+// manifestVersion identifies the epoch-based checkpoint layout. Version 3
+// added hash-partitioned tables: a partition id in every WAL frame and a
+// partition count in table metadata.
+const manifestVersion = 3
 
 // manifest is the durably-published checkpoint descriptor. Epoch names the
 // row files and WAL segment of the image; WALStart is the byte offset in
@@ -144,6 +152,7 @@ type manifest struct {
 type ddlTable struct {
 	Cols  []string `json:"cols"`
 	PKCol int      `json:"pk"`
+	Parts int      `json:"parts,omitempty"`
 }
 
 type ddlIndex struct {
@@ -246,26 +255,41 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 func (d *DurableDB) RecoverySkipped() (int, error) { return d.skipped, d.lastSkipErr }
 
 func (d *DurableDB) restoreTable(p durablePaths, name string, meta *durableMeta) error {
-	tb, err := d.db.CreateTable(name, meta.Cols, meta.PKCol)
-	if err != nil {
-		return err
-	}
-	rows, err := readRowsFile(p.rows(name, d.epoch), len(meta.Cols))
-	if err != nil {
-		return err
-	}
-	for _, row := range rows {
-		if _, err := tb.Insert(row); err != nil {
-			return fmt.Errorf("engine: restoring %q: %w", name, err)
-		}
-	}
-	for _, def := range meta.Defs {
-		if err := applyIndexDef(tb, def); err != nil {
+	for _, phys := range physicalNames(name, meta) {
+		tb, err := d.db.CreateTable(phys, meta.Cols, meta.PKCol)
+		if err != nil {
 			return err
+		}
+		rows, err := readRowsFile(p.rows(phys, d.epoch), len(meta.Cols))
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if _, err := tb.Insert(row); err != nil {
+				return fmt.Errorf("engine: restoring %q: %w", phys, err)
+			}
+		}
+		for _, def := range meta.Defs {
+			if err := applyIndexDef(tb, def); err != nil {
+				return err
+			}
 		}
 	}
 	d.tables[name] = meta
 	return nil
+}
+
+// physicalNames lists the engine tables backing a logical table: the name
+// itself for a plain table, one PartitionName per partition otherwise.
+func physicalNames(name string, meta *durableMeta) []string {
+	if meta.Partitions <= 0 {
+		return []string{name}
+	}
+	names := make([]string, meta.Partitions)
+	for i := range names {
+		names[i] = PartitionName(name, i)
+	}
+	return names
 }
 
 func applyIndexDef(tb *Table, def IndexDef) error {
@@ -298,40 +322,68 @@ func (d *DurableDB) apply(rec wal.Record) error {
 		}
 		d.tables[rec.Table] = &durableMeta{Cols: ddl.Cols, PKCol: ddl.PKCol}
 		return nil
+	case wal.OpCreatePartitioned:
+		var ddl ddlTable
+		if err := json.Unmarshal(rec.Payload, &ddl); err != nil {
+			return err
+		}
+		if ddl.Parts < 1 {
+			return fmt.Errorf("engine: partitioned table %q with %d partitions", rec.Table, ddl.Parts)
+		}
+		meta := &durableMeta{Cols: ddl.Cols, PKCol: ddl.PKCol, Partitions: ddl.Parts}
+		for _, phys := range physicalNames(rec.Table, meta) {
+			if _, err := d.db.CreateTable(phys, ddl.Cols, ddl.PKCol); err != nil {
+				return err
+			}
+		}
+		d.tables[rec.Table] = meta
+		return nil
 	case wal.OpCreateIndex:
 		var ddl ddlIndex
 		if err := json.Unmarshal(rec.Payload, &ddl); err != nil {
 			return err
 		}
-		tb, err := d.db.Table(rec.Table)
-		if err != nil {
-			return err
+		meta := d.tables[rec.Table]
+		if meta == nil {
+			return fmt.Errorf("%w: %q", ErrNoSuchTable, rec.Table)
 		}
-		if err := applyIndexDef(tb, ddl.Def); err != nil {
-			return err
+		for _, phys := range physicalNames(rec.Table, meta) {
+			tb, err := d.db.Table(phys)
+			if err != nil {
+				return err
+			}
+			if err := applyIndexDef(tb, ddl.Def); err != nil {
+				return err
+			}
 		}
-		d.tables[rec.Table].Defs = append(d.tables[rec.Table].Defs, ddl.Def)
+		meta.Defs = append(meta.Defs, ddl.Def)
 		return nil
 	case wal.OpDropIndex:
 		var ddl ddlDropIndex
 		if err := json.Unmarshal(rec.Payload, &ddl); err != nil {
 			return err
 		}
-		tb, err := d.db.Table(rec.Table)
-		if err != nil {
-			return err
+		meta := d.tables[rec.Table]
+		if meta == nil {
+			return fmt.Errorf("%w: %q", ErrNoSuchTable, rec.Table)
 		}
 		kind, err := kindFromString(ddl.Kind)
 		if err != nil {
 			return err
 		}
-		if err := tb.DropIndex(ddl.Col, kind); err != nil {
-			return err
+		for _, phys := range physicalNames(rec.Table, meta) {
+			tb, err := d.db.Table(phys)
+			if err != nil {
+				return err
+			}
+			if err := tb.DropIndex(ddl.Col, kind); err != nil {
+				return err
+			}
 		}
 		d.removeDef(rec.Table, ddl.Col, ddl.Kind)
 		return nil
 	case wal.OpInsert:
-		tb, err := d.db.Table(rec.Table)
+		tb, err := d.applyTarget(rec)
 		if err != nil {
 			return err
 		}
@@ -339,7 +391,7 @@ func (d *DurableDB) apply(rec wal.Record) error {
 		_, err = tb.Insert(row)
 		return err
 	case wal.OpDelete:
-		tb, err := d.db.Table(rec.Table)
+		tb, err := d.applyTarget(rec)
 		if err != nil {
 			return err
 		}
@@ -350,7 +402,7 @@ func (d *DurableDB) apply(rec wal.Record) error {
 		_, err = tb.Delete(vals[0])
 		return err
 	case wal.OpUpdate:
-		tb, err := d.db.Table(rec.Table)
+		tb, err := d.applyTarget(rec)
 		if err != nil {
 			return err
 		}
@@ -364,9 +416,36 @@ func (d *DurableDB) apply(rec wal.Record) error {
 	}
 }
 
-// CreateTable creates and logs a table.
+// applyTarget resolves the engine table a replayed mutation applies to,
+// routing by the record's partition id for partitioned tables.
+func (d *DurableDB) applyTarget(rec wal.Record) (*Table, error) {
+	name := rec.Table
+	if meta := d.tables[rec.Table]; meta != nil && meta.Partitions > 0 {
+		if int(rec.Part) >= meta.Partitions {
+			return nil, fmt.Errorf("engine: record partition %d out of range for %q (%d partitions)",
+				rec.Part, rec.Table, meta.Partitions)
+		}
+		name = PartitionName(rec.Table, int(rec.Part))
+	}
+	return d.db.Table(name)
+}
+
+// CreateTable creates and logs a table. Names containing '#' are rejected:
+// the character is reserved for the per-partition tables backing
+// CreatePartitionedTable.
 func (d *DurableDB) CreateTable(name string, cols []string, pkCol int) (*Table, error) {
+	if strings.Contains(name, "#") {
+		return nil, fmt.Errorf("engine: table name %q: '#' is reserved for partitions", name)
+	}
 	d.mu.Lock()
+	// Check the durable catalog, not just the engine one: a partitioned
+	// logical table exists only as name#i tables in the engine, so the
+	// engine-level duplicate check would miss it and the plain table
+	// would silently overwrite the partitioned metadata.
+	if d.tables[name] != nil {
+		d.mu.Unlock()
+		return nil, ErrDupTable
+	}
 	tb, err := d.db.CreateTable(name, cols, pkCol)
 	if err != nil {
 		d.mu.Unlock()
@@ -389,24 +468,107 @@ func (d *DurableDB) CreateTable(name string, cols []string, pkCol int) (*Table, 
 	return tb, nil
 }
 
+// CreatePartitionedTable creates and logs a hash-partitioned table: parts
+// engine tables (each with its own indexes, latches and planner state)
+// behind one logical name. Mutations on the logical name route by
+// PartitionOf over the primary key and are WAL-logged with their partition
+// id; checkpoints write one rows file per partition and recovery rebuilds
+// each partition from its file plus the routed WAL tail. Queries
+// scatter-gather through the internal/partition wrapper (see
+// partition.OpenDurable), which is also how per-partition handles are
+// obtained.
+func (d *DurableDB) CreatePartitionedTable(name string, cols []string, pkCol, parts int) error {
+	if strings.Contains(name, "#") {
+		return fmt.Errorf("engine: table name %q: '#' is reserved for partitions", name)
+	}
+	if parts < 1 {
+		return fmt.Errorf("engine: partitioned table %q needs at least 1 partition, got %d", name, parts)
+	}
+	d.mu.Lock()
+	if d.tables[name] != nil {
+		d.mu.Unlock()
+		return ErrDupTable
+	}
+	meta := &durableMeta{Cols: append([]string(nil), cols...), PKCol: pkCol, Partitions: parts}
+	for i, phys := range physicalNames(name, meta) {
+		if _, err := d.db.CreateTable(phys, cols, pkCol); err != nil {
+			// Unwind the partitions already created so a failed create
+			// leaves no orphan engine tables.
+			for j := 0; j < i; j++ {
+				d.db.dropTable(PartitionName(name, j))
+			}
+			d.mu.Unlock()
+			return err
+		}
+	}
+	d.tables[name] = meta
+	payload, err := json.Marshal(ddlTable{Cols: cols, PKCol: pkCol, Parts: parts})
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	tk, err := d.log.Submit(wal.Record{Op: wal.OpCreatePartitioned, Table: name, Payload: payload})
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = tk.Wait()
+	return err
+}
+
+// Partitions reports the partition count of the named logical table: 0 for
+// a plain table, >= 1 for one created by CreatePartitionedTable.
+func (d *DurableDB) Partitions(name string) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	meta := d.tables[name]
+	if meta == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return meta.Partitions, nil
+}
+
 // Table returns the named table. Queries through it are safe; mutations
 // through it bypass the WAL and the durable layer's latching — use the
 // DurableDB mutation methods instead.
 func (d *DurableDB) Table(name string) (*Table, error) { return d.db.Table(name) }
 
-// CreateIndex creates and logs an index per def.
+// CreateIndex creates and logs an index per def. On a partitioned table
+// the definition is applied to every partition (indexes are uniform across
+// partitions, so routing never changes which access paths exist); only
+// single-column kinds are supported there, because a partial failure is
+// unwound with DropIndex and composites are not droppable.
 func (d *DurableDB) CreateIndex(table string, def IndexDef) error {
 	d.mu.Lock()
-	tb, err := d.db.Table(table)
-	if err != nil {
+	meta := d.tables[table]
+	if meta == nil {
 		d.mu.Unlock()
-		return err
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
-	if err := applyIndexDef(tb, def); err != nil {
+	if meta.Partitions > 0 && (def.Kind == "composite-btree" || def.Kind == "composite-hermit") {
 		d.mu.Unlock()
-		return err
+		return fmt.Errorf("engine: %s indexes are not supported on partitioned tables", def.Kind)
 	}
-	d.tables[table].Defs = append(d.tables[table].Defs, def)
+	names := physicalNames(table, meta)
+	for i, phys := range names {
+		tb, err := d.db.Table(phys)
+		if err == nil {
+			err = applyIndexDef(tb, def)
+		}
+		if err != nil {
+			// Unwind the partitions already indexed so state stays uniform.
+			if kind, kerr := kindFromString(def.Kind); kerr == nil {
+				for j := 0; j < i; j++ {
+					if tb, terr := d.db.Table(names[j]); terr == nil {
+						tb.DropIndex(def.Col, kind)
+					}
+				}
+			}
+			d.mu.Unlock()
+			return err
+		}
+	}
+	meta.Defs = append(meta.Defs, def)
 	payload, err := json.Marshal(ddlIndex{Def: def})
 	if err != nil {
 		d.mu.Unlock()
@@ -459,19 +621,27 @@ func (d *DurableDB) removeDef(table string, col int, kind string) {
 // resurrect it.
 func (d *DurableDB) DropIndex(table string, col int, kind string) error {
 	d.mu.Lock()
-	tb, err := d.db.Table(table)
-	if err != nil {
+	meta := d.tables[table]
+	if meta == nil {
 		d.mu.Unlock()
-		return err
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
 	}
 	k, err := kindFromString(kind)
 	if err != nil {
 		d.mu.Unlock()
 		return err
 	}
-	if err := tb.DropIndex(col, k); err != nil {
-		d.mu.Unlock()
-		return err
+	for _, phys := range physicalNames(table, meta) {
+		tb, err := d.db.Table(phys)
+		if err == nil {
+			err = tb.DropIndex(col, k)
+		}
+		if err != nil {
+			// DDL is uniform across partitions, so a drop that fails on one
+			// partition fails on the first — before any partition changed.
+			d.mu.Unlock()
+			return err
+		}
 	}
 	d.removeDef(table, col, kind)
 	payload, err := json.Marshal(ddlDropIndex{Col: col, Kind: kind})
@@ -490,12 +660,19 @@ func (d *DurableDB) DropIndex(table string, col int, kind string) error {
 
 // mutate applies one validated mutation and logs it, holding the shared
 // latch (vs Checkpoint/DDL) and the primary key's stripe (so per-key log
-// order equals apply order). It returns once the record is acknowledged
-// under the sync policy. A failed apply is returned without logging —
-// validate-then-log, the fix for WAL poisoning.
+// order equals apply order). On a partitioned table the mutation routes to
+// the primary key's hash partition and the WAL record carries the
+// partition id. It returns once the record is acknowledged under the sync
+// policy. A failed apply is returned without logging — validate-then-log,
+// the fix for WAL poisoning.
 func (d *DurableDB) mutate(table string, pk float64, apply func(tb *Table) error, rec func() wal.Record) error {
 	d.mu.RLock()
-	tb, err := d.db.Table(table)
+	phys, part := table, uint32(0)
+	if meta := d.tables[table]; meta != nil && meta.Partitions > 0 {
+		p := PartitionOf(pk, meta.Partitions)
+		phys, part = PartitionName(table, p), uint32(p)
+	}
+	tb, err := d.db.Table(phys)
 	if err != nil {
 		d.mu.RUnlock()
 		return err
@@ -503,7 +680,9 @@ func (d *DurableDB) mutate(table string, pk float64, apply func(tb *Table) error
 	unlock := d.rows.lock(pk)
 	var tk *wal.Ticket
 	if err = apply(tb); err == nil {
-		if tk, err = d.log.Submit(rec()); err != nil {
+		r := rec()
+		r.Part = part
+		if tk, err = d.log.Submit(r); err != nil {
 			err = fmt.Errorf("engine: wal submit after apply (in-memory state ahead of log until next checkpoint): %w", err)
 		}
 	}
@@ -638,15 +817,19 @@ func (d *DurableDB) Checkpoint() error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		tb, err := d.db.Table(name)
-		if err != nil {
-			return err
-		}
-		if err := writeRowsFile(p.rows(name, next), tb.Store()); err != nil {
-			return err
-		}
-		if err := d.fp("after-rows:" + name); err != nil {
-			return err
+		// One rows file per physical table: a plain table writes one, a
+		// partitioned table one per partition.
+		for _, phys := range physicalNames(name, d.tables[name]) {
+			tb, err := d.db.Table(phys)
+			if err != nil {
+				return err
+			}
+			if err := writeRowsFile(p.rows(phys, next), tb.Store()); err != nil {
+				return err
+			}
+			if err := d.fp("after-rows:" + phys); err != nil {
+				return err
+			}
 		}
 	}
 	newLog, err := wal.OpenWith(p.wal(next), d.opts.walOptions())

@@ -84,6 +84,14 @@ func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error)
 	return t, nil
 }
 
+// dropTable removes a table from the catalog — the unwind path for a
+// partially failed partitioned create (there is no public DROP TABLE yet).
+func (db *DB) dropTable(name string) {
+	db.mu.Lock()
+	delete(db.tables, name)
+	db.mu.Unlock()
+}
+
 // Table returns the named table.
 func (db *DB) Table(name string) (*Table, error) {
 	db.mu.RLock()
@@ -165,6 +173,9 @@ type Table struct {
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// Scheme returns the table's tuple-identifier scheme.
+func (t *Table) Scheme() hermit.PointerScheme { return t.scheme }
 
 // Store exposes the underlying row store (used by workload loaders).
 func (t *Table) Store() *storage.Table { return t.store }

@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the engine-level vocabulary of hash-partitioned tables:
+// the primary-key hash that assigns rows to partitions and the naming
+// convention under which a logical partitioned table's per-partition engine
+// tables live in a catalog. The scatter-gather execution layer on top of
+// both is internal/partition; the durable layer (durable.go) uses them to
+// route logged mutations and to checkpoint/recover each partition.
+
+// PartitionOf returns the hash partition (0 <= p < n) owning the primary
+// key pk among n partitions. The hash is a splitmix64 finalizer over the
+// key's bit pattern, so adjacent keys spread uniformly; -0 is normalised to
+// +0 first (the two compare equal as keys and must route identically).
+func PartitionOf(pk float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if pk == 0 {
+		pk = 0 // collapse -0 onto +0
+	}
+	h := math.Float64bits(pk)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
+
+// PartitionName returns the catalog name of partition i of the logical
+// partitioned table name ("orders#3"). The '#' separator is reserved:
+// DurableDB rejects user table names containing it so replay can never
+// confuse a user table with a partition.
+func PartitionName(name string, i int) string {
+	return fmt.Sprintf("%s#%d", name, i)
+}
+
+// PKCol returns the primary-key column index.
+func (t *Table) PKCol() int { return t.pkCol }

@@ -1,0 +1,78 @@
+package partition
+
+import (
+	"fmt"
+
+	"hermit/internal/advisor"
+	"hermit/internal/engine"
+	"hermit/internal/storage"
+	"hermit/internal/trstree"
+)
+
+// EnableAdvisor attaches a self-tuning advisor scoped to this partitioned
+// table and starts its background loop (Options.Interval <= 0 yields a
+// manual advisor that only acts on RunOnce). The advisor sees one logical
+// table whose counters aggregate every partition's observed workload —
+// per-column query/update counts summed, false-positive EWMAs merged by
+// observation weight — so its decisions reflect the whole table, and the
+// DDL it issues is applied uniformly to every partition (through the WAL
+// on durable tables). Call Stop on the returned advisor to halt it.
+func (t *Table) EnableAdvisor(opts engine.AdvisorOptions) *advisor.Advisor {
+	a := advisor.New(catalog{t}, opts)
+	a.Start()
+	return a
+}
+
+// catalog adapts the partitioned table to the advisor's Catalog interface.
+type catalog struct{ t *Table }
+
+func (c catalog) TableNames() []string { return []string{c.t.name} }
+
+// Info aggregates the per-partition advisor snapshots into one logical
+// view.
+func (c catalog) Info(table string) (advisor.TableInfo, error) {
+	if table != c.t.name {
+		return advisor.TableInfo{}, fmt.Errorf("partition: unknown table %q", table)
+	}
+	agg := c.t.parts[0].AdvisorInfo()
+	agg.Name = c.t.name
+	for _, p := range c.t.parts[1:] {
+		in := p.AdvisorInfo()
+		agg.Rows += in.Rows
+		agg.Writes += in.Writes
+		for i := range agg.Columns {
+			a, b := &agg.Columns[i], in.Columns[i]
+			a.Queries += b.Queries
+			a.Updates += b.Updates
+			a.IndexBytes += b.IndexBytes
+			if tot := a.FPObservations + b.FPObservations; tot > 0 {
+				a.ObservedFP = (a.ObservedFP*float64(a.FPObservations) +
+					b.ObservedFP*float64(b.FPObservations)) / float64(tot)
+				a.FPObservations = tot
+			}
+		}
+	}
+	return agg, nil
+}
+
+// Store exposes partition 0's row store for sampling: the primary-key hash
+// spreads rows uniformly, so any single partition is an unbiased sample of
+// the logical table's value distributions.
+func (c catalog) Store(table string) (*storage.Table, error) {
+	if table != c.t.name {
+		return nil, fmt.Errorf("partition: unknown table %q", table)
+	}
+	return c.t.parts[0].Store(), nil
+}
+
+func (c catalog) CreateHermitIndex(table string, col, host int, params trstree.Params) error {
+	return c.t.CreateHermitIndex(col, host, params)
+}
+
+func (c catalog) CreateBTreeIndex(table string, col int) error {
+	return c.t.CreateBTreeIndex(col, true)
+}
+
+func (c catalog) DropIndex(table string, col int, kind advisor.IndexKind) error {
+	return c.t.DropIndex(col, engine.KindFromAdvisor(kind))
+}

@@ -1,0 +1,217 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/trstree"
+	"hermit/internal/workload"
+)
+
+// pks materialises the primary keys behind a partitioned result set,
+// sorted.
+func pks(t *testing.T, pt *Table, rids []RID) []float64 {
+	t.Helper()
+	out := make([]float64, 0, len(rids))
+	for _, r := range rids {
+		v, err := pt.Part(r.Part).Store().Value(r.RID, pt.PKCol())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestDurablePartitionedCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	spec := workload.SyntheticSpec{Rows: 1200, Fn: workload.Linear, Noise: 0.01, Seed: 5}
+
+	d, err := engine.OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := CreateDurable(d, "syn", spec.Columns(), spec.PKCol(), Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Generate(func(row []float64) error {
+		_, err := pt.Insert(row)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CreateBTreeIndex(spec.HostCol(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CreateHermitIndex(spec.TargetCol(), spec.HostCol(), trstree.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := pt.Delete(100); err != nil || !found {
+		t.Fatalf("Delete(100) = %v, %v", found, err)
+	}
+	if err := pt.UpdateColumn(101, 2, 55.5); err != nil {
+		t.Fatal(err)
+	}
+	wantRange, _, err := pt.RangeQuery(2, 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPKs := pks(t, pt, wantRange)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from WAL replay alone (no checkpoint yet).
+	d2, err := engine.OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, serr := d2.RecoverySkipped(); n != 0 {
+		t.Fatalf("recovery skipped %d records (%v)", n, serr)
+	}
+	pt2, err := OpenDurable(d2, "syn", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt2.Partitions() != 4 {
+		t.Fatalf("recovered %d partitions, want 4", pt2.Partitions())
+	}
+	if pt2.Len() != spec.Rows-1 {
+		t.Fatalf("recovered %d rows, want %d", pt2.Len(), spec.Rows-1)
+	}
+	got, st, err := pt2.RangeQuery(2, 50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FanOut != 4 {
+		t.Fatalf("fan-out %d after recovery", st.FanOut)
+	}
+	gotPKs := pks(t, pt2, got)
+	if len(gotPKs) != len(wantPKs) {
+		t.Fatalf("range after reopen: %d rows, want %d", len(gotPKs), len(wantPKs))
+	}
+	for i := range wantPKs {
+		if gotPKs[i] != wantPKs[i] {
+			t.Fatalf("range after reopen differs at %d: %v vs %v", i, gotPKs[i], wantPKs[i])
+		}
+	}
+	// The Hermit index was rebuilt on every partition.
+	for i := 0; i < 4; i++ {
+		if kind := pt2.Part(i).IndexOn(spec.TargetCol()); kind != engine.KindHermit {
+			t.Fatalf("partition %d recovered with %v on target, want hermit", i, kind)
+		}
+	}
+
+	// Checkpoint, mutate past it, close, reopen: image + routed tail.
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt2.Insert([]float64{90001, 2*500 + 100, 500, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := pt2.Delete(101); err != nil || !found {
+		t.Fatalf("post-checkpoint Delete(101) = %v, %v", found, err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := engine.OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if n, serr := d3.RecoverySkipped(); n != 0 {
+		t.Fatalf("recovery skipped %d records (%v)", n, serr)
+	}
+	pt3, err := OpenDurable(d3, "syn", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt3.Len() != spec.Rows-1 { // -2 deletes +1 insert
+		t.Fatalf("after checkpoint+tail: %d rows, want %d", pt3.Len(), spec.Rows-1)
+	}
+	if rids, _, err := pt3.PointQuery(0, 90001); err != nil || len(rids) != 1 {
+		t.Fatalf("post-checkpoint insert lost: %v, %v", rids, err)
+	}
+	if rids, _, err := pt3.PointQuery(0, 101); err != nil || len(rids) != 0 {
+		t.Fatalf("post-checkpoint delete lost: %v, %v", rids, err)
+	}
+}
+
+func TestDurablePartitionedDDLAndGuards(t *testing.T) {
+	dir := t.TempDir()
+	d, err := engine.OpenDurable(dir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.CreatePartitionedTable("bad#name", []string{"a", "b"}, 0, 2); err == nil {
+		t.Fatal("'#' in partitioned table name accepted")
+	}
+	if _, err := d.CreateTable("user#0", []string{"a"}, 0); err == nil {
+		t.Fatal("'#' in plain durable table name accepted")
+	}
+	if err := d.CreatePartitionedTable("p", []string{"a", "b"}, 0, 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if err := d.CreatePartitionedTable("p", []string{"a", "b", "c"}, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreatePartitionedTable("p", []string{"a"}, 0, 2); err == nil {
+		t.Fatal("duplicate partitioned table accepted")
+	}
+	// A plain table must not be able to shadow (and overwrite the metadata
+	// of) an existing partitioned logical table.
+	if _, err := d.CreateTable("p", []string{"a"}, 0); err == nil {
+		t.Fatal("plain CreateTable over a partitioned logical name accepted")
+	}
+	if n, err := d.Partitions("p"); err != nil || n != 3 {
+		t.Fatalf("Partitions(p) = %d, %v", n, err)
+	}
+	// Composite defs are rejected on partitioned tables.
+	err = d.CreateIndex("p", engine.IndexDef{Kind: "composite-btree", ACol: 1, Col: 2})
+	if err == nil {
+		t.Fatal("composite index on partitioned table accepted")
+	}
+	// A bad def must not leave partial per-partition state behind.
+	if err := d.CreateIndex("p", engine.IndexDef{Kind: "hermit", Col: 2, Host: 1}); err == nil {
+		t.Fatal("hermit without host index accepted")
+	}
+	pt, err := OpenDurable(d, "p", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if kind := pt.Part(i).IndexOn(2); kind != engine.KindNone {
+			t.Fatalf("failed CreateIndex left %v on partition %d", kind, i)
+		}
+	}
+	if err := pt.CreateBTreeIndex(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.CreateHermitIndex(2, 1, trstree.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	// Host drop is refused while the Hermit depends on it, on every
+	// partition.
+	if err := pt.DropIndex(1, engine.KindBTree); err == nil {
+		t.Fatal("host drop accepted while hermit depends on it")
+	}
+	if err := pt.DropIndex(2, engine.KindHermit); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.DropIndex(1, engine.KindBTree); err != nil {
+		t.Fatal(err)
+	}
+	// OpenDurable on a plain table refuses.
+	if _, err := d.CreateTable("plain", []string{"x"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(d, "plain", Options{}); err == nil {
+		t.Fatal("OpenDurable on unpartitioned table accepted")
+	}
+}

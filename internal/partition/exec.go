@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hermit/internal/engine"
+)
+
+// OpResult is the outcome of one engine.Op executed against a partitioned
+// table, at the batch position of its op. It mirrors engine.OpResult with
+// partition-qualified identifiers and fan-out stats.
+type OpResult struct {
+	// RIDs holds the merged, ordered matches of a query op.
+	RIDs []RID
+	// Stats describes a query op's execution (fan-out, merge counts).
+	Stats Stats
+	// RID is the location of an inserted row.
+	RID RID
+	// Found reports whether an OpDelete removed a row.
+	Found bool
+	// Err is the per-operation failure, if any.
+	Err error
+}
+
+// ExecuteBatch drains a batch of operations across a pool of workers
+// goroutines (<= 0 selects GOMAXPROCS): the partitioned counterpart of
+// engine.Table.ExecuteBatch, and the serving surface the partition bench
+// drives. Mutations and primary-key point queries route to their hash
+// partition; range legs scatter-gather through the table's bounded pool,
+// so total scan parallelism stays capped at Options.Workers regardless of
+// the batch worker count. Results align positionally with ops; Op.Table is
+// ignored. Ops in one batch may be reordered by scheduling, exactly as in
+// the engine executor.
+func (t *Table) ExecuteBatch(ops []engine.Op, workers int) []OpResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	results := make([]OpResult, len(ops))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ops) {
+					return
+				}
+				results[i] = t.execOp(ops[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// execOp dispatches one operation against the partitioned table.
+func (t *Table) execOp(op engine.Op) OpResult {
+	var r OpResult
+	switch op.Kind {
+	case engine.OpRange:
+		r.RIDs, r.Stats, r.Err = t.RangeQuery(op.Col, op.Lo, op.Hi)
+	case engine.OpPoint:
+		r.RIDs, r.Stats, r.Err = t.PointQuery(op.Col, op.Lo)
+	case engine.OpRange2:
+		r.RIDs, r.Stats, r.Err = t.RangeQuery2(op.Col, op.Lo, op.Hi, op.BCol, op.BLo, op.BHi)
+	case engine.OpInsert:
+		r.RID, r.Err = t.Insert(op.Row)
+	case engine.OpDelete:
+		r.Found, r.Err = t.Delete(op.PK)
+	case engine.OpUpdate:
+		r.Err = t.UpdateColumn(op.PK, op.Col, op.Value)
+	default:
+		r.Err = fmt.Errorf("partition: unknown op kind %d", op.Kind)
+	}
+	return r
+}

@@ -22,9 +22,17 @@
 // ends replay cleanly rather than erroring, and Open repairs it by
 // truncating to the last valid frame so that later appends are never
 // shadowed behind unreadable bytes.
+//
+// Every log file starts with an 8-byte magic recording the frame-format
+// version. A file whose header names a different version — or no valid
+// header at all, e.g. a log written before the header existed — is
+// rejected loudly (ErrBadFormat) rather than being misparsed or silently
+// truncated; a header torn by a crash during creation reads as an empty
+// log and is repaired.
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -48,14 +56,20 @@ const (
 	OpCreateTable
 	OpCreateIndex
 	OpDropIndex
+	// OpCreatePartitioned creates a hash-partitioned table; the payload
+	// carries the schema plus the partition count.
+	OpCreatePartitioned
 )
 
 // Record is one logged operation. LSN is assigned by the appender and is
 // strictly increasing within a log file; the value set by callers on
-// Append/Submit is ignored.
+// Append/Submit is ignored. Part is the hash partition the record targets
+// (0 for records on unpartitioned tables and for DDL, which fans out to
+// every partition on replay).
 type Record struct {
 	LSN     uint64
 	Op      Op
+	Part    uint32
 	Table   string
 	Payload []byte
 }
@@ -69,7 +83,20 @@ var (
 	ErrRecordTooLarge = errors.New("wal: record too large")
 	// ErrClosed is returned for operations on a closed log.
 	ErrClosed = errors.New("wal: closed")
+	// ErrBadFormat is returned for files that are not logs of this frame
+	// format — a different version's magic, or no valid header at all
+	// (e.g. a pre-versioning log). Rejecting loudly beats misparsing: the
+	// frame layout has changed across versions and a silent truncation
+	// would read as an empty log.
+	ErrBadFormat = errors.New("wal: not a log of this format version (migrate or discard it)")
 )
+
+// walMagic heads every log file: "HWAL" plus a big-endian format version.
+// Version 3 added the per-record partition id to the frame body.
+var walMagic = []byte{'H', 'W', 'A', 'L', 0, 0, 0, 3}
+
+// headerLen is the byte length of the file header; frames follow it.
+const headerLen = 8
 
 // Policy selects when an append is acknowledged (see the package comment).
 type Policy int
@@ -164,8 +191,10 @@ func (t *Ticket) Wait() (uint64, error) {
 func Open(path string) (*Log, error) { return OpenWith(path, Options{}) }
 
 // OpenWith opens the log at path: it scans to the last valid frame,
-// truncates any torn tail so subsequent appends are reachable by Replay,
-// seeks to the end and starts the appender goroutine.
+// truncates any torn tail so subsequent appends are reachable by Replay
+// (writing the format header on a fresh or header-torn file), seeks to
+// the end and starts the appender goroutine. A file of a different format
+// version is rejected with ErrBadFormat.
 func OpenWith(path string, opts Options) (*Log, error) {
 	validLen, lastLSN, _, err := scanValid(path)
 	if err != nil {
@@ -184,6 +213,13 @@ func OpenWith(path string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: repair tail: %w", err)
 		}
 	}
+	if validLen == 0 {
+		if _, err := f.WriteAt(walMagic, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: write header: %w", err)
+		}
+		validLen = headerLen
+	}
 	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: open: %w", err)
@@ -200,9 +236,10 @@ func OpenWith(path string, opts Options) (*Log, error) {
 	return l, nil
 }
 
-// RepairTail truncates the file at path to its last valid frame and
-// returns the resulting length. A missing file is zero-length and not an
-// error.
+// RepairTail truncates the file at path to its last valid frame (or to
+// zero for a torn header) and returns the resulting length. A missing
+// file is zero-length and not an error; a file of a different format
+// version is ErrBadFormat.
 func RepairTail(path string) (int64, error) {
 	validLen, _, _, err := scanValid(path)
 	if err != nil {
@@ -403,10 +440,10 @@ func (l *Log) run(lastLSN uint64) {
 // Frame layout:
 //
 //	u32 bodyLen | u32 crc32(body) | body
-//	body = u64 lsn | op byte | u16 tableLen | table | payload
+//	body = u64 lsn | op byte | u32 part | u16 tableLen | table | payload
 const (
 	frameHdrLen = 8
-	minBodyLen  = 11
+	minBodyLen  = 15
 	maxBodyLen  = 64 << 20
 )
 
@@ -416,9 +453,10 @@ func encodeFrame(rec Record, lsn uint64) []byte {
 	body := frame[frameHdrLen:]
 	binary.LittleEndian.PutUint64(body[0:8], lsn)
 	body[8] = byte(rec.Op)
-	binary.LittleEndian.PutUint16(body[9:11], uint16(len(rec.Table)))
-	copy(body[11:], rec.Table)
-	copy(body[11+len(rec.Table):], rec.Payload)
+	binary.LittleEndian.PutUint32(body[9:13], rec.Part)
+	binary.LittleEndian.PutUint16(body[13:15], uint16(len(rec.Table)))
+	copy(body[15:], rec.Table)
+	copy(body[15+len(rec.Table):], rec.Payload)
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyLen))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
 	return frame
@@ -430,15 +468,16 @@ func decodeBody(body []byte) (Record, bool) {
 	if len(body) < minBodyLen {
 		return Record{}, false
 	}
-	tableLen := int(binary.LittleEndian.Uint16(body[9:11]))
+	tableLen := int(binary.LittleEndian.Uint16(body[13:15]))
 	if minBodyLen+tableLen > len(body) {
 		return Record{}, false
 	}
 	return Record{
 		LSN:     binary.LittleEndian.Uint64(body[0:8]),
 		Op:      Op(body[8]),
-		Table:   string(body[11 : 11+tableLen]),
-		Payload: body[11+tableLen:],
+		Part:    binary.LittleEndian.Uint32(body[9:13]),
+		Table:   string(body[15 : 15+tableLen]),
+		Payload: body[15+tableLen:],
 	}, true
 }
 
@@ -451,8 +490,10 @@ func Replay(path string, fn func(Record) error) error {
 }
 
 // ReplayFrom replays records starting at byte offset off (which must be a
-// frame boundary, e.g. a position recorded by a checkpoint manifest). An
-// offset at or past the end of the valid log replays zero records.
+// frame boundary, e.g. a position recorded by a checkpoint manifest;
+// offsets inside the file header are clamped past it). An offset at or
+// past the end of the valid log replays zero records; a file of a
+// different format version is ErrBadFormat.
 func ReplayFrom(path string, off int64, fn func(Record) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -462,7 +503,14 @@ func ReplayFrom(path string, off int64, fn func(Record) error) error {
 		return fmt.Errorf("wal: replay open: %w", err)
 	}
 	defer f.Close()
-	if off > 0 {
+	ok, err := readHeader(f)
+	if err != nil {
+		return fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if !ok { // empty or header-torn file: an empty log
+		return nil
+	}
+	if off > headerLen {
 		if _, err := f.Seek(off, io.SeekStart); err != nil {
 			return fmt.Errorf("wal: replay seek: %w", err)
 		}
@@ -513,9 +561,30 @@ func readFrames(r io.Reader, fn func(Record) (bool, error)) error {
 	}
 }
 
-// scanValid returns the byte length of the valid frame prefix of the file
-// at path, the last valid frame's LSN, and the frame count. A missing file
-// scans as empty.
+// readHeader consumes the file header from r and classifies it: ok means
+// a complete, current-version header was read; ok=false with a nil error
+// means the file is empty or holds a crash-torn header prefix (an empty
+// log, repairable); ErrBadFormat means the bytes are some other format —
+// a different version or a pre-versioning log — and must not be touched.
+func readHeader(r io.Reader) (ok bool, err error) {
+	var hdr [headerLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil { // short file: torn header iff it is a magic prefix
+		if bytes.Equal(hdr[:n], walMagic[:n]) {
+			return false, nil
+		}
+		return false, ErrBadFormat
+	}
+	if !bytes.Equal(hdr[:], walMagic) {
+		return false, ErrBadFormat
+	}
+	return true, nil
+}
+
+// scanValid returns the byte length of the valid (header + frames) prefix
+// of the file at path, the last valid frame's LSN, and the frame count.
+// A missing file scans as empty; validLen 0 means the header itself is
+// missing or torn and must be (re)written.
 func scanValid(path string) (validLen int64, lastLSN uint64, n int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -525,6 +594,14 @@ func scanValid(path string) (validLen int64, lastLSN uint64, n int, err error) {
 		return 0, 0, 0, fmt.Errorf("wal: scan: %w", err)
 	}
 	defer f.Close()
+	ok, err := readHeader(f)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if !ok {
+		return 0, 0, 0, nil
+	}
+	validLen = headerLen
 	first := true
 	err = readFrames(f, func(rec Record) (bool, error) {
 		if !first && rec.LSN <= lastLSN {
