@@ -79,10 +79,68 @@ const (
 	KindPrimary = engine.KindPrimary
 )
 
+// Transactions and MVCC. Rows are multi-versioned: every read runs
+// against a commit-clock snapshot and observes a committed prefix of
+// history — never a partially applied batch — while writers proceed
+// without blocking readers. Explicit transactions give snapshot isolation
+// with first-committer-wins conflict detection:
+//
+//	x := db.Begin()
+//	x.Insert(tb, []float64{9, 1, 2, 3})
+//	x.Update(tb, 7, 1, 42)
+//	if _, err := x.Commit(); err != nil { // hermitdb.ErrWriteConflict?
+//		// nothing was applied
+//	}
+//
+// DurableDB.Begin is the WAL-logged counterpart: the transaction's
+// mutations are logged as one txn-begin/commit group, and recovery
+// discards transactions whose commit record never reached the log.
+// Snapshots are first-class (WithSnapshot, DB.Snapshot, the *At query
+// variants), so several queries can observe one consistent state.
+type (
+	// Txn is a snapshot-isolation transaction (DB.Begin).
+	Txn = engine.Txn
+	// DurableTxn is a WAL-logged snapshot-isolation transaction
+	// (DurableDB.Begin).
+	DurableTxn = engine.DurableTxn
+	// Snapshot is a registered consistent read view (DB.Snapshot,
+	// DurableDB.Snapshot, PartitionedTable.Snapshot); release it when done.
+	Snapshot = engine.Snapshot
+	// Clock is the commit clock ordering transactions; partitioned tables
+	// share one across partitions.
+	Clock = engine.Clock
+	// CommitResult reports a committed transaction's timestamp and the
+	// RIDs its writes landed at.
+	CommitResult = engine.CommitResult
+)
+
+// Transaction errors.
+var (
+	// ErrWriteConflict: another transaction committed to a written key
+	// after this transaction's snapshot (first committer wins).
+	ErrWriteConflict = engine.ErrWriteConflict
+	// ErrTxnDone: the transaction was already committed or rolled back.
+	ErrTxnDone = engine.ErrTxnDone
+	// ErrTxnAborted marks the sibling mutations of an aborted atomic batch.
+	ErrTxnAborted = engine.ErrTxnAborted
+)
+
+// WithSnapshot runs fn against one registered snapshot of db and releases
+// it afterwards: every query issued through the *At variants inside fn
+// observes the same commit-clock instant.
+func WithSnapshot(db *DB, fn func(*Snapshot) error) error {
+	snap := db.Snapshot()
+	defer snap.Release()
+	return fn(snap)
+}
+
 // Concurrent serving. Tables are safe for concurrent use: queries take
 // per-index read latches, writers take a per-key stripe plus the latches
 // of the structures they touch (see internal/engine). The batched executor
-// drains a slice of operations across a worker pool:
+// executes a slice of operations; a batch containing mutations runs as ONE
+// atomic snapshot-isolation transaction (all-or-nothing, queries reading
+// the batch-start snapshot), while read-only batches drain across a worker
+// pool sharing one snapshot:
 //
 //	ops := []hermitdb.Op{
 //		{Kind: hermitdb.OpRange, Col: 2, Lo: 100, Hi: 120},

@@ -121,6 +121,7 @@ var Registry = []Experiment{
 	{"durability", "Durable inserts vs sync policy; recovery vs WAL length", RunDurability},
 	{"advisor", "Self-tuning: advisor auto-indexing and planner re-routing", RunAdvisor},
 	{"partition", "Hash partitioning: scatter-gather throughput vs partitions x goroutines", RunPartition},
+	{"txn", "MVCC transactions: scan-under-writes, abort rate, snapshot overhead", RunTxn},
 }
 
 // ByID returns the experiment with the given id.

@@ -45,7 +45,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
 		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
-		"concurrency", "durability", "advisor", "partition",
+		"concurrency", "durability", "advisor", "partition", "txn",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -49,6 +49,8 @@ var Configs = []string{
 	"partitioned",         // hash-partitioned scatter-gather table
 	"durable",             // WAL+checkpoint engine, close/reopen mid-stream
 	"durable-partitioned", // partitioned durable table, close/reopen mid-stream
+	"txn",                 // atomic multi-op batches vs an all-or-nothing oracle (durable)
+	"snapshot-scan",       // concurrent reader asserting no scan observes a partial batch
 }
 
 // schema is the generated table shape: col 0 is the primary key, col 1 the
@@ -199,6 +201,12 @@ func (f Failure) Error() string { return fmt.Sprintf("difftest: step %d: %s", f.
 // first divergence as a *Failure (nil when the system tracked the oracle
 // exactly over the whole stream).
 func Run(cfgName string, cfg Config) error {
+	switch cfgName {
+	case "txn":
+		return runTxn(cfg)
+	case "snapshot-scan":
+		return runSnapshotScan(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := genSchema(rng)
 	sys, err := build(cfgName, cfg, s)

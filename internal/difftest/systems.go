@@ -34,7 +34,7 @@ func (s *memSystem) query(col int, lo, hi float64) ([]float64, error) {
 	return ridPKs(s.tb, rids)
 }
 
-func (s *memSystem) state() (map[float64][]float64, error) { return storeState(s.tb.Store()) }
+func (s *memSystem) state() (map[float64][]float64, error) { return tableState(s.tb) }
 
 func (s *memSystem) cycle(bool) error { return nil }
 func (s *memSystem) close() error     { return nil }
@@ -53,11 +53,12 @@ func ridPKs(tb *engine.Table, rids []storage.RID) ([]float64, error) {
 	return out, nil
 }
 
-// storeState dumps a store's live rows keyed by primary key (col 0 in
-// every generated schema).
-func storeState(st *storage.Table) (map[float64][]float64, error) {
-	out := make(map[float64][]float64, st.Len())
-	st.Scan(func(_ storage.RID, row []float64) bool {
+// tableState dumps a table's live rows keyed by primary key (col 0 in
+// every generated schema). ScanLive resolves MVCC visibility — the raw
+// store also holds superseded and deleted versions awaiting GC.
+func tableState(tb *engine.Table) (map[float64][]float64, error) {
+	out := make(map[float64][]float64, tb.Len())
+	tb.ScanLive(func(_ storage.RID, row []float64) bool {
 		out[row[0]] = append([]float64(nil), row...)
 		return true
 	})
@@ -111,7 +112,7 @@ func partPKs(pt *partition.Table, rids []partition.RID) ([]float64, error) {
 func partState(pt *partition.Table) (map[float64][]float64, error) {
 	out := make(map[float64][]float64, pt.Len())
 	for i := 0; i < pt.Partitions(); i++ {
-		st, err := storeState(pt.Part(i).Store())
+		st, err := tableState(pt.Part(i))
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +186,7 @@ func (s *durSystem) state() (map[float64][]float64, error) {
 	if s.parts > 0 {
 		return partState(s.pt)
 	}
-	return storeState(s.tb.Store())
+	return tableState(s.tb)
 }
 
 // cycle optionally checkpoints, then closes and reopens the database —

@@ -1,0 +1,323 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/partition"
+	"hermit/internal/trstree"
+)
+
+// This file holds the two transactional differential configurations added
+// with the MVCC layer:
+//
+//   - "txn" drives seeded random multi-operation batches through the
+//     durable atomic executor and compares against an oracle that applies
+//     each batch all-or-nothing — including batches built to fail partway,
+//     which must leave the system byte-identical to the oracle's untouched
+//     state. The database is closed, reopened and checkpointed mid-stream,
+//     so committed transaction groups also round-trip the WAL.
+//
+//   - "snapshot-scan" pins the cross-partition snapshot guarantee: a
+//     reader goroutine continuously scans a set of marker rows spread over
+//     every partition while the main thread commits atomic batches that
+//     rewrite all markers to a new generation. Every scan must observe one
+//     generation exactly — a mixed scan is a torn (partially visible)
+//     batch, the bug class MVCC exists to rule out.
+
+// applyBatch applies a mutation batch to the model all-or-nothing,
+// mirroring the engine's atomic-batch contract: ops apply in order against
+// the batch's running state; the first failure rolls everything back. It
+// returns the index of the failing op (-1 when the batch commits).
+func (m *model) applyBatch(ops []engine.Op) int {
+	type undo struct {
+		pk  float64
+		row []float64 // nil: pk was absent before the batch touched it
+	}
+	var undos []undo
+	saved := make(map[float64]bool)
+	save := func(pk float64) {
+		if saved[pk] {
+			return
+		}
+		saved[pk] = true
+		if row, ok := m.rows[pk]; ok {
+			undos = append(undos, undo{pk: pk, row: append([]float64(nil), row...)})
+		} else {
+			undos = append(undos, undo{pk: pk})
+		}
+	}
+	rollback := func() {
+		for _, u := range undos {
+			if _, ok := m.rows[u.pk]; ok {
+				m.remove(u.pk)
+			}
+			if u.row != nil {
+				m.insert(u.row)
+			}
+		}
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case engine.OpInsert:
+			save(op.Row[0])
+			if !m.insert(op.Row) {
+				rollback()
+				return i
+			}
+		case engine.OpDelete:
+			save(op.PK)
+			m.remove(op.PK) // found=false is not a failure
+		case engine.OpUpdate:
+			save(op.PK)
+			if !m.update(op.PK, op.Col, op.Value) {
+				rollback()
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// runTxn is the "txn" configuration driver.
+func runTxn(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := genSchema(rng)
+	sys, err := build("durable", cfg, s)
+	if err != nil {
+		return err
+	}
+	defer sys.close()
+	ds := sys.(*durSystem)
+	m := newModel()
+
+	nextPK := float64(0)
+	for i := 0; i < 300; i++ {
+		row := s.row(rng, nextPK)
+		nextPK++
+		m.insert(row)
+		if err := ds.insert(row); err != nil {
+			return Failure{Step: -1, What: fmt.Sprintf("initial insert: %v", err)}
+		}
+	}
+
+	batches := cfg.Ops / 5
+	if batches < 20 {
+		batches = 20
+	}
+	cyclePeriod := batches/4 + 1
+	width := len(s.cols)
+	for step := 0; step < batches; step++ {
+		// Build a 2–8 op mutation batch; ~1/4 of batches contain an op
+		// built to fail (duplicate insert or update of an absent key), so
+		// the all-or-nothing abort path is exercised constantly.
+		n := 2 + rng.Intn(7)
+		ops := make([]engine.Op, 0, n)
+		for i := 0; i < n; i++ {
+			switch p := rng.Float64(); {
+			case p < 0.40:
+				var row []float64
+				if pk, ok := m.pick(rng); ok && rng.Float64() < 0.12 {
+					row = s.row(rng, pk) // duplicate: poisons the batch
+				} else {
+					row = s.row(rng, nextPK)
+					nextPK++
+				}
+				ops = append(ops, engine.Op{Table: "t", Kind: engine.OpInsert, Row: row})
+			case p < 0.65:
+				pk, ok := m.pick(rng)
+				if !ok || rng.Float64() < 0.25 {
+					pk = nextPK + 5000 + rng.Float64() // absent: found=false, no failure
+				}
+				ops = append(ops, engine.Op{Table: "t", Kind: engine.OpDelete, PK: pk})
+			default:
+				col := 1 + rng.Intn(width-1)
+				lo, hi := s.valueRange(col)
+				pk, ok := m.pick(rng)
+				if !ok || rng.Float64() < 0.15 {
+					pk = nextPK + 9000 + rng.Float64() // absent: poisons the batch
+				}
+				ops = append(ops, engine.Op{
+					Table: "t", Kind: engine.OpUpdate, PK: pk, Col: col,
+					Value: lo + rng.Float64()*(hi-lo),
+				})
+			}
+		}
+		wantFail := m.applyBatch(ops)
+		res := ds.d.ExecuteBatch(ops, 1+rng.Intn(4))
+		for i, r := range res {
+			// On an oracle-predicted abort every mutation must error; on a
+			// committed batch none may. (Found-ness and row contents are
+			// cross-checked by the periodic full-state audits.)
+			if wantErr := wantFail >= 0; (r.Err != nil) != wantErr {
+				return Failure{step, fmt.Sprintf(
+					"batch op %d (%v): err=%v, oracle batch failure at %d", i, ops[i].Kind, r.Err, wantFail)}
+			}
+		}
+		if step > 0 && step%cyclePeriod == 0 {
+			if err := ds.cycle(rng.Intn(2) == 0); err != nil {
+				return Failure{Step: step, What: fmt.Sprintf("cycle: %v", err)}
+			}
+		}
+		if step%8 == 0 || step == batches-1 {
+			if err := audit(m, ds, step); err != nil {
+				return err
+			}
+		}
+		// Interleave a plain query so index maintenance under transactional
+		// churn is observed too.
+		col := rng.Intn(width)
+		lo, hi := s.valueRange(col)
+		qlo := lo + rng.Float64()*(hi-lo)
+		qhi := qlo + rng.Float64()*rng.Float64()*(hi-lo)
+		want := m.query(col, qlo, qhi)
+		got, err := ds.query(col, qlo, qhi)
+		if err != nil {
+			return Failure{step, fmt.Sprintf("range col=%d: %v", col, err)}
+		}
+		if err := samePKs(want, got); err != nil {
+			return Failure{step, fmt.Sprintf("range col=%d [%v,%v]: %v", col, qlo, qhi, err)}
+		}
+	}
+	return audit(m, ds, batches)
+}
+
+// runSnapshotScan is the "snapshot-scan" configuration driver.
+func runSnapshotScan(cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	parts := cfg.Partitions
+	if parts <= 0 {
+		parts = 3
+	}
+	// Schema: pk | gen (the generation every marker row carries) | tag
+	// (1 for marker rows, 0 for churn rows).
+	cols := []string{"pk", "gen", "tag"}
+	pt, err := partition.New(hermit.PhysicalPointers, "t", cols, 0,
+		partition.Options{Partitions: parts, Workers: 2})
+	if err != nil {
+		return err
+	}
+	if err := pt.CreateBTreeIndex(1, false); err != nil {
+		return err
+	}
+	if err := pt.CreateHermitIndex(2, 1, trstree.DefaultParams()); err != nil {
+		return err
+	}
+	const markers = 24 // enough keys to land on every partition
+	for i := 0; i < markers; i++ {
+		if _, err := pt.Insert([]float64{float64(i), 0, 1}); err != nil {
+			return err
+		}
+	}
+
+	rounds := cfg.Ops / 20
+	if rounds < 30 {
+		rounds = 30
+	}
+	var (
+		stop    atomic.Bool
+		scans   atomic.Int64
+		readErr atomic.Value
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			snap := pt.Snapshot()
+			rids, _, err := pt.RangeQueryAt(snap, 2, 1, 1) // all marker rows
+			if err != nil {
+				readErr.Store(fmt.Errorf("marker scan: %w", err))
+				snap.Release()
+				return
+			}
+			if len(rids) != markers {
+				readErr.Store(fmt.Errorf("marker scan saw %d rows, want %d", len(rids), markers))
+				snap.Release()
+				return
+			}
+			var gen float64
+			for i, rid := range rids {
+				row, err := pt.FetchRow(rid)
+				if err != nil {
+					readErr.Store(fmt.Errorf("fetch under snapshot: %w", err))
+					snap.Release()
+					return
+				}
+				if i == 0 {
+					gen = row[1]
+				} else if row[1] != gen {
+					readErr.Store(fmt.Errorf(
+						"torn batch observed: marker generations %v and %v in one scan", gen, row[1]))
+					snap.Release()
+					return
+				}
+			}
+			snap.Release()
+			scans.Add(1)
+		}
+	}()
+
+	nextPK := float64(1000)
+	for g := 1; g <= rounds && readErr.Load() == nil; g++ {
+		// One atomic batch: rewrite every marker to generation g, plus
+		// unrelated churn (inserts/deletes) that lands on random partitions.
+		var ops []engine.Op
+		for i := 0; i < markers; i++ {
+			ops = append(ops, engine.Op{Kind: engine.OpUpdate, PK: float64(i), Col: 1, Value: float64(g)})
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			if rng.Float64() < 0.5 || nextPK < 1002 {
+				ops = append(ops, engine.Op{Kind: engine.OpInsert, Row: []float64{nextPK, float64(g), 0}})
+				nextPK++
+			} else {
+				ops = append(ops, engine.Op{Kind: engine.OpDelete, PK: 1000 + rng.Float64()*(nextPK-1000)})
+			}
+		}
+		prev := scans.Load()
+		res := pt.ExecuteBatch(ops, 1+rng.Intn(3))
+		for i, r := range res {
+			if r.Err != nil {
+				stop.Store(true)
+				wg.Wait()
+				return Failure{g, fmt.Sprintf("batch op %d: %v", i, r.Err)}
+			}
+		}
+		// Let the reader complete at least one scan against this
+		// generation before the next batch commits — on a single-CPU box
+		// the tight writer loop would otherwise starve it entirely.
+		for spins := 0; scans.Load() == prev && readErr.Load() == nil && spins < 2000; spins++ {
+			if spins%100 == 99 {
+				time.Sleep(time.Millisecond)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := readErr.Load(); err != nil {
+		return Failure{Step: -1, What: err.(error).Error()}
+	}
+	if scans.Load() == 0 {
+		return Failure{Step: -1, What: "reader completed zero scans (no concurrency exercised)"}
+	}
+	// Final state: every marker carries the last generation.
+	for i := 0; i < markers; i++ {
+		rids, _, err := pt.PointQuery(0, float64(i))
+		if err != nil || len(rids) != 1 {
+			return Failure{Step: -1, What: fmt.Sprintf("marker %d: rids=%d err=%v", i, len(rids), err)}
+		}
+		row, err := pt.FetchRow(rids[0])
+		if err != nil || row[1] != float64(rounds) {
+			return Failure{Step: -1, What: fmt.Sprintf("marker %d gen=%v, want %d", i, row[1], rounds)}
+		}
+	}
+	return nil
+}

@@ -133,6 +133,15 @@ func (t *Table) CompositeHermit(aCol, mCol int) *hermit.CompositeIndex {
 // plan on whichever column has an index (fetch + residual filter), falling
 // back to a table scan.
 func (t *Table) RangeQuery2(aCol int, aLo, aHi float64, bCol int, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
+	snap := t.clock.Snapshot()
+	defer snap.Release()
+	return t.RangeQuery2At(snap, aCol, aLo, aHi, bCol, bLo, bHi)
+}
+
+// RangeQuery2At is RangeQuery2 reading at the caller's snapshot.
+// Composite indexes are physical-pointer-only, so candidates are version
+// RIDs and visibility filters them directly.
+func (t *Table) RangeQuery2At(snap *Snapshot, aCol int, aLo, aHi float64, bCol int, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
 	if aCol < 0 || aCol >= len(t.cols) || bCol < 0 || bCol >= len(t.cols) {
 		return nil, QueryStats{}, ErrNoSuchColumn
 	}
@@ -145,16 +154,18 @@ func (t *Table) RangeQuery2(aCol int, aLo, aHi float64, bCol int, bLo, bHi float
 		hostMu.RLock()
 		res := hx.Lookup(aLo, aHi, bLo, bHi)
 		hostMu.RUnlock()
-		return res.RIDs, QueryStats{
-			Kind: KindHermit, Rows: len(res.RIDs),
+		rids := t.filterVersions(snap, res.RIDs)
+		return rids, QueryStats{
+			Kind: KindHermit, Rows: len(rids),
 			Candidates: res.Candidates, Breakdown: res.Breakdown,
 		}, nil
 	}
 	if tr, ok := t.composites[colPair{aCol, bCol}]; ok {
-		return t.compositeBaseline(tr, t.compositeMu.get(colPair{aCol, bCol}), aLo, aHi, bLo, bHi)
+		return t.compositeBaseline(snap, tr, t.compositeMu.get(colPair{aCol, bCol}), aLo, aHi, bLo, bHi)
 	}
-	// Single-column plan with residual filter.
-	rids, st, err := t.rangeQueryLocked(aCol, aLo, aHi)
+	// Single-column plan with residual filter (version rows are immutable,
+	// so the residual check against the returned visible versions is exact).
+	rids, st, err := t.rangeQueryLocked(snap, aCol, aLo, aHi)
 	if err != nil {
 		return nil, st, err
 	}
@@ -171,7 +182,7 @@ func (t *Table) RangeQuery2(aCol int, aLo, aHi float64, bCol int, bLo, bHi float
 
 // compositeBaseline is the conventional composite-index plan; mu is the
 // scanned composite index's latch.
-func (t *Table) compositeBaseline(tr *btree.CompositeTree, mu *sync.RWMutex, aLo, aHi, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
+func (t *Table) compositeBaseline(snap *Snapshot, tr *btree.CompositeTree, mu *sync.RWMutex, aLo, aHi, bLo, bHi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindBTree}
 	profile := t.profile.Load()
 	var t0 time.Time
@@ -189,15 +200,11 @@ func (t *Table) compositeBaseline(tr *btree.CompositeTree, mu *sync.RWMutex, aLo
 		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
 		t0 = time.Now()
 	}
-	out := rids[:0]
-	for _, rid := range rids {
-		if _, err := t.store.Value(rid, t.pkCol); err == nil {
-			out = append(out, rid)
-		}
-	}
+	st.Candidates = len(rids)
+	out := t.filterVersions(snap, rids)
 	if profile {
 		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
 	}
-	st.Rows, st.Candidates = len(out), len(out)
+	st.Rows = len(out)
 	return out, st, nil
 }

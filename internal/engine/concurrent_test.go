@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -261,8 +262,10 @@ func TestExecuteBatchMixed(t *testing.T) {
 	}
 }
 
-// TestExecuteBatchMalformedOps: a malformed op must land in its own
-// OpResult.Err without taking down the batch (or the process).
+// TestExecuteBatchMalformedOps: batches are atomic transactions, so a
+// malformed mutation must abort the whole batch — every mutation errors
+// (the malformed one with its specific error, the rest with
+// ErrTxnAborted), nothing is applied, and the process stays up.
 func TestExecuteBatchMalformedOps(t *testing.T) {
 	db := NewDB(hermit.PhysicalPointers)
 	tb, err := db.CreateTable("t", []string{"id", "v"}, 0)
@@ -270,21 +273,34 @@ func TestExecuteBatchMalformedOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	results := tb.ExecuteBatch([]Op{
-		{Kind: OpInsert},                           // nil row
-		{Kind: OpInsert, Row: []float64{1}},        // short row
-		{Kind: OpInsert, Row: []float64{1, 2, 3}},  // wide row
-		{Kind: OpInsert, Row: []float64{7, 8}},     // valid
-		{Kind: OpRange, Col: 99, Lo: 0, Hi: 1},     // bad column
-		{Kind: OpUpdate, PK: 7, Col: 99, Value: 0}, // bad column
-		{Kind: OpKind(42), Row: []float64{1, 2}},   // unknown kind
+		{Kind: OpInsert, Row: []float64{7, 8}},     // valid, but aborted below
+		{Kind: OpRange, Col: 99, Lo: 0, Hi: 1},     // bad column: per-op query error
+		{Kind: OpInsert},                           // nil row: aborts the txn
+		{Kind: OpInsert, Row: []float64{1}},        // never attempted
+		{Kind: OpUpdate, PK: 7, Col: 99, Value: 0}, // never attempted
+		{Kind: OpKind(42), Row: []float64{1, 2}},   // never attempted
 	}, 4)
-	for i, wantErr := range []bool{true, true, true, false, true, true, true} {
+	for i, wantErr := range []bool{true, true, true, true, true, true} {
 		if (results[i].Err != nil) != wantErr {
 			t.Fatalf("op %d: err=%v, wantErr=%v", i, results[i].Err, wantErr)
 		}
 	}
+	if !errors.Is(results[0].Err, ErrTxnAborted) {
+		t.Fatalf("valid mutation in aborted batch: err=%v, want ErrTxnAborted", results[0].Err)
+	}
+	if errors.Is(results[2].Err, ErrTxnAborted) {
+		t.Fatalf("failing op should carry its own error, got ErrTxnAborted")
+	}
+	if rids, _, err := tb.PointQuery(0, 7); err != nil || len(rids) != 0 {
+		t.Fatalf("aborted batch leaked a row: rids=%d err=%v", len(rids), err)
+	}
+	// The same valid insert in a clean batch applies.
+	clean := tb.ExecuteBatch([]Op{{Kind: OpInsert, Row: []float64{7, 8}}}, 1)
+	if clean[0].Err != nil {
+		t.Fatalf("clean batch: %v", clean[0].Err)
+	}
 	if rids, _, err := tb.PointQuery(0, 7); err != nil || len(rids) != 1 {
-		t.Fatalf("valid op in malformed batch not applied: rids=%d err=%v", len(rids), err)
+		t.Fatalf("clean batch not applied: rids=%d err=%v", len(rids), err)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hermit/internal/hermit"
@@ -73,8 +74,13 @@ type DurableDB struct {
 	rows    stripedLock
 	orphans []*wal.Log // pre-rotation logs left open by a simulated crash
 
+	// txnSeq issues transaction ids for the WAL's txn-begin/commit
+	// framing; seeded past the largest id seen during recovery.
+	txnSeq atomic.Uint64
+
 	skipped     int
 	lastSkipErr error
+	uncommitted int // transactions whose commit record never hit the log
 
 	// failpoint, when non-nil, is invoked at every step boundary of
 	// Checkpoint with a step label; a returned error simulates a crash at
@@ -134,8 +140,11 @@ type IndexDef struct {
 
 // manifestVersion identifies the epoch-based checkpoint layout. Version 3
 // added hash-partitioned tables: a partition id in every WAL frame and a
-// partition count in table metadata.
-const manifestVersion = 3
+// partition count in table metadata. Version 4 moved the WAL to frame
+// format v4 (per-record transaction ids plus txn-begin/commit records), so
+// recovery replays only committed transactions; checkpoints now dump the
+// rows visible at the latest commit timestamp after a version-GC pass.
+const manifestVersion = 4
 
 // manifest is the durably-published checkpoint descriptor. Epoch names the
 // row files and WAL segment of the image; WALStart is the byte offset in
@@ -225,18 +234,49 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 	}
 	// Phase 2: replay the WAL tail. Replay stops at the first torn or
 	// corrupt frame on its own; a record that fails to apply is counted
-	// and skipped, never aborting recovery.
+	// and skipped, never aborting recovery. Records carrying a transaction
+	// id buffer until their commit record arrives — a transaction whose
+	// OpTxnCommit never reached the log is an uncommitted tail and rolls
+	// back (its buffered mutations are simply dropped).
 	walPath := p.wal(d.epoch)
-	err := wal.ReplayFrom(walPath, walStart, func(rec wal.Record) error {
+	pending := make(map[uint64][]wal.Record)
+	var maxTxn uint64
+	applyCounted := func(rec wal.Record) {
 		if aerr := d.apply(rec); aerr != nil {
 			d.skipped++
 			d.lastSkipErr = aerr
+		}
+	}
+	err := wal.ReplayFrom(walPath, walStart, func(rec wal.Record) error {
+		if rec.Txn > maxTxn {
+			maxTxn = rec.Txn
+		}
+		switch {
+		case rec.Op == wal.OpTxnBegin:
+			pending[rec.Txn] = nil
+		case rec.Op == wal.OpTxnCommit:
+			recs, ok := pending[rec.Txn]
+			if !ok {
+				d.skipped++
+				d.lastSkipErr = fmt.Errorf("engine: commit for unknown txn %d", rec.Txn)
+				return nil
+			}
+			for _, r := range recs {
+				applyCounted(r)
+			}
+			delete(pending, rec.Txn)
+		case rec.Txn != 0:
+			pending[rec.Txn] = append(pending[rec.Txn], rec)
+		default:
+			applyCounted(rec)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	d.uncommitted = len(pending)
+	d.txnSeq.Store(maxTxn)
 	// Phase 3: open the log for appending — wal.OpenWith truncates any
 	// crash-torn tail, which is what keeps post-recovery appends reachable
 	// — and clear stale-epoch leftovers.
@@ -253,6 +293,23 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 // last open (with the last such error), e.g. records from a log written by
 // a buggy earlier version. Zero on a clean recovery.
 func (d *DurableDB) RecoverySkipped() (int, error) { return d.skipped, d.lastSkipErr }
+
+// RecoveryUncommitted reports how many transactions were rolled back
+// during the last open because their commit record never reached the log —
+// the crash-interrupted tails recovery must discard. These are not
+// failures: an unacknowledged commit has made no durability promise.
+func (d *DurableDB) RecoveryUncommitted() int { return d.uncommitted }
+
+// Snapshot registers a consistent read snapshot on the database's commit
+// clock (see DB.Snapshot).
+func (d *DurableDB) Snapshot() *Snapshot { return d.db.Snapshot() }
+
+// Clock returns the commit clock ordering every table in this database.
+func (d *DurableDB) Clock() *Clock { return d.db.Clock() }
+
+// GC runs one version-garbage-collection pass (see DB.GC). Checkpoint runs
+// it automatically; this is the manual hook.
+func (d *DurableDB) GC() int { return d.db.GC() }
 
 func (d *DurableDB) restoreTable(p durablePaths, name string, meta *durableMeta) error {
 	for _, phys := range physicalNames(name, meta) {
@@ -810,6 +867,12 @@ func (d *DurableDB) Checkpoint() error {
 	if err := d.fp("after-wal-sync"); err != nil {
 		return err
 	}
+	// Version-GC pass: with mutations quiesced, reclaim every row version
+	// older than the oldest live snapshot (concurrent snapshot readers are
+	// registered on the clock and bound the horizon), so the rows files
+	// below stay one-version-per-key and superseded versions stop
+	// accumulating in the store and indexes.
+	d.db.GC()
 	next := d.epoch + 1
 	names := make([]string, 0, len(d.tables))
 	for name := range d.tables {
@@ -824,7 +887,7 @@ func (d *DurableDB) Checkpoint() error {
 			if err != nil {
 				return err
 			}
-			if err := writeRowsFile(p.rows(phys, next), tb.Store()); err != nil {
+			if err := writeRowsFile(p.rows(phys, next), tb); err != nil {
 				return err
 			}
 			if err := d.fp("after-rows:" + phys); err != nil {
@@ -975,22 +1038,25 @@ func syncDir(dir string) {
 	}
 }
 
-// writeRowsFile dumps live rows: u32 width, u64 count, then raw rows.
-func writeRowsFile(path string, st *storage.Table) error {
+// writeRowsFile dumps the rows live at the latest commit timestamp — one
+// version per key — as u32 width, u64 count, then raw rows. The caller
+// (Checkpoint) holds the durable latch exclusively, so the live set is
+// stable while we stream it.
+func writeRowsFile(path string, tb *Table) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(st.Width()))
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(st.Len()))
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(tb.Store().Width()))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(tb.Len()))
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
 		return err
 	}
 	var werr error
-	st.Scan(func(_ storage.RID, row []float64) bool {
+	tb.ScanLive(func(_ storage.RID, row []float64) bool {
 		if _, err := f.Write(encodeFloats(row)); err != nil {
 			werr = err
 			return false

@@ -218,7 +218,6 @@ func TestDurableMixedBatchAcrossTables(t *testing.T) {
 		{Table: "a", Kind: OpInsert, Row: []float64{1, 10}},
 		{Table: "b", Kind: OpInsert, Row: []float64{1, 20}},
 		{Table: "a", Kind: OpInsert, Row: []float64{2, 30}},
-		{Table: "missing", Kind: OpInsert, Row: []float64{1, 0}},
 		{Table: "missing", Kind: OpRange, Col: 0, Lo: 0, Hi: 1},
 	}
 	res := d.ExecuteBatch(ops, 4)
@@ -227,10 +226,25 @@ func TestDurableMixedBatchAcrossTables(t *testing.T) {
 			t.Fatalf("op %d: %v", i, res[i].Err)
 		}
 	}
-	for i := 3; i < 5; i++ {
-		if res[i].Err == nil {
-			t.Fatalf("op %d on missing table accepted", i)
-		}
+	// Committed inserts report the RID their version landed at.
+	tbA, _ := d.Table("a")
+	if v, err := tbA.Store().Value(res[0].RID, 1); err != nil || v != 10 {
+		t.Fatalf("insert RID not reported: val=%v err=%v", v, err)
+	}
+	if res[3].Err == nil {
+		t.Fatal("query on missing table accepted")
+	}
+	// A mutation on a missing table aborts the whole (atomic) batch.
+	bad := d.ExecuteBatch([]Op{
+		{Table: "a", Kind: OpInsert, Row: []float64{50, 1}},
+		{Table: "missing", Kind: OpInsert, Row: []float64{1, 0}},
+	}, 2)
+	if bad[0].Err == nil || bad[1].Err == nil {
+		t.Fatalf("batch with missing-table mutation not aborted: %v %v", bad[0].Err, bad[1].Err)
+	}
+	probe := d.ExecuteBatch([]Op{{Table: "a", Kind: OpPoint, Col: 0, Lo: 50}}, 1)[0]
+	if probe.Err != nil || len(probe.RIDs) != 0 {
+		t.Fatalf("aborted durable batch leaked a row: %d err=%v", len(probe.RIDs), probe.Err)
 	}
 	// Queries in a batch see the tables.
 	qres := d.ExecuteBatch([]Op{

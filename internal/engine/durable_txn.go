@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hermit/internal/wal"
+)
+
+// DurableTxn is a snapshot-isolation transaction over a DurableDB:
+// mutations buffer in an engine transaction and, at Commit, apply
+// atomically and are WAL-logged as a txn-begin / mutations / txn-commit
+// record group under one transaction id. Recovery replays the group only
+// if the commit record reached the log, so a crash mid-commit rolls the
+// whole transaction back. Mutations on partitioned tables route by
+// primary-key hash exactly like the auto-commit paths, each record
+// carrying its partition id. Like engine.Txn it is not safe for
+// concurrent use by multiple goroutines.
+type DurableTxn struct {
+	d    *DurableDB
+	x    *Txn
+	recs []wal.Record // mutation records, in buffer order
+	pks  []float64    // the d.rows stripe keys Commit must hold
+	res  CommitResult // where the committed writes landed (after Commit)
+	done bool
+}
+
+// Begin starts a durable snapshot-isolation transaction. Only DML is
+// transactional; DDL keeps its own logged paths.
+func (d *DurableDB) Begin() *DurableTxn {
+	return &DurableTxn{d: d, x: BeginTxn(d.db.clock)}
+}
+
+// Snapshot returns the transaction's read snapshot (see Txn.Snapshot).
+func (tx *DurableTxn) Snapshot() *Snapshot { return tx.x.Snapshot() }
+
+// Result reports where a committed transaction's writes landed (the zero
+// value before Commit succeeds).
+func (tx *DurableTxn) Result() CommitResult { return tx.res }
+
+// route resolves the engine table and partition id a mutation on (table,
+// pk) targets, mirroring DurableDB.mutate.
+func (tx *DurableTxn) route(table string, pk float64) (*Table, uint32, error) {
+	tx.d.mu.RLock()
+	phys, part := table, uint32(0)
+	if meta := tx.d.tables[table]; meta != nil && meta.Partitions > 0 {
+		p := PartitionOf(pk, meta.Partitions)
+		phys, part = PartitionName(table, p), uint32(p)
+	}
+	tx.d.mu.RUnlock()
+	tb, err := tx.d.db.Table(phys)
+	return tb, part, err
+}
+
+// record buffers the WAL record for one accepted mutation.
+func (tx *DurableTxn) record(rec wal.Record, pk float64) {
+	tx.recs = append(tx.recs, rec)
+	tx.pks = append(tx.pks, pk)
+}
+
+// Insert buffers a row insert (see Txn.Insert).
+func (tx *DurableTxn) Insert(table string, row []float64) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	var pk float64
+	tx.d.mu.RLock()
+	meta := tx.d.tables[table]
+	if meta == nil {
+		tx.d.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	if meta.PKCol < len(row) {
+		pk = row[meta.PKCol]
+	}
+	tx.d.mu.RUnlock()
+	tb, part, err := tx.route(table, pk)
+	if err != nil {
+		return err
+	}
+	if err := tx.x.Insert(tb, row); err != nil {
+		return err
+	}
+	tx.record(wal.Record{Op: wal.OpInsert, Table: table, Part: part, Payload: encodeFloats(row)}, pk)
+	return nil
+}
+
+// Delete buffers a delete (see Txn.Delete). Deletes of absent keys are
+// not logged — there is nothing to replay.
+func (tx *DurableTxn) Delete(table string, pk float64) (bool, error) {
+	if tx.done {
+		return false, ErrTxnDone
+	}
+	tb, part, err := tx.route(table, pk)
+	if err != nil {
+		return false, err
+	}
+	found, err := tx.x.Delete(tb, pk)
+	if err != nil || !found {
+		return found, err
+	}
+	tx.record(wal.Record{Op: wal.OpDelete, Table: table, Part: part, Payload: encodeFloats([]float64{pk})}, pk)
+	return true, nil
+}
+
+// Update buffers a single-column update (see Txn.Update).
+func (tx *DurableTxn) Update(table string, pk float64, col int, v float64) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tb, part, err := tx.route(table, pk)
+	if err != nil {
+		return err
+	}
+	if err := tx.x.Update(tb, pk, col, v); err != nil {
+		return err
+	}
+	tx.record(wal.Record{
+		Op: wal.OpUpdate, Table: table, Part: part,
+		Payload: encodeFloats([]float64{pk, float64(col), v}),
+	}, pk)
+	return nil
+}
+
+// Rollback discards the transaction; nothing was applied or logged.
+func (tx *DurableTxn) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.x.Rollback()
+}
+
+// Commit applies the buffered writes atomically in memory (first committer
+// wins — ErrWriteConflict aborts with nothing applied or logged), then
+// logs the whole group under a fresh transaction id and returns once the
+// commit record is acknowledged under the sync policy. The write keys'
+// durable stripes are held from the in-memory commit through the log
+// submits, so per-key log order equals apply order exactly as on the
+// auto-commit paths.
+func (tx *DurableTxn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.done = true
+	d := tx.d
+	d.mu.RLock()
+	if len(tx.recs) == 0 {
+		_, err := tx.x.Commit()
+		d.mu.RUnlock()
+		return err
+	}
+	stripes := make([]uint64, 0, len(tx.pks))
+	seen := make(map[uint64]bool, len(tx.pks))
+	for _, pk := range tx.pks {
+		if s := stripeOf(pk); !seen[s] {
+			seen[s] = true
+			stripes = append(stripes, s)
+		}
+	}
+	sort.Slice(stripes, func(a, b int) bool { return stripes[a] < stripes[b] })
+	for _, s := range stripes {
+		d.rows.stripes[s].Lock()
+	}
+	unlock := func() {
+		for i := len(stripes) - 1; i >= 0; i-- {
+			d.rows.stripes[stripes[i]].Unlock()
+		}
+	}
+	res, err := tx.x.Commit()
+	if err != nil {
+		unlock()
+		d.mu.RUnlock()
+		return err
+	}
+	tx.res = res
+	id := d.txnSeq.Add(1)
+	var commitTk *wal.Ticket
+	submit := func(rec wal.Record) error {
+		rec.Txn = id
+		tk, err := d.log.Submit(rec)
+		commitTk = tk
+		return err
+	}
+	serr := submit(wal.Record{Op: wal.OpTxnBegin})
+	for _, rec := range tx.recs {
+		if serr != nil {
+			break
+		}
+		serr = submit(rec)
+	}
+	if serr == nil {
+		serr = submit(wal.Record{Op: wal.OpTxnCommit})
+	}
+	err = serr
+	unlock()
+	d.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("engine: wal submit after txn apply (in-memory state ahead of log until next checkpoint): %w", err)
+	}
+	if _, werr := commitTk.Wait(); werr != nil {
+		return fmt.Errorf("engine: wal append after txn apply (in-memory state ahead of log until next checkpoint): %w", werr)
+	}
+	return nil
+}
+
+// ExecuteBatch runs a batch of operations with the same atomicity contract
+// as DB.ExecuteBatch, durably: a batch containing mutations executes as
+// one DurableTxn (queries read the batch-start snapshot; mutations apply
+// and are WAL-logged all-or-nothing under one transaction id), while a
+// read-only batch drains across a pool of workers goroutines sharing one
+// snapshot.
+func (d *DurableDB) ExecuteBatch(ops []Op, workers int) []OpResult {
+	resolveQuery := func(op Op) (*Table, error) { return d.db.Table(op.Table) }
+	if !hasMutations(ops) {
+		snap := d.Snapshot()
+		defer snap.Release()
+		return runOps(ops, workers, func(op Op) OpResult {
+			tb, err := resolveQuery(op)
+			if err != nil {
+				return OpResult{Err: err}
+			}
+			return tb.queryOpAt(snap, op)
+		})
+	}
+	results := make([]OpResult, len(ops))
+	tx := d.Begin()
+	defer tx.Rollback()
+	type ins struct {
+		i  int
+		t  *Table
+		pk float64
+	}
+	var (
+		inserts []ins
+		mutIdx  []int
+		failed  = -1
+	)
+	for i, op := range ops {
+		if !op.Kind.isMutation() {
+			if tb, err := resolveQuery(op); err != nil {
+				results[i].Err = err
+			} else {
+				results[i] = tb.queryOpAt(tx.Snapshot(), op)
+			}
+			continue
+		}
+		mutIdx = append(mutIdx, i)
+		switch op.Kind {
+		case OpInsert:
+			if results[i].Err = tx.Insert(op.Table, op.Row); results[i].Err == nil {
+				// Remember where the row routed so the committed version's
+				// RID can be reported (the last buffered record is this op's).
+				pk := tx.pks[len(tx.pks)-1]
+				if tb, _, err := tx.route(op.Table, pk); err == nil {
+					inserts = append(inserts, ins{i: i, t: tb, pk: pk})
+				}
+			}
+		case OpDelete:
+			results[i].Found, results[i].Err = tx.Delete(op.Table, op.PK)
+		case OpUpdate:
+			results[i].Err = tx.Update(op.Table, op.PK, op.Col, op.Value)
+		default:
+			results[i].Err = fmt.Errorf("engine: unknown op kind %d", op.Kind)
+		}
+		if results[i].Err != nil {
+			failed = i
+			break
+		}
+	}
+	if failed >= 0 {
+		abortBatch(ops, results, failed, func(op Op) OpResult {
+			tb, err := resolveQuery(op)
+			if err != nil {
+				return OpResult{Err: err}
+			}
+			return tb.queryOpAt(tx.Snapshot(), op)
+		})
+		return results
+	}
+	if err := tx.Commit(); err != nil {
+		for _, i := range mutIdx {
+			results[i].Err = err
+		}
+		return results
+	}
+	for _, in := range inserts {
+		results[in.i].RID = tx.Result().RIDs[in.t][in.pk]
+	}
+	return results
+}

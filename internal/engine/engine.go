@@ -32,19 +32,33 @@ var (
 	ErrDupKey       = errors.New("engine: duplicate primary key")
 )
 
-// DB is a catalog of tables sharing one tuple-identifier scheme. The
-// catalog map has its own latch so tables can be created while other
-// tables serve queries.
+// DB is a catalog of tables sharing one tuple-identifier scheme and one
+// commit clock. The catalog map has its own latch so tables can be created
+// while other tables serve queries.
 type DB struct {
 	scheme hermit.PointerScheme
+	clock  *Clock
 	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
-// NewDB creates a database using the given tuple-identifier scheme (§5.1).
+// NewDB creates a database using the given tuple-identifier scheme (§5.1),
+// with its own commit clock.
 func NewDB(scheme hermit.PointerScheme) *DB {
-	return &DB{scheme: scheme, tables: make(map[string]*Table)}
+	return NewDBWithClock(scheme, NewClock())
 }
+
+// NewDBWithClock creates a database ordering its commits on an existing
+// clock. Partitioned tables use it to share one clock across their
+// per-partition databases, which is what makes a cross-partition snapshot
+// consistent (see internal/partition).
+func NewDBWithClock(scheme hermit.PointerScheme, clock *Clock) *DB {
+	return &DB{scheme: scheme, clock: clock, tables: make(map[string]*Table)}
+}
+
+// tableSeq issues process-wide unique table ids; commit lock ordering
+// (txn.go) sorts by them, so they must never repeat even across databases.
+var tableSeq atomic.Uint64
 
 // Scheme returns the database's tuple-identifier scheme.
 func (db *DB) Scheme() hermit.PointerScheme { return db.scheme }
@@ -62,10 +76,14 @@ func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error)
 	}
 	t := &Table{
 		name:         name,
+		tid:          tableSeq.Add(1),
 		cols:         append([]string(nil), cols...),
 		pkCol:        pkCol,
 		scheme:       db.scheme,
+		clock:        db.clock,
 		store:        storage.NewTable(len(cols)),
+		chains:       make(map[float64]*version),
+		verOf:        make(map[storage.RID]*version),
 		primary:      btree.New(btree.DefaultOrder),
 		secondary:    make(map[int]*btree.Tree),
 		hermits:      make(map[int]*hermit.Index),
@@ -103,13 +121,26 @@ func (db *DB) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// Table is one relation plus its indexes.
+// Table is one relation plus its indexes. Rows are multi-versioned (see
+// mvcc.go): every mutation appends an immutable version row to the store,
+// every index keeps one entry per version, and reads resolve visibility
+// against a commit-timestamp snapshot.
 type Table struct {
 	name   string
+	tid    uint64 // process-wide unique id; commit lock ordering key
 	cols   []string
 	pkCol  int
 	scheme hermit.PointerScheme
+	clock  *Clock
 	store  *storage.Table
+
+	// MVCC state (mvcc.go): per-key version chains (newest first), the
+	// reverse RID -> version map queries filter candidates through, and
+	// the live-row count at the latest timestamp. All guarded by verMu.
+	verMu    sync.RWMutex
+	chains   map[float64]*version
+	verOf    map[storage.RID]*version
+	liveRows int
 
 	primary   *btree.Tree           // pk value -> RID
 	secondary map[int]*btree.Tree   // complete B+-tree indexes (the Baseline)
@@ -183,9 +214,6 @@ func (t *Table) Store() *storage.Table { return t.store }
 // Primary exposes the primary index.
 func (t *Table) Primary() *btree.Tree { return t.primary }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int { return t.store.Len() }
-
 // Columns returns the column names.
 func (t *Table) Columns() []string { return append([]string(nil), t.cols...) }
 
@@ -245,13 +273,12 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 		t0 = time.Now()
 	}
 	pk := row[t.pkCol]
-	// The stripe serialises check-then-act sequences on the same key (here
-	// the duplicate check against the primary index).
+	// The stripe serialises check-then-act sequences on the same key (the
+	// duplicate check against the version chain; every committer of this
+	// key holds the stripe, so the head is stable until we stamp).
 	defer t.rows.lock(pk)()
-	t.primaryMu.RLock()
-	_, dup := t.primary.First(pk)
-	t.primaryMu.RUnlock()
-	if dup {
+	old := t.head(pk)
+	if old != nil && old.endTS == 0 {
 		return 0, st, fmt.Errorf("%w: %v", ErrDupKey, pk)
 	}
 	rid, err := t.store.Insert(row)
@@ -262,9 +289,7 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 	for i, v := range row {
 		t.runtime[i].widen(v)
 	}
-	t.primaryMu.Lock()
-	t.primary.Insert(pk, uint64(rid))
-	t.primaryMu.Unlock()
+	t.movePrimary(pk, old, rid)
 	if profile {
 		st.Table = time.Since(t0)
 		t0 = time.Now()
@@ -302,7 +327,80 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 	if profile {
 		st.New = time.Since(t0)
 	}
+	// Commit: stamp the version and publish the clock atomically, making
+	// the row visible to subsequent snapshots.
+	c := t.clock
+	c.commitMu.Lock()
+	commitTS := c.ts.Load() + 1
+	t.stampInsert(rid, pk, commitTS)
+	c.ts.Store(commitTS)
+	c.commitMu.Unlock()
 	return rid, st, nil
+}
+
+// movePrimary points the primary-index entry for pk at rid. The primary
+// keeps exactly one entry per key — the newest version's RID — so a
+// re-insert over a dead chain (or an update) moves the old entry; older
+// versions stay reachable through the chain, which is how snapshot reads
+// resolve them.
+func (t *Table) movePrimary(pk float64, old *version, rid storage.RID) {
+	t.primaryMu.Lock()
+	if old != nil {
+		t.primary.Delete(pk, uint64(old.rid))
+	}
+	t.primary.Insert(pk, uint64(rid))
+	t.primaryMu.Unlock()
+}
+
+// insertIndexEntries inserts one version's entries into every index — the
+// shared maintenance step of UpdateColumn and Txn.Commit (Insert keeps its
+// own inlined copy for the Fig. 22b phase timing). The primary index is
+// handled separately by movePrimary.
+func (t *Table) insertIndexEntries(rid storage.RID, row []float64) {
+	id := t.identify(rid, row)
+	for col, tr := range t.secondary {
+		t.withSecondary(col, func() { tr.Insert(row[col], id) })
+	}
+	for col, hx := range t.hermits {
+		hx.Insert(rid, row[col], row[t.hostOf[col]])
+	}
+	for col, cx := range t.cms {
+		t.withCM(col, func() { cx.Insert(row[col], row[t.cmHostOf[col]]) })
+	}
+	for key, tr := range t.composites {
+		t.withComposite(key, func() { tr.Insert(row[key[0]], row[key[1]], uint64(rid)) })
+	}
+	for key, hx := range t.compositeHermits {
+		hx.Insert(rid, row[key[1]], row[t.compositeHostOf[key]])
+	}
+}
+
+// removeIndexEntries removes one version's entries from every index — the
+// GC-side inverse of insertIndexEntries. dropPrimary additionally removes
+// the key's primary-index entry (set when the whole chain is reclaimed).
+// Caller holds t.catalog shared.
+func (t *Table) removeIndexEntries(rid storage.RID, row []float64, dropPrimary bool) {
+	id := t.identify(rid, row)
+	for col, tr := range t.secondary {
+		t.withSecondary(col, func() { tr.Delete(row[col], id) })
+	}
+	for col, hx := range t.hermits {
+		hx.Delete(rid, row[col], row[t.hostOf[col]])
+	}
+	for col, cx := range t.cms {
+		t.withCM(col, func() { cx.Delete(row[col], row[t.cmHostOf[col]]) })
+	}
+	for key, tr := range t.composites {
+		t.withComposite(key, func() { tr.Delete(row[key[0]], row[key[1]], uint64(rid)) })
+	}
+	for key, hx := range t.compositeHermits {
+		hx.Delete(rid, row[key[1]], row[t.compositeHostOf[key]])
+	}
+	if dropPrimary {
+		t.primaryMu.Lock()
+		t.primary.Delete(row[t.pkCol], uint64(rid))
+		t.primaryMu.Unlock()
+	}
 }
 
 // withLatch runs fn holding a structure's write latch.
@@ -331,137 +429,70 @@ func (t *Table) hostLatchFor(hostCol int, host *btree.Tree) *sync.RWMutex {
 	return &t.primaryMu
 }
 
-// Delete removes the row with the given primary key, maintaining all
-// indexes. It reports whether the key existed.
+// Delete removes the row with the given primary key, reporting whether the
+// key existed. Under MVCC a delete only ends the live version's timestamp
+// interval: index entries and the store row stay until version GC reclaims
+// them, so snapshots older than the delete keep resolving the row.
 func (t *Table) Delete(pk float64) (bool, error) {
 	t.catalog.RLock()
 	defer t.catalog.RUnlock()
 	defer t.rows.lock(pk)()
-	t.primaryMu.RLock()
-	v, ok := t.primary.First(pk)
-	t.primaryMu.RUnlock()
-	if !ok {
+	cur := t.head(pk)
+	if cur == nil || cur.endTS != 0 {
 		return false, nil
 	}
-	rid := storage.RID(v)
-	row, err := t.store.Get(rid, nil)
-	if err != nil {
-		return false, err
-	}
-	id := t.identify(rid, row)
-	for col, tr := range t.secondary {
-		t.withSecondary(col, func() { tr.Delete(row[col], id) })
-	}
-	for col, hx := range t.hermits {
-		hx.Delete(rid, row[col], row[t.hostOf[col]])
-	}
-	for col, cx := range t.cms {
-		t.withCM(col, func() { cx.Delete(row[col], row[t.cmHostOf[col]]) })
-	}
-	for key, tr := range t.composites {
-		t.withComposite(key, func() { tr.Delete(row[key[0]], row[key[1]], uint64(rid)) })
-	}
-	for key, hx := range t.compositeHermits {
-		hx.Delete(rid, row[key[1]], row[t.compositeHostOf[key]])
-	}
-	t.primaryMu.Lock()
-	t.primary.Delete(pk, uint64(rid))
-	t.primaryMu.Unlock()
-	if err := t.store.Delete(rid); err != nil {
-		return false, err
-	}
 	t.writes.Add(1)
+	c := t.clock
+	c.commitMu.Lock()
+	commitTS := c.ts.Load() + 1
+	t.stampDelete(cur, commitTS)
+	c.ts.Store(commitTS)
+	c.commitMu.Unlock()
 	return true, nil
 }
 
-// UpdateColumn changes one column of the row with the given primary key,
-// maintaining indexes on that column (as a secondary key, as a Hermit
-// target, or as a Hermit/CM host). The primary-key column itself cannot
-// be changed — the primary index and the per-key write stripes are keyed
-// by it; delete and re-insert instead.
+// UpdateColumn changes one column of the row with the given primary key.
+// Under MVCC the update appends a fresh version row carrying the new value
+// and indexes it everywhere; the superseded version keeps its entries (for
+// older snapshots) until GC. The primary-key column itself cannot be
+// changed — the version chains and the per-key write stripes are keyed by
+// it; delete and re-insert instead.
 func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
 	if col == t.pkCol {
 		return fmt.Errorf("engine: update: cannot change primary-key column %q (delete and re-insert)", t.cols[col])
 	}
+	if col < 0 || col >= len(t.cols) {
+		return ErrNoSuchColumn
+	}
 	t.catalog.RLock()
 	defer t.catalog.RUnlock()
 	defer t.rows.lock(pk)()
-	t.primaryMu.RLock()
-	rv, ok := t.primary.First(pk)
-	t.primaryMu.RUnlock()
-	if !ok {
+	cur := t.head(pk)
+	if cur == nil || cur.endTS != 0 {
 		return fmt.Errorf("engine: update: no row with pk %v", pk)
 	}
-	rid := storage.RID(rv)
-	old, err := t.store.Value(rid, col)
+	row, err := t.store.Get(cur.rid, nil)
 	if err != nil {
 		return err
 	}
 	t.writes.Add(1)
 	t.runtime[col].updates.Add(1)
 	t.runtime[col].widen(v)
-	if old == v {
+	if row[col] == v {
 		return nil
 	}
-	row, err := t.store.Get(rid, nil)
+	row[col] = v // store.Get returned a private copy: the new version's row
+	rid, err := t.store.Insert(row)
 	if err != nil {
 		return err
 	}
-	id := t.identify(rid, row)
-	if tr, ok := t.secondary[col]; ok {
-		t.withSecondary(col, func() {
-			tr.Delete(old, id)
-			tr.Insert(v, id)
-		})
-	}
-	// col as Hermit target: host value unchanged, target moved — reindex.
-	if hx, ok := t.hermits[col]; ok {
-		hx.Delete(rid, old, row[t.hostOf[col]])
-		hx.Insert(rid, v, row[t.hostOf[col]])
-	}
-	// col as Hermit host for other targets.
-	for target, host := range t.hostOf {
-		if host == col {
-			t.hermits[target].Update(rid, row[target], old, v)
-		}
-	}
-	for target, host := range t.cmHostOf {
-		if host == col {
-			t.withCM(target, func() {
-				t.cms[target].Delete(row[target], old)
-				t.cms[target].Insert(row[target], v)
-			})
-		}
-	}
-	// col in a composite index, as either component: reindex the pair.
-	for key, tr := range t.composites {
-		if key[0] != col && key[1] != col {
-			continue
-		}
-		newA, newB := row[key[0]], row[key[1]]
-		if key[0] == col {
-			newA = v
-		} else {
-			newB = v
-		}
-		t.withComposite(key, func() {
-			tr.Delete(row[key[0]], row[key[1]], uint64(rid))
-			tr.Insert(newA, newB, uint64(rid))
-		})
-	}
-	// col in a composite Hermit index: as target (key[1]) or as host. The
-	// leading column key[0] is not stored in the TRS-Tree (lookups resolve
-	// it through the hosting composite index, reindexed above).
-	for key, hx := range t.compositeHermits {
-		hostCol := t.compositeHostOf[key]
-		switch col {
-		case key[1]:
-			hx.Delete(rid, old, row[hostCol])
-			hx.Insert(rid, v, row[hostCol])
-		case hostCol:
-			hx.Delete(rid, row[key[1]], old)
-			hx.Insert(rid, row[key[1]], v)
-		}
-	}
-	return t.store.Set(rid, col, v)
+	t.movePrimary(pk, cur, rid)
+	t.insertIndexEntries(rid, row)
+	c := t.clock
+	c.commitMu.Lock()
+	commitTS := c.ts.Load() + 1
+	t.stampUpdate(cur, rid, commitTS)
+	c.ts.Store(commitTS)
+	c.commitMu.Unlock()
+	return nil
 }

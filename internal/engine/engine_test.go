@@ -51,11 +51,12 @@ func newSynthetic(t testing.TB, scheme hermit.PointerScheme, n int, fn func(floa
 	return db, tb
 }
 
-// expected computes the ground truth by scanning.
+// expected computes the ground truth by scanning the live rows (the raw
+// store also holds superseded/deleted versions awaiting GC).
 func expected(tb *Table, col int, lo, hi float64) []storage.RID {
 	var out []storage.RID
-	tb.Store().ScanColumn(col, func(rid storage.RID, v float64) bool {
-		if v >= lo && v <= hi {
+	tb.ScanLive(func(rid storage.RID, row []float64) bool {
+		if v := row[col]; v >= lo && v <= hi {
 			out = append(out, rid)
 		}
 		return true

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,11 +10,18 @@ import (
 	"hermit/internal/storage"
 )
 
-// This file is the batched executor: a worker pool that drains a slice of
-// operations across goroutines, relying on the engine's fine-grained
-// latching (latches.go) for correctness. It is the serving surface a real
-// deployment would put behind a network front end, and the machinery the
-// concurrency benchmark drives.
+// This file is the batched executor. Since the MVCC rework a batch that
+// contains mutations is one atomic snapshot-isolation transaction: queries
+// in the batch read the snapshot taken when the batch starts, mutations
+// buffer into the transaction and commit together — all of them or none.
+// Read-only batches keep the PR-1 behaviour of draining across a worker
+// pool, now with every worker sharing one snapshot so the whole batch
+// observes a single consistent state.
+
+// ErrTxnAborted marks the other mutations of an atomic batch whose
+// transaction aborted because one mutation failed (that op carries the
+// specific error) or because the commit hit a write-write conflict.
+var ErrTxnAborted = errors.New("engine: atomic batch aborted; no mutation was applied")
 
 // OpKind selects what an Op does.
 type OpKind int
@@ -52,6 +60,17 @@ func (k OpKind) String() string {
 	}
 }
 
+// isMutation reports whether the op kind writes (unknown kinds count as
+// mutations so a malformed batch aborts rather than half-applies).
+func (k OpKind) isMutation() bool {
+	switch k {
+	case OpRange, OpPoint, OpRange2:
+		return false
+	default:
+		return true
+	}
+}
+
 // Op is one operation in a batch.
 type Op struct {
 	// Table names the target table (DB.ExecuteBatch only; Table-level
@@ -78,11 +97,13 @@ type OpResult struct {
 	RIDs []storage.RID
 	// Stats describes a query's execution.
 	Stats QueryStats
-	// RID is the location of an inserted row.
+	// RID is the location of an inserted row's committed version.
 	RID storage.RID
 	// Found reports whether an OpDelete removed a row.
 	Found bool
-	// Err is the per-operation failure, if any.
+	// Err is the per-operation failure, if any. In a batch with mutations
+	// a failing mutation aborts the whole transaction: the failing op
+	// carries its error and every other mutation carries ErrTxnAborted.
 	Err error
 }
 
@@ -115,78 +136,157 @@ func runOps(ops []Op, workers int, exec func(Op) OpResult) []OpResult {
 	return results
 }
 
-// execOp dispatches one operation against the table.
-func (t *Table) execOp(op Op) OpResult {
+// abortBatch finishes an aborted atomic batch: queries after the failing
+// op still execute (against the batch snapshot, via query), and every
+// sibling mutation — attempted or not — is marked ErrTxnAborted, while
+// the failing op keeps its specific error.
+func abortBatch(ops []Op, results []OpResult, failed int, query func(Op) OpResult) {
+	for i := failed + 1; i < len(ops); i++ {
+		if !ops[i].Kind.isMutation() {
+			results[i] = query(ops[i])
+		}
+	}
+	for i, op := range ops {
+		if op.Kind.isMutation() && i != failed && results[i].Err == nil {
+			results[i].Err = ErrTxnAborted
+		}
+	}
+}
+
+// hasMutations reports whether any op in the batch writes.
+func hasMutations(ops []Op) bool {
+	for _, op := range ops {
+		if op.Kind.isMutation() {
+			return true
+		}
+	}
+	return false
+}
+
+// queryOpAt executes one read-only op against the snapshot.
+func (t *Table) queryOpAt(snap *Snapshot, op Op) OpResult {
 	var r OpResult
 	switch op.Kind {
 	case OpRange:
-		r.RIDs, r.Stats, r.Err = t.RangeQuery(op.Col, op.Lo, op.Hi)
+		r.RIDs, r.Stats, r.Err = t.RangeQueryAt(snap, op.Col, op.Lo, op.Hi)
 	case OpPoint:
-		r.RIDs, r.Stats, r.Err = t.PointQuery(op.Col, op.Lo)
+		r.RIDs, r.Stats, r.Err = t.PointQueryAt(snap, op.Col, op.Lo)
 	case OpRange2:
-		r.RIDs, r.Stats, r.Err = t.RangeQuery2(op.Col, op.Lo, op.Hi, op.BCol, op.BLo, op.BHi)
-	case OpInsert:
-		r.RID, r.Err = t.Insert(op.Row)
-	case OpDelete:
-		r.Found, r.Err = t.Delete(op.PK)
-	case OpUpdate:
-		r.Err = t.UpdateColumn(op.PK, op.Col, op.Value)
+		r.RIDs, r.Stats, r.Err = t.RangeQuery2At(snap, op.Col, op.Lo, op.Hi, op.BCol, op.BLo, op.BHi)
 	default:
 		r.Err = fmt.Errorf("engine: unknown op kind %d", op.Kind)
 	}
 	return r
 }
 
-// ExecuteBatch runs a batch of operations across tables on a pool of
-// workers goroutines (<= 0 selects GOMAXPROCS). Results are positionally
-// aligned with ops; per-operation failures land in OpResult.Err rather
-// than aborting the batch. Operations in one batch may be reordered by
-// scheduling — callers needing an order between two ops must put them in
-// separate batches.
+// executeAtomic runs a batch containing mutations as one transaction on
+// clock. resolve maps an op to its table. Queries read the transaction's
+// snapshot; mutations buffer and commit together. Any mutation failure —
+// including an unresolvable table or a commit conflict — aborts the whole
+// transaction, leaving every mutation unapplied.
+func executeAtomic(clock *Clock, ops []Op, resolve func(Op) (*Table, error)) []OpResult {
+	results := make([]OpResult, len(ops))
+	x := BeginTxn(clock)
+	defer x.Rollback()
+	type ins struct {
+		i  int
+		t  *Table
+		pk float64
+	}
+	var (
+		inserts []ins
+		mutIdx  []int
+		failed  = -1
+	)
+	for i, op := range ops {
+		tb, err := resolve(op)
+		if err != nil {
+			results[i].Err = err
+			if op.Kind.isMutation() {
+				failed = i
+				break
+			}
+			continue
+		}
+		if !op.Kind.isMutation() {
+			results[i] = tb.queryOpAt(x.Snapshot(), op)
+			continue
+		}
+		mutIdx = append(mutIdx, i)
+		switch op.Kind {
+		case OpInsert:
+			if results[i].Err = x.Insert(tb, op.Row); results[i].Err == nil {
+				inserts = append(inserts, ins{i: i, t: tb, pk: op.Row[tb.pkCol]})
+			}
+		case OpDelete:
+			results[i].Found, results[i].Err = x.Delete(tb, op.PK)
+		case OpUpdate:
+			results[i].Err = x.Update(tb, op.PK, op.Col, op.Value)
+		default:
+			results[i].Err = fmt.Errorf("engine: unknown op kind %d", op.Kind)
+		}
+		if results[i].Err != nil {
+			failed = i
+			break
+		}
+	}
+	if failed >= 0 {
+		abortBatch(ops, results, failed, func(op Op) OpResult {
+			tb, err := resolve(op)
+			if err != nil {
+				return OpResult{Err: err}
+			}
+			return tb.queryOpAt(x.Snapshot(), op)
+		})
+		return results
+	}
+	res, err := x.Commit()
+	if err != nil {
+		for _, i := range mutIdx {
+			results[i].Err = err
+		}
+		return results
+	}
+	for _, in := range inserts {
+		results[in.i].RID = res.RIDs[in.t][in.pk]
+	}
+	return results
+}
+
+// ExecuteBatch runs a batch of operations across tables. A batch with any
+// mutation executes as one atomic snapshot-isolation transaction: queries
+// read the batch-start snapshot, mutations apply all-or-nothing (a failed
+// mutation or a write-write conflict aborts every mutation — see
+// OpResult.Err), and workers is ignored for the transactional part. A
+// read-only batch drains across a pool of workers goroutines (<= 0 selects
+// GOMAXPROCS) sharing one snapshot. Results are positionally aligned with
+// ops.
 func (db *DB) ExecuteBatch(ops []Op, workers int) []OpResult {
+	resolve := func(op Op) (*Table, error) { return db.Table(op.Table) }
+	if hasMutations(ops) {
+		return executeAtomic(db.clock, ops, resolve)
+	}
+	snap := db.Snapshot()
+	defer snap.Release()
 	return runOps(ops, workers, func(op Op) OpResult {
-		tb, err := db.Table(op.Table)
+		tb, err := resolve(op)
 		if err != nil {
 			return OpResult{Err: err}
 		}
-		return tb.execOp(op)
+		return tb.queryOpAt(snap, op)
 	})
 }
 
 // ExecuteBatch runs a batch of operations against this table; Op.Table is
-// ignored. See DB.ExecuteBatch.
+// ignored. See DB.ExecuteBatch for the atomicity contract.
 func (t *Table) ExecuteBatch(ops []Op, workers int) []OpResult {
-	return runOps(ops, workers, t.execOp)
-}
-
-// ExecuteBatch runs a batch of operations on a pool of workers goroutines,
-// with mutations logged through the WAL: the durable counterpart of
-// DB.ExecuteBatch. Writes in one batch are acknowledged under the sync
-// policy individually, so under group commit the batch amortises fsyncs
-// across its workers. See DB.ExecuteBatch for ordering semantics.
-func (d *DurableDB) ExecuteBatch(ops []Op, workers int) []OpResult {
-	return runOps(ops, workers, d.execOp)
-}
-
-// execOp dispatches one operation: mutations through the logged durable
-// methods, queries straight at the table.
-func (d *DurableDB) execOp(op Op) OpResult {
-	var r OpResult
-	switch op.Kind {
-	case OpInsert:
-		r.RID, r.Err = d.Insert(op.Table, op.Row)
-	case OpDelete:
-		r.Found, r.Err = d.Delete(op.Table, op.PK)
-	case OpUpdate:
-		r.Err = d.UpdateColumn(op.Table, op.PK, op.Col, op.Value)
-	default:
-		tb, err := d.db.Table(op.Table)
-		if err != nil {
-			return OpResult{Err: err}
-		}
-		r = tb.execOp(op)
+	resolve := func(Op) (*Table, error) { return t, nil }
+	if hasMutations(ops) {
+		return executeAtomic(t.clock, ops, resolve)
 	}
-	return r
+	snap := t.clock.Snapshot()
+	defer snap.Release()
+	return runOps(ops, workers, func(op Op) OpResult { return t.queryOpAt(snap, op) })
 }
 
 // QueryConcurrent serves a slice of single-column range queries against
@@ -201,8 +301,9 @@ func (d *DurableDB) QueryConcurrent(table string, queries []RangeReq, workers in
 }
 
 // QueryConcurrent serves a slice of single-column range queries on a pool
-// of workers goroutines. It is the read-only fast path of ExecuteBatch:
-// queries on different indexes proceed without contention.
+// of workers goroutines, all reading one shared snapshot: the read-only
+// fast path of ExecuteBatch. Queries on different indexes proceed without
+// contention, and none of them can observe a concurrent batch partially.
 func (t *Table) QueryConcurrent(queries []RangeReq, workers int) []OpResult {
 	ops := make([]Op, len(queries))
 	for i, q := range queries {

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hermit/internal/storage"
+)
+
+// This file is the multi-version concurrency-control substrate. Every
+// logical row is a chain of immutable versions, newest first, each stamped
+// with the half-open commit-timestamp interval [beginTS, endTS) during
+// which it is the row's visible incarnation (endTS == 0 means "still
+// live"). Versions live in the ordinary row store — one storage RID per
+// version — and every index keeps one entry per version, so index code is
+// untouched by MVCC: indexes return candidate RIDs and visibility is
+// decided at row resolution against a Snapshot (see query.go).
+//
+// The commit protocol (shared by the auto-commit paths in engine.go and
+// Txn.Commit in txn.go):
+//
+//  1. Acquire the primary-key stripes of every written key (sorted, so
+//     multi-key committers never deadlock). Chain heads are stable while a
+//     key's stripe is held — every committer of that key holds it.
+//  2. Validate against the chain heads (duplicate keys, write-write
+//     conflicts) and apply the heavy work: append version rows to the
+//     store, insert index entries. Unstamped versions are invisible to
+//     every reader, so this phase runs outside the commit lock.
+//  3. Under the clock's commit lock: stamp all the transaction's versions
+//     with commitTS = clock+1 (ending the superseded versions at the same
+//     instant), then publish the clock. Readers snapshot the clock without
+//     taking the lock, so a commit becomes visible atomically — a snapshot
+//     sees all of a transaction's writes or none of them.
+//
+// Version garbage collection (GCVersions) reclaims versions whose endTS is
+// at or below the oldest timestamp any live snapshot could read, removing
+// their index entries and tombstoning their store rows. It is invoked by
+// DurableDB.Checkpoint as the version-GC pass and exported via DB.GC.
+
+// Clock is the global commit clock a database (or a set of partitioned
+// databases) orders its transactions with. It also registers live
+// snapshots so version GC never reclaims a version a reader could still
+// resolve.
+type Clock struct {
+	ts atomic.Uint64 // last published commit timestamp
+
+	// commitMu serialises the stamp-and-publish step of every commit.
+	commitMu sync.Mutex
+
+	// regMu guards the live-snapshot registry.
+	regMu  sync.Mutex
+	active map[uint64]int // snapshot ts -> open snapshot count
+}
+
+// NewClock creates a commit clock starting at timestamp 0.
+func NewClock() *Clock {
+	return &Clock{active: make(map[uint64]int)}
+}
+
+// Now returns the last published commit timestamp: the timestamp a new
+// snapshot would read at.
+func (c *Clock) Now() uint64 { return c.ts.Load() }
+
+// Snapshot registers and returns a read snapshot at the current commit
+// timestamp. The caller must Release it, or version GC will treat it as
+// live forever.
+func (c *Clock) Snapshot() *Snapshot {
+	c.regMu.Lock()
+	ts := c.ts.Load()
+	c.active[ts]++
+	c.regMu.Unlock()
+	return &Snapshot{clock: c, ts: ts}
+}
+
+// release drops one registration of ts.
+func (c *Clock) release(ts uint64) {
+	c.regMu.Lock()
+	if n := c.active[ts]; n <= 1 {
+		delete(c.active, ts)
+	} else {
+		c.active[ts] = n - 1
+	}
+	c.regMu.Unlock()
+}
+
+// OldestActive returns the oldest timestamp any live snapshot reads at, or
+// the current clock when no snapshot is open: the horizon below which
+// version GC may reclaim.
+func (c *Clock) OldestActive() uint64 {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	oldest := c.ts.Load()
+	for ts := range c.active {
+		if ts < oldest {
+			oldest = ts
+		}
+	}
+	return oldest
+}
+
+// Snapshot is a consistent read view: it resolves exactly the row versions
+// committed at or before its timestamp, unaffected by later commits. A
+// snapshot either observes all of a committed transaction's writes or none
+// of them. Obtain one with DB.Snapshot (or Clock.Snapshot) and Release it
+// when done.
+type Snapshot struct {
+	clock    *Clock
+	ts       uint64
+	released atomic.Bool
+}
+
+// TS returns the snapshot's commit timestamp.
+func (s *Snapshot) TS() uint64 { return s.ts }
+
+// Release unregisters the snapshot, allowing version GC to reclaim
+// versions only it could see. Releasing twice is a no-op.
+func (s *Snapshot) Release() {
+	if s != nil && !s.released.Swap(true) {
+		s.clock.release(s.ts)
+	}
+}
+
+// visibleAt reports whether version v is the visible incarnation at ts.
+func visibleAt(v *version, ts uint64) bool {
+	return v != nil && v.beginTS <= ts && (v.endTS == 0 || ts < v.endTS)
+}
+
+// version is one immutable incarnation of a logical row. beginTS/endTS are
+// written once, at commit, under both the clock's commit lock and the
+// table's verMu; prev links to the superseded version (or nil).
+type version struct {
+	rid     storage.RID
+	pk      float64
+	beginTS uint64
+	endTS   uint64 // 0 while this is the live version
+	prev    *version
+}
+
+// Snapshot registers a read snapshot on the database's commit clock.
+func (db *DB) Snapshot() *Snapshot { return db.clock.Snapshot() }
+
+// Snapshot registers a read snapshot on the table's commit clock — the
+// handle the *At query variants read through. Release it when done.
+func (t *Table) Snapshot() *Snapshot { return t.clock.Snapshot() }
+
+// Clock returns the database's commit clock (shared across partitions of a
+// partitioned table so cross-partition snapshots are consistent).
+func (db *DB) Clock() *Clock { return db.clock }
+
+// GC runs one version-garbage-collection pass over every table: versions
+// no snapshot can resolve any more — endTS at or below the oldest live
+// snapshot — lose their index entries and store rows. It returns the
+// number of versions reclaimed.
+func (db *DB) GC() int {
+	horizon := db.clock.OldestActive()
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	n := 0
+	for _, t := range tables {
+		n += t.GCVersions(horizon)
+	}
+	return n
+}
+
+// head returns pk's chain head (the newest version, live or not) under
+// verMu; nil when the key has never existed (or was fully reclaimed).
+func (t *Table) head(pk float64) *version {
+	t.verMu.RLock()
+	v := t.chains[pk]
+	t.verMu.RUnlock()
+	return v
+}
+
+// resolveVisible walks pk's chain to the version visible at ts; nil when
+// the key has no visible incarnation.
+func (t *Table) resolveVisible(pk float64, ts uint64) *version {
+	t.verMu.RLock()
+	v := t.chains[pk]
+	for v != nil && !visibleAt(v, ts) {
+		v = v.prev
+	}
+	t.verMu.RUnlock()
+	return v
+}
+
+// versionVisible reports whether the version owning rid is visible at ts.
+// An unknown rid — a version applied but not yet stamped by its committer,
+// or one already reclaimed by GC — is invisible.
+func (t *Table) versionVisible(rid storage.RID, ts uint64) bool {
+	t.verMu.RLock()
+	v := t.verOf[rid]
+	ok := visibleAt(v, ts)
+	t.verMu.RUnlock()
+	return ok
+}
+
+// stampInsert publishes a brand-new version chain entry for pk at
+// commitTS. Called with the key's stripe held and the clock's commit lock
+// held; prev is the (dead) head observed during validation, if any.
+func (t *Table) stampInsert(rid storage.RID, pk float64, commitTS uint64) {
+	t.verMu.Lock()
+	v := &version{rid: rid, pk: pk, beginTS: commitTS, prev: t.chains[pk]}
+	t.chains[pk] = v
+	t.verOf[rid] = v
+	t.liveRows++
+	t.verMu.Unlock()
+}
+
+// stampUpdate ends old and publishes its replacement version at commitTS.
+func (t *Table) stampUpdate(old *version, rid storage.RID, commitTS uint64) {
+	t.verMu.Lock()
+	old.endTS = commitTS
+	v := &version{rid: rid, pk: old.pk, beginTS: commitTS, prev: old}
+	t.chains[old.pk] = v
+	t.verOf[rid] = v
+	t.verMu.Unlock()
+}
+
+// stampDelete ends old at commitTS without a successor.
+func (t *Table) stampDelete(old *version, commitTS uint64) {
+	t.verMu.Lock()
+	old.endTS = commitTS
+	t.liveRows--
+	t.verMu.Unlock()
+}
+
+// Len returns the number of live rows (at the latest commit timestamp).
+func (t *Table) Len() int {
+	t.verMu.RLock()
+	n := t.liveRows
+	t.verMu.RUnlock()
+	return n
+}
+
+// ScanLive calls fn for every row live at the latest commit timestamp, in
+// unspecified order. The row slice is reused between calls; fn must not
+// retain it. Scanning stops early if fn returns false. It is the
+// MVCC-aware replacement for scanning the row store directly (which also
+// holds superseded and deleted versions awaiting GC).
+func (t *Table) ScanLive(fn func(rid storage.RID, row []float64) bool) {
+	ts := t.clock.Now()
+	t.verMu.RLock()
+	rids := make([]storage.RID, 0, t.liveRows)
+	for _, head := range t.chains {
+		// Walk to the version visible at ts: a commit racing between the
+		// clock read above and this loop may already have stamped a newer
+		// head, in which case its predecessor is the one live at ts.
+		for v := head; v != nil; v = v.prev {
+			if visibleAt(v, ts) {
+				rids = append(rids, v.rid)
+				break
+			}
+		}
+	}
+	t.verMu.RUnlock()
+	var buf []float64
+	for _, rid := range rids {
+		row, err := t.store.Get(rid, buf)
+		if err != nil {
+			continue // reclaimed between harvest and fetch
+		}
+		buf = row
+		if !fn(rid, row) {
+			return
+		}
+	}
+}
+
+// GCVersions reclaims every version whose endTS is at or below horizon:
+// its index entries are removed, its store row tombstoned, and the chain
+// unlinked. A fully dead chain (deleted key old enough to reclaim) also
+// gives up its primary-index entry. It returns the number of versions
+// reclaimed. Safe to run concurrently with readers and writers: each
+// chain is reclaimed under its key's stripe, and only versions invisible
+// to every snapshot at or after horizon are touched.
+func (t *Table) GCVersions(horizon uint64) int {
+	t.catalog.RLock()
+	defer t.catalog.RUnlock()
+
+	// Harvest candidate keys first; chain surgery happens per key under
+	// its stripe so writers never observe a half-unlinked chain.
+	t.verMu.RLock()
+	pks := make([]float64, 0, len(t.chains))
+	for pk, head := range t.chains {
+		if (head.endTS != 0 && head.endTS <= horizon) || head.prev != nil {
+			pks = append(pks, pk)
+		}
+	}
+	t.verMu.RUnlock()
+
+	reclaimed := 0
+	for _, pk := range pks {
+		unlock := t.rows.lock(pk)
+		var dead []*version
+		t.verMu.Lock()
+		head := t.chains[pk]
+		if head == nil {
+			t.verMu.Unlock()
+			unlock()
+			continue
+		}
+		if head.endTS != 0 && head.endTS <= horizon {
+			// The whole chain is reclaimable; drop the key.
+			for v := head; v != nil; v = v.prev {
+				dead = append(dead, v)
+				delete(t.verOf, v.rid)
+			}
+			delete(t.chains, pk)
+		} else {
+			// Keep the newest reachable suffix; cut below the first
+			// version old enough that no snapshot can reach past it.
+			for v := head; v.prev != nil; v = v.prev {
+				if v.prev.endTS != 0 && v.prev.endTS <= horizon {
+					for d := v.prev; d != nil; d = d.prev {
+						dead = append(dead, d)
+						delete(t.verOf, d.rid)
+					}
+					v.prev = nil
+					break
+				}
+			}
+		}
+		t.verMu.Unlock()
+		for i, v := range dead {
+			row, err := t.store.Get(v.rid, nil)
+			if err == nil {
+				// The newest reclaimed version of a fully dead chain still
+				// owns the primary-index entry.
+				wholeChain := v == head
+				t.removeIndexEntries(v.rid, row, wholeChain && i == 0)
+				t.store.Delete(v.rid)
+			}
+			reclaimed++
+		}
+		unlock()
+	}
+	return reclaimed
+}

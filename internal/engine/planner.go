@@ -412,7 +412,7 @@ func (t *Table) planLocked(col int, lo, hi float64) (AccessPath, [numPaths]PathE
 // planLockedForce is planLocked with control over the TRS-Tree stat
 // refresh (Explain forces it so plans reflect current structure).
 func (t *Table) planLockedForce(col int, lo, hi float64, refresh bool) (AccessPath, [numPaths]PathEstimate, float64, int) {
-	n := t.store.Len()
+	n := t.Len() // live rows: dead versions awaiting GC are not results
 	sel := t.selectivity(col, lo, hi, n)
 	estRows := sel * float64(n)
 	levels := btreeLevels(n)
@@ -658,24 +658,25 @@ func (t *Table) QueryStatsFor(col int) (ColumnQueryStats, error) {
 func (t *Table) Writes() uint64 { return t.writes.Load() }
 
 // trsDirectRange executes PathTRSDirect: a TRS-Tree lookup resolved by one
-// sequential pass over the host column (rows whose host value falls in a
-// predicted range, plus the buffered outliers) with target-column
-// validation — no host-index or primary-index latches.
-func (t *Table) trsDirectRange(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+// sequential pass over the host column (version rows whose host value
+// falls in a predicted range, plus the buffered outliers) with
+// target-column validation and snapshot visibility resolution — no
+// host-index or primary-index latches.
+func (t *Table) trsDirectRange(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	hx := t.hermits[col]
 	hostCol := t.hostOf[col]
 	tres := hx.Tree().Lookup(lo, hi)
 	var rids []storage.RID
 	// Outlier identifiers resolve like Hermit candidates: directly under
-	// physical pointers, through the primary index under logical pointers.
+	// physical pointers, through the version chains under logical pointers
+	// (the chain, not the primary index, knows which incarnation the
+	// snapshot reads).
 	if t.scheme == hermit.LogicalPointers {
-		t.primaryMu.RLock()
 		for _, pk := range tres.IDs {
-			if v, ok := t.primary.First(float64(pk)); ok {
-				rids = append(rids, storage.RID(v))
+			if v := t.resolveVisible(float64(pk), snap.ts); v != nil {
+				rids = append(rids, v.rid)
 			}
 		}
-		t.primaryMu.RUnlock()
 	} else {
 		for _, id := range tres.IDs {
 			rids = append(rids, storage.RID(id))
@@ -694,7 +695,9 @@ func (t *Table) trsDirectRange(col int, lo, hi float64) ([]storage.RID, QuerySta
 		return nil, QueryStats{Kind: KindHermit}, err
 	}
 	// Deduplicate (a row can be both an outlier and inside a predicted
-	// range) and validate against the target column.
+	// range), then validate against the target column and resolve
+	// visibility. Every version of a matching key is its own candidate, so
+	// the visible incarnation is always present.
 	sortRIDs(rids)
 	st := QueryStats{Kind: KindHermit}
 	out := rids[:0]
@@ -707,9 +710,9 @@ func (t *Table) trsDirectRange(col int, lo, hi float64) ([]storage.RID, QuerySta
 		st.Candidates++
 		m, err := t.store.Value(rid, col)
 		if err != nil {
-			continue // deleted between harvest and validation
+			continue // reclaimed between harvest and validation
 		}
-		if m >= lo && m <= hi {
+		if m >= lo && m <= hi && t.versionVisible(rid, snap.ts) {
 			out = append(out, rid)
 		}
 	}

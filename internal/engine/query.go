@@ -35,16 +35,28 @@ func (q QueryStats) FalsePositiveRatio() float64 {
 	return 1 - float64(q.Rows)/float64(q.Candidates)
 }
 
-// RangeQuery returns the RIDs of rows with lo <= col <= hi, routed through
-// the access path the cost-based planner estimates cheapest (see
-// planner.go); SetRouting(RouteStatic) restores the fixed pre-planner
-// priority (Hermit, then CM, then a complete B+-tree, then the primary
-// index, then a full scan). Execution results — hit counts, false-positive
-// ratios, sampled latencies — are fed back into the planner's per-path
-// statistics. Queries hold only the catalog read latch (shared with all
-// other queries and writers) plus the read latch of the index structures
-// they traverse, so concurrent queries on different indexes do not contend.
+// RangeQuery returns the RIDs of rows with lo <= col <= hi, reading at a
+// snapshot of the latest commit timestamp. It routes through the access
+// path the cost-based planner estimates cheapest (see planner.go);
+// SetRouting(RouteStatic) restores the fixed pre-planner priority (Hermit,
+// then CM, then a complete B+-tree, then the primary index, then a full
+// scan). Execution results — hit counts, false-positive ratios, sampled
+// latencies — are fed back into the planner's per-path statistics. Queries
+// hold only the catalog read latch (shared with all other queries and
+// writers) plus the read latch of the index structures they traverse, so
+// concurrent queries on different indexes do not contend, and writers
+// never block snapshot reads.
 func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	snap := t.clock.Snapshot()
+	defer snap.Release()
+	return t.RangeQueryAt(snap, col, lo, hi)
+}
+
+// RangeQueryAt is RangeQuery reading at the caller's snapshot: every index
+// still returns candidate RIDs, but visibility is resolved per candidate
+// against the snapshot's commit timestamp, so the result reflects exactly
+// the state at Snapshot time no matter what commits concurrently.
+func (t *Table) RangeQueryAt(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	if col < 0 || col >= len(t.cols) {
 		return nil, QueryStats{}, ErrNoSuchColumn
 	}
@@ -66,7 +78,7 @@ func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, 
 	if timed {
 		t0 = time.Now()
 	}
-	rids, st, err := t.execPathLocked(chosen, col, lo, hi)
+	rids, st, err := t.execPathLocked(snap, chosen, col, lo, hi)
 	if err != nil {
 		return nil, st, err
 	}
@@ -88,41 +100,36 @@ func (t *Table) staticPathLocked(col int) AccessPath {
 // rangeQueryLocked routes a single-column predicate through the static
 // priority; t.catalog is held shared. (The composite two-column fallback
 // uses it so RangeQuery2's behaviour is independent of the planner.)
-func (t *Table) rangeQueryLocked(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
-	return t.execPathLocked(t.staticPathLocked(col), col, lo, hi)
+func (t *Table) rangeQueryLocked(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	return t.execPathLocked(snap, t.staticPathLocked(col), col, lo, hi)
 }
 
-// execPathLocked executes the predicate over one access path; t.catalog is
-// held shared. The caller guarantees the path is available (planLocked or
-// staticPathLocked).
-func (t *Table) execPathLocked(path AccessPath, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+// execPathLocked executes the predicate over one access path at the given
+// snapshot; t.catalog is held shared. The caller guarantees the path is
+// available (planLocked or staticPathLocked).
+func (t *Table) execPathLocked(snap *Snapshot, path AccessPath, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	switch path {
 	case PathHermit:
+		if t.scheme == hermit.LogicalPointers {
+			return t.hermitLogicalRange(snap, col, lo, hi)
+		}
 		// The Hermit lookup traverses its self-latching TRS-Tree, then the
-		// host index, then (under logical pointers) the primary index; the
-		// latter two are engine-latched. Acquire host before primary — the
-		// reader-side lock order writers never invert (latches.go).
+		// host index; both candidate harvesting and validation run against
+		// immutable version rows, so the engine only filters visibility.
 		hostMu := t.hermitHostMu[col]
 		hostMu.RLock()
-		var pMu *sync.RWMutex
-		if t.scheme == hermit.LogicalPointers && hostMu != &t.primaryMu {
-			pMu = &t.primaryMu
-			pMu.RLock()
-		}
 		res := t.hermits[col].Lookup(lo, hi)
-		if pMu != nil {
-			pMu.RUnlock()
-		}
 		hostMu.RUnlock()
-		return res.RIDs, QueryStats{
+		rids := t.filterVersions(snap, res.RIDs)
+		return rids, QueryStats{
 			Kind:       KindHermit,
-			Rows:       len(res.RIDs),
+			Rows:       len(rids),
 			Candidates: res.Candidates,
 			Breakdown:  res.Breakdown,
 		}, nil
 	case PathCM:
 		// CM lookups read the bucket map and scan the host index (CM is
-		// physical-pointers only, so no primary hop).
+		// physical-pointers only, so candidates are version RIDs).
 		cmMu := t.cmMu.get(col)
 		cmMu.RLock()
 		hostMu := t.cmHostMu[col]
@@ -130,33 +137,135 @@ func (t *Table) execPathLocked(path AccessPath, col int, lo, hi float64) ([]stor
 		res := t.cms[col].Lookup(lo, hi)
 		hostMu.RUnlock()
 		cmMu.RUnlock()
-		return res.RIDs, QueryStats{
+		rids := t.filterVersions(snap, res.RIDs)
+		return rids, QueryStats{
 			Kind:       KindCM,
-			Rows:       len(res.RIDs),
+			Rows:       len(rids),
 			Candidates: res.Candidates,
 		}, nil
 	case PathBTree:
-		return t.baselineRange(t.secondary[col], t.secondaryMu.get(col), KindBTree, lo, hi)
+		return t.baselineRange(snap, t.secondary[col], t.secondaryMu.get(col), KindBTree, col, lo, hi)
 	case PathPrimary:
-		return t.primaryRange(lo, hi)
+		return t.primaryRange(snap, lo, hi)
 	case PathTRSDirect:
-		return t.trsDirectRange(col, lo, hi)
+		return t.trsDirectRange(snap, col, lo, hi)
 	default:
-		return t.scanRange(col, lo, hi)
+		return t.scanRange(snap, col, lo, hi)
 	}
 }
 
-// PointQuery returns the RIDs of rows with col == v.
+// filterVersions keeps the candidates whose version is visible at the
+// snapshot. Exact for candidate sets that are per-version (every index
+// keeps one entry per version, and a version's row is immutable, so a
+// validated candidate either is the visible incarnation of its key or is
+// filtered here; the visible incarnation always appears among the
+// candidates through its own entries).
+func (t *Table) filterVersions(snap *Snapshot, rids []storage.RID) []storage.RID {
+	out := rids[:0]
+	t.verMu.RLock()
+	for _, rid := range rids {
+		if visibleAt(t.verOf[rid], snap.ts) {
+			out = append(out, rid)
+		}
+	}
+	t.verMu.RUnlock()
+	return out
+}
+
+// hermitLogicalRange executes the Hermit mechanism under logical pointers
+// with MVCC-aware resolution: TRS-Tree ranges are scanned on the host
+// index as usual, but the harvested primary keys resolve through the
+// version chains to the incarnation visible at the snapshot (instead of
+// the primary index's newest entry), which is then validated against the
+// target predicate.
+func (t *Table) hermitLogicalRange(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	hx := t.hermits[col]
+	st := QueryStats{Kind: KindHermit}
+	profile := t.profile.Load()
+	var t0 time.Time
+	if profile {
+		t0 = time.Now()
+	}
+	tres := hx.Tree().Lookup(lo, hi)
+	if profile {
+		st.Breakdown[hermit.PhaseTRSTree] += time.Since(t0)
+		t0 = time.Now()
+	}
+	ids := tres.IDs // outlier identifiers are primary keys under this scheme
+	hostMu := t.hermitHostMu[col]
+	hostMu.RLock()
+	host := t.secondary[t.hostOf[col]]
+	if host == nil {
+		// pk-hosted indexes are rejected at creation under logical
+		// pointers, so the host B+-tree always exists here; guard anyway.
+		hostMu.RUnlock()
+		return nil, st, ErrNoHostIndex
+	}
+	for _, r := range tres.Ranges {
+		host.Scan(r.Lo, r.Hi, func(_ float64, id uint64) bool {
+			ids = append(ids, id)
+			return true
+		})
+	}
+	hostMu.RUnlock()
+	if profile {
+		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
+		t0 = time.Now()
+	}
+	// Resolve each candidate key to its visible incarnation (the MVCC
+	// replacement for the primary-index hop) ...
+	seen := make(map[uint64]struct{}, len(ids))
+	resolved := make([]storage.RID, 0, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if v := t.resolveVisible(float64(id), snap.ts); v != nil {
+			resolved = append(resolved, v.rid)
+		}
+	}
+	st.Candidates = len(seen)
+	if profile {
+		st.Breakdown[hermit.PhasePrimaryIndex] += time.Since(t0)
+		t0 = time.Now()
+	}
+	// ... then validate the target predicate against the base table.
+	rids := resolved[:0]
+	for _, rid := range resolved {
+		m, err := t.store.Value(rid, col)
+		if err == nil && m >= lo && m <= hi {
+			rids = append(rids, rid)
+		}
+	}
+	if profile {
+		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
+	}
+	st.Rows = len(rids)
+	return rids, st, nil
+}
+
+// PointQuery returns the RIDs of rows with col == v at a snapshot of the
+// latest commit timestamp.
 func (t *Table) PointQuery(col int, v float64) ([]storage.RID, QueryStats, error) {
 	return t.RangeQuery(col, v, v)
 }
 
-// baselineRange executes the conventional secondary-index plan: index scan,
-// optional primary-index resolution (logical pointers), base-table fetch.
-// This is the Baseline of every figure. mu is the scanned index's latch.
-func (t *Table) baselineRange(idx interface {
+// PointQueryAt is PointQuery reading at the caller's snapshot.
+func (t *Table) PointQueryAt(snap *Snapshot, col int, v float64) ([]storage.RID, QueryStats, error) {
+	return t.RangeQueryAt(snap, col, v, v)
+}
+
+// baselineRange executes the conventional secondary-index plan: index
+// scan, then visibility resolution. This is the Baseline of every figure.
+// mu is the scanned index's latch. Under physical pointers candidates are
+// version RIDs filtered directly; under logical pointers they are primary
+// keys resolved through the version chains, with the predicate re-checked
+// on the visible incarnation (whose value may differ from the harvested
+// entry's version).
+func (t *Table) baselineRange(snap *Snapshot, idx interface {
 	Scan(lo, hi float64, fn func(key float64, id uint64) bool)
-}, mu *sync.RWMutex, kind IndexKind, lo, hi float64) ([]storage.RID, QueryStats, error) {
+}, mu *sync.RWMutex, kind IndexKind, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: kind}
 	profile := t.profile.Load()
 	var t0 time.Time
@@ -177,68 +286,68 @@ func (t *Table) baselineRange(idx interface {
 	var rids []storage.RID
 	if t.scheme == hermit.LogicalPointers {
 		rids = make([]storage.RID, 0, len(ids))
-		t.primaryMu.RLock()
+		seen := make(map[uint64]struct{}, len(ids))
 		for _, pk := range ids {
-			if v, ok := t.primary.First(float64(pk)); ok {
-				rids = append(rids, storage.RID(v))
+			if _, dup := seen[pk]; dup {
+				continue
+			}
+			seen[pk] = struct{}{}
+			v := t.resolveVisible(float64(pk), snap.ts)
+			if v == nil {
+				continue
+			}
+			m, err := t.store.Value(v.rid, col)
+			if err == nil && m >= lo && m <= hi {
+				rids = append(rids, v.rid)
 			}
 		}
-		t.primaryMu.RUnlock()
 		if profile {
 			st.Breakdown[hermit.PhasePrimaryIndex] += time.Since(t0)
 			t0 = time.Now()
 		}
-	} else {
-		rids = make([]storage.RID, len(ids))
-		for i, id := range ids {
-			rids[i] = storage.RID(id)
-		}
+		st.Rows, st.Candidates = len(rids), len(seen)
+		return rids, st, nil
 	}
-	// Base-table access: the baseline also touches every returned tuple
-	// (the query fetches the rows), which is where the physical-pointer
-	// bottleneck shifts in Figs. 10–11.
-	out := rids[:0]
-	for _, rid := range rids {
-		if _, err := t.store.Value(rid, t.pkCol); err == nil {
-			out = append(out, rid)
-		}
+	rids = make([]storage.RID, len(ids))
+	for i, id := range ids {
+		rids[i] = storage.RID(id)
 	}
+	out := t.filterVersions(snap, rids)
 	if profile {
 		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
 	}
 	st.Rows = len(out)
-	st.Candidates = len(out)
+	st.Candidates = len(ids)
 	return out, st, nil
 }
 
 // primaryRange serves range queries on the primary-key column. The
-// base-table touch doubles as a liveness filter: a concurrent Delete that
-// completes after the primary latch is released below can tombstone rows
-// whose RIDs were already harvested into rids. (Delete removes the primary
-// entry before tombstoning the store row, so a held latch never observes a
-// primary entry pointing at a tombstone — the window is entirely in this
-// local buffer.)
-func (t *Table) primaryRange(lo, hi float64) ([]storage.RID, QueryStats, error) {
+// primary index keeps one entry per key (pointing at the newest version),
+// so each harvested key resolves through its version chain to the
+// incarnation visible at the snapshot; the key value itself is shared by
+// every version, so no predicate re-check is needed.
+func (t *Table) primaryRange(snap *Snapshot, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindPrimary}
-	var rids []storage.RID
+	var pks []float64
 	t.primaryMu.RLock()
-	t.primary.Scan(lo, hi, func(_ float64, v uint64) bool {
-		rids = append(rids, storage.RID(v))
+	t.primary.Scan(lo, hi, func(pk float64, _ uint64) bool {
+		pks = append(pks, pk)
 		return true
 	})
 	t.primaryMu.RUnlock()
-	out := rids[:0]
-	for _, rid := range rids {
-		if _, err := t.store.Value(rid, t.pkCol); err == nil {
-			out = append(out, rid)
+	rids := make([]storage.RID, 0, len(pks))
+	for _, pk := range pks {
+		if v := t.resolveVisible(pk, snap.ts); v != nil {
+			rids = append(rids, v.rid)
 		}
 	}
-	st.Rows, st.Candidates = len(out), len(out)
-	return out, st, nil
+	st.Rows, st.Candidates = len(rids), len(pks)
+	return rids, st, nil
 }
 
-// scanRange is the unindexed fallback: a full table scan.
-func (t *Table) scanRange(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+// scanRange is the unindexed fallback: a full table scan over every
+// version row, filtered by predicate and visibility.
+func (t *Table) scanRange(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindNone}
 	var rids []storage.RID
 	err := t.store.ScanColumn(col, func(rid storage.RID, v float64) bool {
@@ -250,7 +359,9 @@ func (t *Table) scanRange(col int, lo, hi float64) ([]storage.RID, QueryStats, e
 	if err != nil {
 		return nil, st, err
 	}
-	st.Rows, st.Candidates = len(rids), len(rids)
+	st.Candidates = len(rids)
+	rids = t.filterVersions(snap, rids)
+	st.Rows = len(rids)
 	return rids, st, nil
 }
 

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hermit/internal/storage"
+)
+
+// Errors returned by the transaction layer.
+var (
+	// ErrWriteConflict is returned by Txn.Commit when another transaction
+	// committed a change to one of this transaction's written keys after
+	// the snapshot was taken (first committer wins); nothing was applied.
+	ErrWriteConflict = errors.New("engine: write-write conflict (first committer wins)")
+	// ErrTxnDone is returned for operations on a committed or rolled-back
+	// transaction.
+	ErrTxnDone = errors.New("engine: transaction already committed or rolled back")
+)
+
+// Txn is a snapshot-isolation transaction: reads resolve against the
+// snapshot taken at Begin, writes are buffered privately and become
+// visible atomically at Commit, which detects write-write conflicts under
+// the first-committer-wins rule. A transaction may span every table
+// ordered by the same commit clock — including the per-partition tables of
+// a partitioned table — and is not safe for concurrent use by multiple
+// goroutines.
+type Txn struct {
+	clock  *Clock
+	snap   *Snapshot
+	writes map[*Table]map[float64]*txnWrite
+	done   bool
+}
+
+// txnWrite is the buffered final state of one written key: a full row
+// image (insert or update collapse to "this row exists with these values")
+// or a deletion.
+type txnWrite struct {
+	row []float64 // nil for a delete
+	del bool
+}
+
+// BeginTxn starts a transaction on the given commit clock. DB.Begin is the
+// common entry point; partitioned tables begin on their shared clock.
+func BeginTxn(clock *Clock) *Txn {
+	return &Txn{
+		clock:  clock,
+		snap:   clock.Snapshot(),
+		writes: make(map[*Table]map[float64]*txnWrite),
+	}
+}
+
+// Begin starts a snapshot-isolation transaction on the database's clock.
+func (db *DB) Begin() *Txn { return BeginTxn(db.clock) }
+
+// Snapshot returns the transaction's read snapshot, valid until Commit or
+// Rollback. Queries run through Table.RangeQueryAt against it observe the
+// database as of Begin (buffered writes excluded; use Get for
+// read-your-own-writes point lookups).
+func (x *Txn) Snapshot() *Snapshot { return x.snap }
+
+// effective returns the transaction's view of pk in t: the buffered write
+// if any, else the version visible at the snapshot.
+func (x *Txn) effective(t *Table, pk float64) (row []float64, live bool, err error) {
+	if w := x.writes[t][pk]; w != nil {
+		if w.del {
+			return nil, false, nil
+		}
+		return w.row, true, nil
+	}
+	v := t.resolveVisible(pk, x.snap.ts)
+	if v == nil {
+		return nil, false, nil
+	}
+	r, err := t.store.Get(v.rid, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, true, nil
+}
+
+func (x *Txn) buffer(t *Table, pk float64, w *txnWrite) {
+	m := x.writes[t]
+	if m == nil {
+		m = make(map[float64]*txnWrite)
+		x.writes[t] = m
+	}
+	m[pk] = w
+}
+
+// check validates that the transaction can still buffer writes against t.
+func (x *Txn) check(t *Table) error {
+	if x.done {
+		return ErrTxnDone
+	}
+	if t.clock != x.clock {
+		return fmt.Errorf("engine: table %q is ordered by a different commit clock", t.name)
+	}
+	return nil
+}
+
+// Insert buffers a row insert. Duplicate keys — visible at the snapshot or
+// inserted earlier in this transaction — are rejected immediately.
+func (x *Txn) Insert(t *Table, row []float64) error {
+	if err := x.check(t); err != nil {
+		return err
+	}
+	if len(row) != len(t.cols) {
+		return storage.ErrBadRow
+	}
+	pk := row[t.pkCol]
+	_, live, err := x.effective(t, pk)
+	if err != nil {
+		return err
+	}
+	if live {
+		return fmt.Errorf("%w: %v", ErrDupKey, pk)
+	}
+	x.buffer(t, pk, &txnWrite{row: append([]float64(nil), row...)})
+	return nil
+}
+
+// Delete buffers a delete, reporting whether the key was live in the
+// transaction's view. Deletes of absent keys are not buffered (there is
+// nothing to commit).
+func (x *Txn) Delete(t *Table, pk float64) (bool, error) {
+	if err := x.check(t); err != nil {
+		return false, err
+	}
+	_, live, err := x.effective(t, pk)
+	if err != nil || !live {
+		return false, err
+	}
+	x.buffer(t, pk, &txnWrite{del: true})
+	return true, nil
+}
+
+// Update buffers a single-column update against the transaction's view of
+// the row (its own writes included). The primary-key column cannot change.
+func (x *Txn) Update(t *Table, pk float64, col int, v float64) error {
+	if err := x.check(t); err != nil {
+		return err
+	}
+	if col == t.pkCol {
+		return fmt.Errorf("engine: update: cannot change primary-key column %q (delete and re-insert)", t.cols[col])
+	}
+	if col < 0 || col >= len(t.cols) {
+		return ErrNoSuchColumn
+	}
+	row, live, err := x.effective(t, pk)
+	if err != nil {
+		return err
+	}
+	if !live {
+		return fmt.Errorf("engine: update: no row with pk %v", pk)
+	}
+	nw := append([]float64(nil), row...)
+	nw[col] = v
+	x.buffer(t, pk, &txnWrite{row: nw})
+	return nil
+}
+
+// Get returns the transaction's view of pk: its own buffered write when
+// present, else the row visible at the snapshot.
+func (x *Txn) Get(t *Table, pk float64) ([]float64, bool, error) {
+	if err := x.check(t); err != nil {
+		return nil, false, err
+	}
+	row, live, err := x.effective(t, pk)
+	if err != nil || !live {
+		return nil, false, err
+	}
+	return append([]float64(nil), row...), true, nil
+}
+
+// Rollback discards the buffered writes and releases the snapshot. Safe to
+// call after Commit (a no-op), so `defer x.Rollback()` always cleans up.
+func (x *Txn) Rollback() {
+	if x.done {
+		return
+	}
+	x.done = true
+	x.snap.Release()
+}
+
+// stamped describes one version stamping to perform under the commit lock.
+type stamped struct {
+	t    *Table
+	pk   float64
+	rid  storage.RID // new version's row (zero for pure deletes)
+	old  *version    // superseded/deleted head (nil for pure inserts)
+	kind byte        // 'i' insert, 'u' update, 'd' delete
+}
+
+// CommitResult reports where a committed transaction's writes landed.
+type CommitResult struct {
+	// TS is the commit timestamp.
+	TS uint64
+	// RIDs maps each written (table, key) to the new version's RID; pure
+	// deletes are absent.
+	RIDs map[*Table]map[float64]storage.RID
+}
+
+// Commit atomically applies the buffered writes: it validates every
+// written key against the latest committed state (ErrWriteConflict when a
+// later commit touched one — first committer wins), applies the version
+// rows and index entries, and stamps them all with one new commit
+// timestamp, so concurrent snapshots observe either the whole transaction
+// or none of it. On any error nothing is applied. The transaction is done
+// afterwards either way.
+func (x *Txn) Commit() (CommitResult, error) {
+	res := CommitResult{}
+	if x.done {
+		return res, ErrTxnDone
+	}
+	x.done = true
+	defer x.snap.Release()
+	if len(x.writes) == 0 {
+		return res, nil
+	}
+
+	// Deterministic lock order: tables by tid, then stripes by index —
+	// concurrent multi-key committers can never deadlock.
+	tables := make([]*Table, 0, len(x.writes))
+	for t := range x.writes {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(a, b int) bool { return tables[a].tid < tables[b].tid })
+	for _, t := range tables {
+		t.catalog.RLock()
+		defer t.catalog.RUnlock()
+	}
+	type stripeRef struct {
+		t *Table
+		s uint64
+	}
+	var stripes []stripeRef
+	for _, t := range tables {
+		seen := make(map[uint64]bool)
+		for pk := range x.writes[t] {
+			s := stripeOf(pk)
+			if !seen[s] {
+				seen[s] = true
+				stripes = append(stripes, stripeRef{t, s})
+			}
+		}
+	}
+	sort.Slice(stripes, func(a, b int) bool {
+		if stripes[a].t.tid != stripes[b].t.tid {
+			return stripes[a].t.tid < stripes[b].t.tid
+		}
+		return stripes[a].s < stripes[b].s
+	})
+	for _, sr := range stripes {
+		sr.t.rows.stripes[sr.s].Lock()
+		defer sr.t.rows.stripes[sr.s].Unlock()
+	}
+
+	// Validate: first committer wins. Chain heads are stable under the
+	// stripes, so a clean validation here cannot be invalidated before the
+	// stamp below.
+	for _, t := range tables {
+		for pk := range x.writes[t] {
+			h := t.head(pk)
+			if h != nil && (h.beginTS > x.snap.ts || (h.endTS != 0 && h.endTS > x.snap.ts)) {
+				return res, fmt.Errorf("%w: key %v in table %q", ErrWriteConflict, pk, t.name)
+			}
+		}
+	}
+
+	// Apply: append version rows and index entries. Unstamped versions are
+	// invisible, so readers cannot observe a partial transaction here.
+	var pend []stamped
+	for _, t := range tables {
+		pks := make([]float64, 0, len(x.writes[t]))
+		for pk := range x.writes[t] {
+			pks = append(pks, pk)
+		}
+		sort.Float64s(pks) // deterministic apply order within a table
+		for _, pk := range pks {
+			w := x.writes[t][pk]
+			h := t.head(pk)
+			if w.del {
+				if h != nil && h.endTS == 0 {
+					pend = append(pend, stamped{t: t, pk: pk, old: h, kind: 'd'})
+					t.writes.Add(1)
+				}
+				continue
+			}
+			rid, err := t.store.Insert(w.row)
+			if err != nil {
+				// Unreachable in practice (width validated at buffer time);
+				// surface loudly rather than commit a partial transaction.
+				return res, fmt.Errorf("engine: txn apply: %w", err)
+			}
+			t.movePrimary(pk, h, rid)
+			t.insertIndexEntries(rid, w.row)
+			t.writes.Add(1)
+			for i, v := range w.row {
+				t.runtime[i].widen(v)
+			}
+			st := stamped{t: t, pk: pk, rid: rid, old: h, kind: 'i'}
+			if h != nil && h.endTS == 0 {
+				st.kind = 'u'
+			}
+			pend = append(pend, st)
+		}
+	}
+
+	// Stamp and publish: one commit timestamp for the whole transaction.
+	c := x.clock
+	c.commitMu.Lock()
+	commitTS := c.ts.Load() + 1
+	for _, s := range pend {
+		switch s.kind {
+		case 'i':
+			s.t.stampInsert(s.rid, s.pk, commitTS)
+		case 'u':
+			s.t.stampUpdate(s.old, s.rid, commitTS)
+		default:
+			s.t.stampDelete(s.old, commitTS)
+		}
+	}
+	c.ts.Store(commitTS)
+	c.commitMu.Unlock()
+
+	res.TS = commitTS
+	res.RIDs = make(map[*Table]map[float64]storage.RID)
+	for _, s := range pend {
+		if s.kind == 'd' {
+			continue
+		}
+		m := res.RIDs[s.t]
+		if m == nil {
+			m = make(map[float64]storage.RID)
+			res.RIDs[s.t] = m
+		}
+		m[s.pk] = s.rid
+	}
+	return res, nil
+}

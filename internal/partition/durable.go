@@ -53,6 +53,7 @@ func OpenDurable(d *engine.DurableDB, name string, opts Options) (*Table, error)
 		name:  name,
 		cols:  parts[0].Columns(),
 		pkCol: parts[0].PKCol(),
+		clock: d.Clock(), // one clock for the whole DurableDB
 		parts: parts,
 		sem:   make(chan struct{}, opts.Workers),
 	}
@@ -91,3 +92,30 @@ func (m durMutator) createHermit(col, host int, params trstree.Params) error {
 func (m durMutator) dropIndex(col int, kind engine.IndexKind) error {
 	return m.d.DropIndex(m.name, col, kind.String())
 }
+
+func (m durMutator) begin() partTxn {
+	return &durTxn{name: m.name, tx: m.d.Begin()}
+}
+
+// durTxn is an atomic cross-partition transaction over a durable
+// partitioned table: a DurableTxn addressed by the logical name, which
+// routes each mutation to its hash partition and WAL-logs the whole group
+// under one transaction id.
+type durTxn struct {
+	name string
+	tx   *engine.DurableTxn
+}
+
+func (x *durTxn) insert(_ int, row []float64) error { return x.tx.Insert(x.name, row) }
+
+func (x *durTxn) remove(_ int, pk float64) (bool, error) { return x.tx.Delete(x.name, pk) }
+
+func (x *durTxn) update(_ int, pk float64, col int, v float64) error {
+	return x.tx.Update(x.name, pk, col, v)
+}
+
+func (x *durTxn) snapshot() *engine.Snapshot { return x.tx.Snapshot() }
+
+func (x *durTxn) commit() error { return x.tx.Commit() }
+
+func (x *durTxn) rollback() { x.tx.Rollback() }

@@ -97,6 +97,7 @@ type Table struct {
 	name  string
 	cols  []string
 	pkCol int
+	clock *engine.Clock // shared by every partition: one commit order
 	parts []*engine.Table
 	sem   chan struct{}
 	mut   mutator
@@ -111,20 +112,37 @@ type mutator interface {
 	createBTree(col int, markNew bool) error
 	createHermit(col, host int, params trstree.Params) error
 	dropIndex(col int, kind engine.IndexKind) error
+	// begin starts an atomic cross-partition transaction (ExecuteBatch's
+	// substrate): mutations buffer, route by primary key, and commit with
+	// one clock advance, so no snapshot ever observes a partial batch.
+	begin() partTxn
+}
+
+// partTxn is one atomic cross-partition transaction.
+type partTxn interface {
+	insert(part int, row []float64) error
+	remove(part int, pk float64) (bool, error)
+	update(part int, pk float64, col int, v float64) error
+	snapshot() *engine.Snapshot
+	commit() error
+	rollback()
 }
 
 // New creates an in-memory partitioned table: one private engine.DB per
-// partition (so partitions share nothing, not even a catalog latch), each
-// holding one table of the given schema. Names containing '#' are
-// rejected — the character is reserved for partition naming.
+// partition (so partitions share nothing but the commit clock — the
+// shared clock is what makes cross-partition snapshots and atomic batches
+// consistent), each holding one table of the given schema. Names
+// containing '#' are rejected — the character is reserved for partition
+// naming.
 func New(scheme hermit.PointerScheme, name string, cols []string, pkCol int, opts Options) (*Table, error) {
 	if strings.Contains(name, "#") {
 		return nil, fmt.Errorf("partition: table name %q: '#' is reserved for partitions", name)
 	}
 	opts = opts.sanitized()
+	clock := engine.NewClock()
 	parts := make([]*engine.Table, opts.Partitions)
 	for i := range parts {
-		tb, err := engine.NewDB(scheme).CreateTable(name, cols, pkCol)
+		tb, err := engine.NewDBWithClock(scheme, clock).CreateTable(name, cols, pkCol)
 		if err != nil {
 			return nil, err
 		}
@@ -134,11 +152,32 @@ func New(scheme hermit.PointerScheme, name string, cols []string, pkCol int, opt
 		name:  name,
 		cols:  append([]string(nil), cols...),
 		pkCol: pkCol,
+		clock: clock,
 		parts: parts,
 		sem:   make(chan struct{}, opts.Workers),
 	}
 	t.mut = memMutator{t}
 	return t, nil
+}
+
+// Snapshot registers a consistent read view across every partition: all
+// fan-out legs of a query (or any sequence of queries) run against it
+// observe one commit-clock instant, so a concurrently committing batch is
+// seen entirely or not at all.
+func (t *Table) Snapshot() *engine.Snapshot { return t.clock.Snapshot() }
+
+// GC runs one version-garbage-collection pass over every partition,
+// reclaiming row versions no live snapshot can resolve (see engine.DB.GC).
+// On durable tables DurableDB.Checkpoint already runs this; in-memory
+// tables under update/delete churn should call it periodically or dead
+// versions accumulate unboundedly.
+func (t *Table) GC() int {
+	horizon := t.clock.OldestActive()
+	n := 0
+	for _, p := range t.parts {
+		n += p.GCVersions(horizon)
+	}
+	return n
 }
 
 // Name returns the logical table name.
@@ -230,34 +269,55 @@ func (t *Table) PointQuery(col int, v float64) ([]RID, Stats, error) {
 	return t.RangeQuery(col, v, v)
 }
 
+// PointQueryAt is PointQuery reading at the caller's snapshot.
+func (t *Table) PointQueryAt(snap *engine.Snapshot, col int, v float64) ([]RID, Stats, error) {
+	return t.RangeQueryAt(snap, col, v, v)
+}
+
 // RangeQuery returns the rows with lo <= col <= hi, ordered by the
 // predicate column (ties broken by partition then RID, so results are
 // deterministic). A primary-key point predicate (col == pkCol, lo == hi)
 // routes to one partition; everything else scatters across the worker
-// pool and gathers with an ordered merge.
+// pool and gathers with an ordered merge. The whole query — every fan-out
+// leg — runs against one commit-clock snapshot, so it can never observe a
+// concurrent atomic batch partially, even across partitions.
 func (t *Table) RangeQuery(col int, lo, hi float64) ([]RID, Stats, error) {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return t.RangeQueryAt(snap, col, lo, hi)
+}
+
+// RangeQueryAt is RangeQuery reading at the caller's snapshot.
+func (t *Table) RangeQueryAt(snap *engine.Snapshot, col int, lo, hi float64) ([]RID, Stats, error) {
 	if col == t.pkCol && lo == hi {
-		return t.routed(col, lo, hi)
+		return t.routed(snap, col, lo, hi)
 	}
 	return t.gather(col, func(p *engine.Table) ([]storage.RID, engine.QueryStats, error) {
-		return p.RangeQuery(col, lo, hi)
+		return p.RangeQueryAt(snap, col, lo, hi)
 	})
 }
 
 // RangeQuery2 serves the conjunctive two-column predicate
-// (col in [lo, hi]) AND (bcol in [blo, bhi]) by scatter-gather, ordered by
-// the first column.
+// (col in [lo, hi]) AND (bcol in [blo, bhi]) by scatter-gather against one
+// snapshot, ordered by the first column.
 func (t *Table) RangeQuery2(col int, lo, hi float64, bcol int, blo, bhi float64) ([]RID, Stats, error) {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return t.RangeQuery2At(snap, col, lo, hi, bcol, blo, bhi)
+}
+
+// RangeQuery2At is RangeQuery2 reading at the caller's snapshot.
+func (t *Table) RangeQuery2At(snap *engine.Snapshot, col int, lo, hi float64, bcol int, blo, bhi float64) ([]RID, Stats, error) {
 	return t.gather(col, func(p *engine.Table) ([]storage.RID, engine.QueryStats, error) {
-		return p.RangeQuery2(col, lo, hi, bcol, blo, bhi)
+		return p.RangeQuery2At(snap, col, lo, hi, bcol, blo, bhi)
 	})
 }
 
 // routed executes a primary-key point predicate on its single owner.
-func (t *Table) routed(col int, lo, hi float64) ([]RID, Stats, error) {
+func (t *Table) routed(snap *engine.Snapshot, col int, lo, hi float64) ([]RID, Stats, error) {
 	p := t.owner(lo)
 	st := Stats{FanOut: 1, Routed: true, PerPartition: make([]engine.QueryStats, len(t.parts))}
-	rids, qs, err := t.parts[p].RangeQuery(col, lo, hi)
+	rids, qs, err := t.parts[p].RangeQueryAt(snap, col, lo, hi)
 	if err != nil {
 		return nil, st, err
 	}
@@ -316,8 +376,9 @@ func (t *Table) gather(col int, run func(p *engine.Table) ([]storage.RID, engine
 
 // keyed pairs each hit with its ordering key and sorts the partition's
 // list (index paths already return key order; scan paths return RID
-// order). Rows deleted between harvest and keying are dropped, matching
-// the engine's own liveness validation.
+// order). Version rows are immutable, so the keys are exactly the values
+// the snapshot query matched; a row reclaimed by a racing GC pass (only
+// possible once no snapshot needs it) is dropped.
 func (t *Table) keyed(part, col int, rids []storage.RID) []entry {
 	store := t.parts[part].Store()
 	out := make([]entry, 0, len(rids))
@@ -513,3 +574,36 @@ func (m memMutator) dropIndex(col int, kind engine.IndexKind) error {
 	}
 	return nil
 }
+
+func (m memMutator) begin() partTxn {
+	return &memTxn{t: m.t, x: engine.BeginTxn(m.t.clock)}
+}
+
+// memTxn is an atomic cross-partition transaction over the in-memory
+// partitions: one engine.Txn spanning the per-partition tables, which all
+// share the table's commit clock.
+type memTxn struct {
+	t *Table
+	x *engine.Txn
+}
+
+func (x *memTxn) insert(part int, row []float64) error {
+	return x.x.Insert(x.t.parts[part], row)
+}
+
+func (x *memTxn) remove(part int, pk float64) (bool, error) {
+	return x.x.Delete(x.t.parts[part], pk)
+}
+
+func (x *memTxn) update(part int, pk float64, col int, v float64) error {
+	return x.x.Update(x.t.parts[part], pk, col, v)
+}
+
+func (x *memTxn) snapshot() *engine.Snapshot { return x.x.Snapshot() }
+
+func (x *memTxn) commit() error {
+	_, err := x.x.Commit()
+	return err
+}
+
+func (x *memTxn) rollback() { x.x.Rollback() }

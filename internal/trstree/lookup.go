@@ -26,6 +26,17 @@ func (t *Tree) Lookup(lo, hi float64) Result {
 		return res
 	}
 	t.lookupNode(t.root, lo, hi, &res)
+	// Writes parked in the temporal side buffer while a reorganization
+	// scan is in flight (Appendix B) are already acknowledged to their
+	// writers, so lookups must see them: matching parked inserts join the
+	// exact-identifier result. (Parked deletes need no handling here — the
+	// stale entry they will remove only widens the candidate set, and
+	// validation filters it.)
+	for _, op := range t.sideBuf {
+		if !op.del && op.p.M >= lo && op.p.M <= hi {
+			res.IDs = append(res.IDs, op.p.ID)
+		}
+	}
 	if t.params.UnionRanges {
 		res.Ranges = unionRanges(res.Ranges)
 	}

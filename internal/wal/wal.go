@@ -59,17 +59,30 @@ const (
 	// OpCreatePartitioned creates a hash-partitioned table; the payload
 	// carries the schema plus the partition count.
 	OpCreatePartitioned
+	// OpTxnBegin opens a multi-operation transaction: subsequent mutation
+	// records carrying the same Txn id belong to it. Replay must buffer
+	// them until the matching OpTxnCommit arrives; a transaction whose
+	// commit record never made it to disk is an uncommitted tail and is
+	// discarded (rolled back) by recovery.
+	OpTxnBegin
+	// OpTxnCommit marks the transaction with the record's Txn id committed;
+	// its buffered mutations become applicable at this point in the log.
+	OpTxnCommit
 )
 
 // Record is one logged operation. LSN is assigned by the appender and is
 // strictly increasing within a log file; the value set by callers on
 // Append/Submit is ignored. Part is the hash partition the record targets
 // (0 for records on unpartitioned tables and for DDL, which fans out to
-// every partition on replay).
+// every partition on replay). Txn is the transaction id the record belongs
+// to: 0 for auto-committed single operations, which apply directly on
+// replay; non-zero mutations apply only if the log also holds an
+// OpTxnCommit for the same id.
 type Record struct {
 	LSN     uint64
 	Op      Op
 	Part    uint32
+	Txn     uint64
 	Table   string
 	Payload []byte
 }
@@ -92,8 +105,10 @@ var (
 )
 
 // walMagic heads every log file: "HWAL" plus a big-endian format version.
-// Version 3 added the per-record partition id to the frame body.
-var walMagic = []byte{'H', 'W', 'A', 'L', 0, 0, 0, 3}
+// Version 3 added the per-record partition id to the frame body; version 4
+// added the per-record transaction id plus the txn-begin/commit operation
+// codes, so recovery can roll back uncommitted transaction tails.
+var walMagic = []byte{'H', 'W', 'A', 'L', 0, 0, 0, 4}
 
 // headerLen is the byte length of the file header; frames follow it.
 const headerLen = 8
@@ -437,13 +452,13 @@ func (l *Log) run(lastLSN uint64) {
 	}
 }
 
-// Frame layout:
+// Frame layout (format version 4):
 //
 //	u32 bodyLen | u32 crc32(body) | body
-//	body = u64 lsn | op byte | u32 part | u16 tableLen | table | payload
+//	body = u64 lsn | op byte | u32 part | u64 txn | u16 tableLen | table | payload
 const (
 	frameHdrLen = 8
-	minBodyLen  = 15
+	minBodyLen  = 23
 	maxBodyLen  = 64 << 20
 )
 
@@ -454,9 +469,10 @@ func encodeFrame(rec Record, lsn uint64) []byte {
 	binary.LittleEndian.PutUint64(body[0:8], lsn)
 	body[8] = byte(rec.Op)
 	binary.LittleEndian.PutUint32(body[9:13], rec.Part)
-	binary.LittleEndian.PutUint16(body[13:15], uint16(len(rec.Table)))
-	copy(body[15:], rec.Table)
-	copy(body[15+len(rec.Table):], rec.Payload)
+	binary.LittleEndian.PutUint64(body[13:21], rec.Txn)
+	binary.LittleEndian.PutUint16(body[21:23], uint16(len(rec.Table)))
+	copy(body[23:], rec.Table)
+	copy(body[23+len(rec.Table):], rec.Payload)
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyLen))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
 	return frame
@@ -468,7 +484,7 @@ func decodeBody(body []byte) (Record, bool) {
 	if len(body) < minBodyLen {
 		return Record{}, false
 	}
-	tableLen := int(binary.LittleEndian.Uint16(body[13:15]))
+	tableLen := int(binary.LittleEndian.Uint16(body[21:23]))
 	if minBodyLen+tableLen > len(body) {
 		return Record{}, false
 	}
@@ -476,8 +492,9 @@ func decodeBody(body []byte) (Record, bool) {
 		LSN:     binary.LittleEndian.Uint64(body[0:8]),
 		Op:      Op(body[8]),
 		Part:    binary.LittleEndian.Uint32(body[9:13]),
-		Table:   string(body[15 : 15+tableLen]),
-		Payload: body[15+tableLen:],
+		Txn:     binary.LittleEndian.Uint64(body[13:21]),
+		Table:   string(body[23 : 23+tableLen]),
+		Payload: body[23+tableLen:],
 	}, true
 }
 
