@@ -13,7 +13,18 @@ COVER_FLOOR = 78.0
 # deliberately (new releases add checks, which can fail the gate).
 STATICCHECK_VERSION = 2025.1.1
 
-.PHONY: build build-examples test race cover difftest bench bench-concurrency bench-durability bench-advisor bench-partition bench-txn fmt fmt-check vet staticcheck doc-check ci
+# BENCH_EXPERIMENTS is every experiment whose BENCH_*.json artifact CI
+# records; bench-all runs them in one invocation after the fig4 smoke.
+BENCH_EXPERIMENTS = concurrency,durability,advisor,partition,txn,server
+
+# Propagate a `make bench-all GOMAXPROCS=4` override into the spawned
+# bench processes (make variables are not exported to children by
+# default). The multi-core CI lane relies on this.
+ifdef GOMAXPROCS
+export GOMAXPROCS
+endif
+
+.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-advisor bench-partition bench-txn bench-server fmt fmt-check vet staticcheck doc-check ci
 
 build:
 	$(GO) build ./...
@@ -54,6 +65,18 @@ difftest:
 bench: build
 	$(GO) run ./cmd/hermit-bench -exp fig4 -scale 0.005 -json ''
 
+# The full artifact-producing suite in one invocation: the fig4 smoke,
+# then every experiment in BENCH_EXPERIMENTS (each writes its
+# BENCH_<id>.json to the repo root). This is what CI runs and uploads.
+bench-all: bench
+	$(GO) run ./cmd/hermit-bench -exp $(BENCH_EXPERIMENTS)
+
+# Validate the emitted BENCH_*.json artifacts (header fields: experiment,
+# seed, num_cpu, gomaxprocs). BENCH_CHECK_FLAGS lets the multi-core CI
+# lane pin -expect-gomaxprocs.
+bench-check:
+	$(GO) run ./internal/tools/benchcheck $(BENCH_CHECK_FLAGS)
+
 # Concurrency sweep with the machine-readable BENCH_concurrency.json.
 bench-concurrency: build
 	$(GO) run ./cmd/hermit-bench -exp concurrency
@@ -76,6 +99,11 @@ bench-partition: build
 # registration overhead) with BENCH_txn.json.
 bench-txn: build
 	$(GO) run ./cmd/hermit-bench -exp txn
+
+# Serving-tier sweep (loopback throughput/latency vs clients x mode x
+# workload) with BENCH_server.json.
+bench-server: build
+	$(GO) run ./cmd/hermit-bench -exp server
 
 fmt:
 	gofmt -w .
@@ -101,6 +129,6 @@ staticcheck:
 # Godoc lint: every exported identifier in the public API and the engine
 # must carry a doc comment.
 doc-check:
-	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/advisor ./internal/partition ./internal/difftest
+	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/advisor ./internal/partition ./internal/difftest ./internal/server ./internal/server/proto ./internal/client
 
-ci: fmt-check vet staticcheck doc-check cover build-examples bench difftest
+ci: fmt-check vet staticcheck doc-check cover build-examples bench-all bench-check difftest

@@ -29,10 +29,12 @@ package hermitdb
 
 import (
 	"hermit/internal/advisor"
+	"hermit/internal/client"
 	"hermit/internal/correlation"
 	"hermit/internal/engine"
 	"hermit/internal/hermit"
 	"hermit/internal/partition"
+	"hermit/internal/server"
 	"hermit/internal/storage"
 	"hermit/internal/trstree"
 	"hermit/internal/workload"
@@ -374,4 +376,64 @@ var (
 	QueryGen = workload.QueryGen
 	// PointGen yields uniform point predicates.
 	PointGen = workload.PointGen
+)
+
+// Serving tier: hermitd's server and client (cmd/hermitd wraps Server in
+// a daemon; dial it with Dial). The wire protocol lives in
+// internal/server/proto; Server and Conn are the supported surfaces.
+type (
+	// Server serves a DurableDB over the length-prefixed binary protocol
+	// (with an optional HTTP/JSON fallback endpoint): per-connection
+	// sessions, read pipelining into the batch executor, admission
+	// control, per-tenant namespaces with op quotas, graceful drain.
+	Server = server.Server
+	// ServerOptions tunes a Server (admission limits, queue depth,
+	// tenant quotas, drain timeout, HTTP fallback address).
+	ServerOptions = server.Options
+	// ServerStats is a snapshot of a Server's counters.
+	ServerStats = server.StatsSnapshot
+	// ClientConn is one client session on a hermitd server. Not safe for
+	// concurrent use; open one per goroutine.
+	ClientConn = client.Conn
+	// ClientOptions configures Dial (tenant namespace, dial timeout).
+	ClientOptions = client.Options
+	// ClientTxn is a server-side transaction driven over the wire.
+	ClientTxn = client.Txn
+	// ClientPipeline queues requests client-side and flushes them as one
+	// burst, which the server coalesces into batch executions.
+	ClientPipeline = client.Pipeline
+	// ClientOp is one operation inside a client-side batch.
+	ClientOp = client.Op
+	// ClientResult is one operation's outcome inside a batch or pipeline.
+	ClientResult = client.Result
+)
+
+// Serving-tier constructors and sentinel errors.
+var (
+	// NewServer wraps an open DurableDB in a Server; start it with
+	// Server.Serve or Server.Start and stop it with Server.Close.
+	NewServer = server.New
+	// Dial connects a client session to a hermitd address.
+	Dial = client.Dial
+	// ErrOverloaded reports an admission-control rejection.
+	ErrOverloaded = client.ErrOverloaded
+	// ErrQuota reports an exhausted tenant op quota.
+	ErrQuota = client.ErrQuota
+	// ErrConflict reports a first-committer-wins write-write conflict.
+	ErrConflict = client.ErrConflict
+	// ErrAborted reports an op whose atomic batch was aborted by a
+	// sibling mutation.
+	ErrAborted = client.ErrAborted
+	// ErrNoTable reports a missing table in the tenant's namespace.
+	ErrNoTable = client.ErrNoTable
+)
+
+// Client-side batch op kinds (ClientOp.Kind).
+const (
+	ClientOpPoint  = client.OpPoint
+	ClientOpRange  = client.OpRange
+	ClientOpRange2 = client.OpRange2
+	ClientOpInsert = client.OpInsert
+	ClientOpUpdate = client.OpUpdate
+	ClientOpDelete = client.OpDelete
 )

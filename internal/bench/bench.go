@@ -122,6 +122,7 @@ var Registry = []Experiment{
 	{"advisor", "Self-tuning: advisor auto-indexing and planner re-routing", RunAdvisor},
 	{"partition", "Hash partitioning: scatter-gather throughput vs partitions x goroutines", RunPartition},
 	{"txn", "MVCC transactions: scan-under-writes, abort rate, snapshot overhead", RunTxn},
+	{"server", "Network serving tier: loopback throughput/latency vs clients", RunServer},
 }
 
 // ByID returns the experiment with the given id.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"hermit/internal/engine"
@@ -34,6 +35,8 @@ type advisorReport struct {
 	Experiment         string              `json:"experiment"`
 	Rows               int                 `json:"rows"`
 	Scale              float64             `json:"scale"`
+	NumCPU             int                 `json:"num_cpu"`
+	GOMAXPROCS         int                 `json:"gomaxprocs"`
 	MeasureForMS       int64               `json:"measure_for_ms"`
 	Seed               int64               `json:"seed"`
 	BeforeOpsPerSec    float64             `json:"before_ops_per_sec"`
@@ -77,6 +80,8 @@ func RunAdvisor(cfg Config) error {
 		Experiment:   "advisor",
 		Rows:         n,
 		Scale:        cfg.Scale,
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		MeasureForMS: cfg.MeasureFor.Milliseconds(),
 		Seed:         cfg.Seed,
 	}

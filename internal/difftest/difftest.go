@@ -13,7 +13,10 @@
 // routing, the hash-partitioned scatter-gather table, and durable
 // databases — plain and partitioned — that are closed, reopened and
 // checkpointed mid-stream, asserting the recovered state still matches the
-// oracle row for row. It is driven by `go test ./internal/difftest` with
+// oracle row for row, and the network serving tier: the same stream
+// replayed over loopback TCP through the client package against a hermitd
+// server that is drained and restarted mid-stream.
+// It is driven by `go test ./internal/difftest` with
 // the -difftest.ops flag scaling the stream length (CI runs ≥10k ops per
 // configuration under -race).
 package difftest
@@ -51,6 +54,7 @@ var Configs = []string{
 	"durable-partitioned", // partitioned durable table, close/reopen mid-stream
 	"txn",                 // atomic multi-op batches vs an all-or-nothing oracle (durable)
 	"snapshot-scan",       // concurrent reader asserting no scan observes a partial batch
+	"server",              // op stream replayed over loopback TCP through the serving tier
 }
 
 // schema is the generated table shape: col 0 is the primary key, col 1 the
@@ -420,6 +424,8 @@ func build(cfgName string, cfg Config, s schema) (system, error) {
 			return nil, err
 		}
 		return &partSystem{pt: pt}, nil
+	case "server":
+		return buildServer(cfg, s)
 	case "durable", "durable-partitioned":
 		d, err := engine.OpenDurable(cfg.Dir, hermit.PhysicalPointers)
 		if err != nil {

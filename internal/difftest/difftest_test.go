@@ -24,7 +24,8 @@ func TestDifferential(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/seed=%d", cfgName, seed), func(t *testing.T) {
 				t.Parallel()
 				cfg := Config{Seed: seed, Ops: *difftestOps, Partitions: 2 + int(seed)%3}
-				if cfgName == "durable" || cfgName == "durable-partitioned" || cfgName == "txn" {
+				if cfgName == "durable" || cfgName == "durable-partitioned" ||
+					cfgName == "txn" || cfgName == "server" {
 					cfg.Dir = t.TempDir()
 				}
 				if err := Run(cfgName, cfg); err != nil {

@@ -1,0 +1,723 @@
+// Package proto is the hermitd wire protocol: length-prefixed binary
+// frames carrying versioned request/response messages for the full
+// operation surface (point/range/range2 queries, insert/update/delete,
+// atomic batches, txn-begin/commit/rollback, DDL, hello/ping).
+//
+// Layering: this package knows nothing about sockets, sessions or the
+// engine — it only turns messages into bytes and back. internal/server
+// speaks it on the server side, internal/client on the client side, and
+// the framing is strict enough to fuzz in isolation (see fuzz_test.go).
+//
+// # Frame layout
+//
+//	u32  payload length (little-endian; 0 < length <= MaxFrame)
+//	u8   protocol version (Version)
+//	u8   message type
+//	...  type-specific body
+//
+// Every multi-byte integer is little-endian; floats are IEEE-754 bits.
+// Strings are u16 length + bytes; float slices are u32 count + values.
+// A decoder never reads past the declared payload length, and a payload
+// with trailing bytes after the body is rejected — the two properties
+// that keep a pipelined stream parseable after any single bad frame is
+// refused at the framing layer.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the protocol version this package speaks. A frame carrying
+// any other version is rejected with ErrVersion: versioned message types
+// let a future server accept several versions side by side.
+const Version = 1
+
+// MaxFrame bounds a frame's payload length (16 MiB): the framing layer's
+// defence against a hostile or corrupt length prefix allocating gigabytes.
+const MaxFrame = 1 << 24
+
+// maxString bounds any encoded string (table names, tenant names, error
+// messages).
+const maxString = 1 << 12
+
+// Framing and decoding errors.
+var (
+	// ErrFrameTooLarge: the length prefix exceeds MaxFrame (or is zero).
+	ErrFrameTooLarge = errors.New("proto: frame length out of range")
+	// ErrVersion: the frame carries an unsupported protocol version.
+	ErrVersion = errors.New("proto: unsupported protocol version")
+	// ErrTruncated: the payload ended before the message body did.
+	ErrTruncated = errors.New("proto: truncated message")
+	// ErrTrailing: the payload continues past the message body.
+	ErrTrailing = errors.New("proto: trailing bytes after message")
+	// ErrBadMessage: unknown message type, nested batch, or a field out
+	// of range.
+	ErrBadMessage = errors.New("proto: malformed message")
+)
+
+// ReqType identifies a client-to-server message.
+type ReqType uint8
+
+// Request message types.
+const (
+	// ReqHello opens a session, naming the tenant namespace.
+	ReqHello ReqType = 1
+	// ReqPing is a no-op round trip (liveness, latency probes).
+	ReqPing ReqType = 2
+	// ReqPoint is a single-column equality query (Col, Lo as the value).
+	ReqPoint ReqType = 3
+	// ReqRange is a single-column range query (Col, [Lo, Hi]).
+	ReqRange ReqType = 4
+	// ReqRange2 is a conjunctive two-column range query.
+	ReqRange2 ReqType = 5
+	// ReqInsert appends Row to Table.
+	ReqInsert ReqType = 6
+	// ReqUpdate sets column Col of the row with primary key PK to Value.
+	ReqUpdate ReqType = 7
+	// ReqDelete removes the row with primary key PK.
+	ReqDelete ReqType = 8
+	// ReqBatch executes Ops as one atomic batch (see engine.ExecuteBatch).
+	ReqBatch ReqType = 9
+	// ReqTxnBegin opens a server-side transaction; the response carries
+	// its id, which subsequent requests reference via Txn.
+	ReqTxnBegin ReqType = 10
+	// ReqTxnCommit commits the transaction Txn.
+	ReqTxnCommit ReqType = 11
+	// ReqTxnRollback discards the transaction Txn.
+	ReqTxnRollback ReqType = 12
+	// ReqCreateTable creates a table (Cols, PKCol) in the session tenant's
+	// namespace.
+	ReqCreateTable ReqType = 13
+	// ReqCreateIndex creates an index (Kind, Col, Host) on Table.
+	ReqCreateIndex ReqType = 14
+)
+
+// IndexKind selects the index mechanism in a ReqCreateIndex.
+type IndexKind uint8
+
+// Index kinds a client can request.
+const (
+	// IndexBTree is a complete secondary B+-tree.
+	IndexBTree IndexKind = 0
+	// IndexHermit is a succinct Hermit index on Col through host Host.
+	IndexHermit IndexKind = 1
+)
+
+// Request is one decoded client-to-server message. Only the fields of the
+// given Type are meaningful; the rest stay zero. One struct (rather than
+// one type per message) keeps the server's dispatch and the batch
+// encoding — Ops are Requests — flat.
+type Request struct {
+	Type ReqType
+	// Txn references an open server-side transaction (0 = auto-commit).
+	Txn uint64
+	// Table names the target table in the session tenant's namespace.
+	Table string
+	// Col is the query/update column; Lo doubles as the point value and
+	// the update/delete primary key is PK.
+	Col    uint16
+	Lo, Hi float64
+	// BCol/BLo/BHi are the second predicate of a ReqRange2.
+	BCol     uint16
+	BLo, BHi float64
+	// Row is the inserted row (ReqInsert).
+	Row []float64
+	// PK is the target primary key (ReqUpdate, ReqDelete).
+	PK float64
+	// Value is the new column value (ReqUpdate).
+	Value float64
+	// Ops are the batch operations (ReqBatch; no nested batches).
+	Ops []Request
+	// Tenant is the namespace a ReqHello binds the session to.
+	Tenant string
+	// Cols, PKCol and Parts describe a ReqCreateTable (Parts 0 = plain
+	// table, >= 1 = hash-partitioned).
+	Cols  []string
+	PKCol uint16
+	Parts uint16
+	// Kind and Host describe a ReqCreateIndex.
+	Kind IndexKind
+	Host uint16
+}
+
+// RespType identifies a server-to-client message.
+type RespType uint8
+
+// Response message types.
+const (
+	// RespOK acknowledges a request with no payload.
+	RespOK RespType = 64
+	// RespRows carries a query's matching rows.
+	RespRows RespType = 65
+	// RespFound carries a delete's found flag.
+	RespFound RespType = 66
+	// RespTxn carries a fresh transaction id.
+	RespTxn RespType = 67
+	// RespBatch carries one nested response per batch op.
+	RespBatch RespType = 68
+	// RespError reports a failure (Code + Msg).
+	RespError RespType = 69
+)
+
+// ErrCode classifies a RespError so clients can map failures onto
+// sentinel errors without parsing message text.
+type ErrCode uint8
+
+// Error codes.
+const (
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal ErrCode = 1
+	// CodeBadRequest: the request was malformed or referenced an unknown
+	// message type.
+	CodeBadRequest ErrCode = 2
+	// CodeOverloaded: admission control shed the request (max in-flight
+	// reached); the client should back off and retry.
+	CodeOverloaded ErrCode = 3
+	// CodeQuota: the tenant exhausted its operation quota.
+	CodeQuota ErrCode = 4
+	// CodeConflict: first-committer-wins write-write conflict.
+	CodeConflict ErrCode = 5
+	// CodeAborted: a sibling mutation aborted this op's atomic batch.
+	CodeAborted ErrCode = 6
+	// CodeNoTable: the named table does not exist in this namespace.
+	CodeNoTable ErrCode = 7
+	// CodeTxnUnknown: the referenced transaction id is not open.
+	CodeTxnUnknown ErrCode = 8
+	// CodeDraining: the server is shutting down and refuses new work.
+	CodeDraining ErrCode = 9
+	// CodeDupKey: an insert collided with an existing primary key (or a
+	// create-table with an existing table).
+	CodeDupKey ErrCode = 10
+)
+
+// Response is one decoded server-to-client message. Like Request, only
+// the fields of the given Type are meaningful.
+type Response struct {
+	Type RespType
+	// Rows are a query's matching rows (uniform width).
+	Rows [][]float64
+	// Found is a delete's outcome.
+	Found bool
+	// Txn is the id RespTxn returns.
+	Txn uint64
+	// Results are the per-op responses of a RespBatch (no nesting).
+	Results []Response
+	// Code and Msg describe a RespError.
+	Code ErrCode
+	Msg  string
+}
+
+// --- encoding ------------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) ([]byte, error) {
+	if len(s) > maxString {
+		return nil, fmt.Errorf("%w: string length %d", ErrBadMessage, len(s))
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...), nil
+}
+
+func appendFloats(b []byte, vals []float64) []byte {
+	b = appendU32(b, uint32(len(vals)))
+	for _, v := range vals {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// appendRequestBody encodes r's type byte and body. nested marks batch
+// ops, which may not themselves be batches or session control messages.
+func appendRequestBody(b []byte, r *Request, nested bool) ([]byte, error) {
+	var err error
+	b = append(b, byte(r.Type))
+	if nested {
+		switch r.Type {
+		case ReqPoint, ReqRange, ReqRange2, ReqInsert, ReqUpdate, ReqDelete:
+		default:
+			return nil, fmt.Errorf("%w: type %d inside a batch", ErrBadMessage, r.Type)
+		}
+	}
+	switch r.Type {
+	case ReqHello:
+		return appendStr(b, r.Tenant)
+	case ReqPing, ReqTxnBegin:
+		return b, nil
+	case ReqPoint:
+		b = appendU64(b, r.Txn)
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		b = appendU16(b, r.Col)
+		return appendF64(b, r.Lo), nil
+	case ReqRange:
+		b = appendU64(b, r.Txn)
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		b = appendU16(b, r.Col)
+		return appendF64(appendF64(b, r.Lo), r.Hi), nil
+	case ReqRange2:
+		b = appendU64(b, r.Txn)
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		b = appendU16(b, r.Col)
+		b = appendF64(appendF64(b, r.Lo), r.Hi)
+		b = appendU16(b, r.BCol)
+		return appendF64(appendF64(b, r.BLo), r.BHi), nil
+	case ReqInsert:
+		b = appendU64(b, r.Txn)
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		return appendFloats(b, r.Row), nil
+	case ReqUpdate:
+		b = appendU64(b, r.Txn)
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		b = appendF64(b, r.PK)
+		b = appendU16(b, r.Col)
+		return appendF64(b, r.Value), nil
+	case ReqDelete:
+		b = appendU64(b, r.Txn)
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		return appendF64(b, r.PK), nil
+	case ReqBatch:
+		b = appendU32(b, uint32(len(r.Ops)))
+		for i := range r.Ops {
+			if b, err = appendRequestBody(b, &r.Ops[i], true); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case ReqTxnCommit, ReqTxnRollback:
+		return appendU64(b, r.Txn), nil
+	case ReqCreateTable:
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		b = appendU16(b, r.PKCol)
+		b = appendU16(b, r.Parts)
+		b = appendU16(b, uint16(len(r.Cols)))
+		for _, c := range r.Cols {
+			if b, err = appendStr(b, c); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case ReqCreateIndex:
+		if b, err = appendStr(b, r.Table); err != nil {
+			return nil, err
+		}
+		b = append(b, byte(r.Kind))
+		b = appendU16(b, r.Col)
+		return appendU16(b, r.Host), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown request type %d", ErrBadMessage, r.Type)
+	}
+}
+
+// appendResponseBody encodes r's type byte and body.
+func appendResponseBody(b []byte, r *Response, nested bool) ([]byte, error) {
+	var err error
+	b = append(b, byte(r.Type))
+	if nested && r.Type == RespBatch {
+		return nil, fmt.Errorf("%w: nested batch response", ErrBadMessage)
+	}
+	switch r.Type {
+	case RespOK:
+		return b, nil
+	case RespRows:
+		width := 0
+		if len(r.Rows) > 0 {
+			width = len(r.Rows[0])
+		}
+		b = appendU32(b, uint32(len(r.Rows)))
+		b = appendU16(b, uint16(width))
+		for _, row := range r.Rows {
+			if len(row) != width {
+				return nil, fmt.Errorf("%w: ragged row set", ErrBadMessage)
+			}
+			for _, v := range row {
+				b = appendF64(b, v)
+			}
+		}
+		return b, nil
+	case RespFound:
+		if r.Found {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	case RespTxn:
+		return appendU64(b, r.Txn), nil
+	case RespBatch:
+		b = appendU32(b, uint32(len(r.Results)))
+		for i := range r.Results {
+			if b, err = appendResponseBody(b, &r.Results[i], true); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case RespError:
+		b = append(b, byte(r.Code))
+		return appendStr(b, r.Msg)
+	default:
+		return nil, fmt.Errorf("%w: unknown response type %d", ErrBadMessage, r.Type)
+	}
+}
+
+// appendFrame wraps an encoded payload in the length prefix.
+func appendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	dst = appendU32(dst, uint32(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// AppendRequest appends r as one complete frame (length prefix included).
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	payload, err := appendRequestBody([]byte{Version}, r, false)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(dst, payload)
+}
+
+// AppendResponse appends r as one complete frame (length prefix included).
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	payload, err := appendResponseBody([]byte{Version}, r, false)
+	if err != nil {
+		return nil, err
+	}
+	return appendFrame(dst, payload)
+}
+
+// WriteRequest writes r to w as one frame.
+func WriteRequest(w io.Writer, r *Request) error {
+	b, err := AppendRequest(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteResponse writes r to w as one frame.
+func WriteResponse(w io.Writer, r *Response) error {
+	b, err := AppendResponse(nil, r)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// --- decoding ------------------------------------------------------------
+
+// cursor is a bounds-checked little-endian reader over one payload. Every
+// accessor reports truncation through the sticky err instead of panicking
+// or reading out of range — the property FuzzDecodeFrame pins.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = ErrTruncated
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil || n < 0 || len(c.b)-c.off < n {
+		c.fail()
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	if b := c.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (c *cursor) u16() uint16 {
+	if b := c.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (c *cursor) u32() uint32 {
+	if b := c.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (c *cursor) u64() uint64 {
+	if b := c.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) str() string {
+	n := int(c.u16())
+	if n > maxString {
+		if c.err == nil {
+			c.err = fmt.Errorf("%w: string length %d", ErrBadMessage, n)
+		}
+		return ""
+	}
+	if b := c.take(n); b != nil {
+		return string(b)
+	}
+	return ""
+}
+
+// floats reads a u32-counted float slice, validating the count against the
+// remaining bytes before allocating (a hostile count cannot force a huge
+// allocation).
+func (c *cursor) floats() []float64 {
+	n := int(c.u32())
+	if c.err != nil {
+		return nil
+	}
+	if len(c.b)-c.off < n*8 || n < 0 {
+		c.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c.f64()
+	}
+	return out
+}
+
+// done rejects payloads with bytes left over after the message body.
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.b) {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// decodeRequestBody parses one type byte + body from c.
+func decodeRequestBody(c *cursor, nested bool) (Request, error) {
+	var r Request
+	r.Type = ReqType(c.u8())
+	if nested {
+		switch r.Type {
+		case ReqPoint, ReqRange, ReqRange2, ReqInsert, ReqUpdate, ReqDelete:
+		default:
+			return r, fmt.Errorf("%w: type %d inside a batch", ErrBadMessage, r.Type)
+		}
+	}
+	switch r.Type {
+	case ReqHello:
+		r.Tenant = c.str()
+	case ReqPing, ReqTxnBegin:
+	case ReqPoint:
+		r.Txn, r.Table, r.Col, r.Lo = c.u64(), c.str(), c.u16(), c.f64()
+	case ReqRange:
+		r.Txn, r.Table, r.Col = c.u64(), c.str(), c.u16()
+		r.Lo, r.Hi = c.f64(), c.f64()
+	case ReqRange2:
+		r.Txn, r.Table, r.Col = c.u64(), c.str(), c.u16()
+		r.Lo, r.Hi = c.f64(), c.f64()
+		r.BCol, r.BLo, r.BHi = c.u16(), c.f64(), c.f64()
+	case ReqInsert:
+		r.Txn, r.Table, r.Row = c.u64(), c.str(), c.floats()
+	case ReqUpdate:
+		r.Txn, r.Table, r.PK = c.u64(), c.str(), c.f64()
+		r.Col, r.Value = c.u16(), c.f64()
+	case ReqDelete:
+		r.Txn, r.Table, r.PK = c.u64(), c.str(), c.f64()
+	case ReqBatch:
+		n := int(c.u32())
+		// Each op carries at least a type byte: a count beyond the
+		// remaining bytes is structurally impossible.
+		if c.err == nil && (n < 0 || n > len(c.b)-c.off) {
+			return r, fmt.Errorf("%w: batch op count %d", ErrBadMessage, n)
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			op, err := decodeRequestBody(c, true)
+			if err != nil {
+				return r, err
+			}
+			r.Ops = append(r.Ops, op)
+		}
+	case ReqTxnCommit, ReqTxnRollback:
+		r.Txn = c.u64()
+	case ReqCreateTable:
+		r.Table, r.PKCol, r.Parts = c.str(), c.u16(), c.u16()
+		n := int(c.u16())
+		for i := 0; i < n && c.err == nil; i++ {
+			r.Cols = append(r.Cols, c.str())
+		}
+	case ReqCreateIndex:
+		r.Table = c.str()
+		r.Kind = IndexKind(c.u8())
+		r.Col, r.Host = c.u16(), c.u16()
+		if c.err == nil && r.Kind > IndexHermit {
+			return r, fmt.Errorf("%w: index kind %d", ErrBadMessage, r.Kind)
+		}
+	default:
+		return r, fmt.Errorf("%w: unknown request type %d", ErrBadMessage, r.Type)
+	}
+	return r, c.err
+}
+
+// decodeResponseBody parses one type byte + body from c.
+func decodeResponseBody(c *cursor, nested bool) (Response, error) {
+	var r Response
+	r.Type = RespType(c.u8())
+	if nested && r.Type == RespBatch {
+		return r, fmt.Errorf("%w: nested batch response", ErrBadMessage)
+	}
+	switch r.Type {
+	case RespOK:
+	case RespRows:
+		n, width := int(c.u32()), int(c.u16())
+		if c.err == nil && (n < 0 || width < 0 || (width > 0 && n > (len(c.b)-c.off)/(width*8))) {
+			c.fail()
+			return r, c.err
+		}
+		if c.err == nil && width == 0 && n != 0 {
+			return r, fmt.Errorf("%w: %d zero-width rows", ErrBadMessage, n)
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			row := make([]float64, width)
+			for j := range row {
+				row[j] = c.f64()
+			}
+			r.Rows = append(r.Rows, row)
+		}
+	case RespFound:
+		r.Found = c.u8() != 0
+	case RespTxn:
+		r.Txn = c.u64()
+	case RespBatch:
+		n := int(c.u32())
+		if c.err == nil && (n < 0 || n > len(c.b)-c.off) {
+			return r, fmt.Errorf("%w: batch result count %d", ErrBadMessage, n)
+		}
+		for i := 0; i < n && c.err == nil; i++ {
+			res, err := decodeResponseBody(c, true)
+			if err != nil {
+				return r, err
+			}
+			r.Results = append(r.Results, res)
+		}
+	case RespError:
+		r.Code = ErrCode(c.u8())
+		r.Msg = c.str()
+	default:
+		return r, fmt.Errorf("%w: unknown response type %d", ErrBadMessage, r.Type)
+	}
+	return r, c.err
+}
+
+// DecodeRequest parses one frame payload (version byte onward — the bytes
+// ReadFrame returns). The whole payload must be consumed.
+func DecodeRequest(payload []byte) (Request, error) {
+	c, err := payloadCursor(payload)
+	if err != nil {
+		return Request{}, err
+	}
+	r, err := decodeRequestBody(c, false)
+	if err != nil {
+		return r, err
+	}
+	return r, c.done()
+}
+
+// DecodeResponse parses one frame payload (version byte onward).
+func DecodeResponse(payload []byte) (Response, error) {
+	c, err := payloadCursor(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	r, err := decodeResponseBody(c, false)
+	if err != nil {
+		return r, err
+	}
+	return r, c.done()
+}
+
+func payloadCursor(payload []byte) (*cursor, error) {
+	if len(payload) == 0 {
+		return nil, ErrTruncated
+	}
+	if payload[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, payload[0])
+	}
+	return &cursor{b: payload[1:]}, nil
+}
+
+// ReadFrame reads exactly one frame from r and returns its payload
+// (version byte onward). It reads the 4-byte length prefix and then
+// exactly that many bytes — never more, so a bad frame cannot desync the
+// caller's stream position past its own declared length.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadRequest reads and decodes one request frame.
+func ReadRequest(r io.Reader) (Request, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(payload)
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r io.Reader) (Response, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(payload)
+}

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"bufio"
+	"net"
+
+	"hermit/internal/engine"
+	"hermit/internal/server/proto"
+)
+
+// session is one client connection: a reader goroutine that decodes
+// frames into a queue, and an executor (serve) that drains the queue,
+// executes, and writes responses in request order.
+//
+// The queue is what makes pipelining work: a client may write hundreds of
+// frames before reading a single response, and the reader keeps decoding
+// while the executor works. The executor coalesces runs of consecutive
+// auto-commit reads into one ExecuteBatch call (see backend.runReads), so
+// a pipelined point-query storm executes on the engine's worker pool
+// under a single shared snapshot instead of as N serial queries.
+//
+// Admission control happens at enqueue: each queued request holds one
+// server-wide inflight token until its response is written. When no token
+// is available the request is still queued — as a pre-rejected marker, so
+// responses stay in order — but never executed.
+type session struct {
+	srv  *server
+	conn net.Conn
+	bw   *bufio.Writer
+
+	tenant string
+	quota  *tenantQuota
+
+	// txns maps wire transaction ids to open engine transactions. Owned
+	// by the executor goroutine; cleaned up (rolled back, snapshots
+	// released) on any exit path so an abruptly dropped connection cannot
+	// pin the GC horizon.
+	txns   map[uint64]*engine.DurableTxn
+	nextTx uint64
+}
+
+// maxCoalesce bounds one coalesced read batch (and thus response latency
+// for the op at the head of the run).
+const maxCoalesce = 64
+
+// maxOpenTxns bounds a session's concurrently open transactions: each
+// pins a snapshot, so an unbounded map would let one client stall GC.
+const maxOpenTxns = 64
+
+// queued is one queue entry: a decoded request, or a pre-rejected one.
+type queued struct {
+	req      proto.Request
+	rejected *proto.Response // non-nil: skip execution, write this
+	admitted bool            // holds one inflight token
+}
+
+// serve runs the session to completion. It is the executor; it spawns the
+// reader and owns all writes to the connection and all token releases for
+// consumed queue entries.
+func (s *session) serve() {
+	defer s.srv.wg.Done()
+	defer s.srv.stats.ConnsActive.Add(-1)
+	defer s.srv.unregister(s.conn)
+	defer s.conn.Close()
+	defer s.cleanup()
+
+	q := make(chan queued, s.srv.opts.QueueDepth)
+	go s.read(q)
+
+	var carry *queued
+	writable := true
+	for writable {
+		var item queued
+		if carry != nil {
+			item, carry = *carry, nil
+		} else {
+			it, ok := <-q
+			if !ok {
+				break
+			}
+			item = it
+		}
+		s.srv.stats.Requests.Add(1)
+		switch {
+		case item.rejected != nil:
+			writable = s.write(*item.rejected)
+		case isAutoRead(&item.req):
+			writable, carry = s.runCoalesced(item, q)
+		default:
+			resp := s.handleOne(&item.req)
+			writable = s.write(resp)
+			if item.admitted {
+				s.srv.releaseInflight()
+			}
+		}
+	}
+	if carry != nil && carry.admitted {
+		s.srv.releaseInflight()
+	}
+	// The reader may still be running (executor stopped on a write
+	// error): closing the connection in the deferred chain unblocks it;
+	// meanwhile drain the queue so enqueues never block and every token
+	// is returned.
+	s.conn.Close()
+	for item := range q {
+		if item.admitted {
+			s.srv.releaseInflight()
+		}
+	}
+}
+
+// read decodes frames into q until the connection fails, the server
+// drains, or a frame is malformed. It closes q on exit.
+func (s *session) read(q chan queued) {
+	defer close(q)
+	br := bufio.NewReaderSize(s.conn, 64<<10)
+	for {
+		if s.srv.draining.Load() {
+			return
+		}
+		req, err := proto.ReadRequest(br)
+		if err != nil {
+			// A clean EOF is the client hanging up; anything else —
+			// malformed frame, bad version, torn read — also ends the
+			// session (framing errors are not recoverable mid-stream
+			// without trusting the hostile length prefix just refused).
+			return
+		}
+		item := queued{req: req}
+		if s.srv.acquireInflight() {
+			item.admitted = true
+		} else {
+			s.srv.stats.Rejected.Add(1)
+			r := proto.Response{Type: proto.RespError, Code: proto.CodeOverloaded,
+				Msg: "server overloaded; retry later"}
+			item.rejected = &r
+		}
+		q <- item
+	}
+}
+
+// isAutoRead reports whether a request is an auto-commit read — the
+// coalescable kind.
+func isAutoRead(r *proto.Request) bool {
+	if r.Txn != 0 {
+		return false
+	}
+	switch r.Type {
+	case proto.ReqPoint, proto.ReqRange, proto.ReqRange2:
+		return true
+	}
+	return false
+}
+
+// runCoalesced executes first plus any auto-commit reads already queued
+// behind it (up to maxCoalesce) as one batch, writing responses in order.
+// A non-coalescable entry encountered first is returned as carry for the
+// main loop. It releases the tokens of every entry it consumed.
+func (s *session) runCoalesced(first queued, q chan queued) (writable bool, carry *queued) {
+	items := []queued{first}
+gather:
+	for len(items) < maxCoalesce {
+		select {
+		case it, ok := <-q:
+			if !ok {
+				break gather
+			}
+			if it.rejected == nil && isAutoRead(&it.req) {
+				s.srv.stats.Requests.Add(1)
+				items = append(items, it)
+				continue
+			}
+			carry = &it
+			break gather
+		default:
+			break gather
+		}
+	}
+
+	// Quota failures get positional error responses; the rest execute as
+	// one batch.
+	resps := make([]proto.Response, len(items))
+	var runIdx []int
+	var runReqs []proto.Request
+	for i := range items {
+		if resp, ok := s.checkQuota(&items[i].req); !ok {
+			resps[i] = resp
+		} else {
+			runIdx = append(runIdx, i)
+			runReqs = append(runReqs, items[i].req)
+		}
+	}
+	if len(runReqs) > 0 {
+		s.srv.stats.Coalesced.Add(int64(len(runReqs) - 1))
+		out := s.srv.backend.runReads(s.tenant, runReqs)
+		for k, i := range runIdx {
+			resps[i] = out[k]
+		}
+	}
+
+	writable = true
+	for i := range resps {
+		if writable {
+			writable = s.write(resps[i])
+		}
+		if items[i].admitted {
+			s.srv.releaseInflight()
+		}
+	}
+	return writable, carry
+}
+
+// checkQuota charges the request against the session tenant's op quota.
+func (s *session) checkQuota(r *proto.Request) (proto.Response, bool) {
+	cost := int64(1)
+	if r.Type == proto.ReqBatch {
+		cost = int64(len(r.Ops))
+	}
+	if s.quota != nil && !s.quota.charge(cost) {
+		s.srv.stats.QuotaRejected.Add(1)
+		return proto.Response{Type: proto.RespError, Code: proto.CodeQuota,
+			Msg: "tenant op quota exhausted"}, false
+	}
+	return proto.Response{}, true
+}
+
+// handleOne runs one non-coalesced request to a response.
+func (s *session) handleOne(r *proto.Request) proto.Response {
+	if resp, ok := s.checkQuota(r); !ok {
+		return resp
+	}
+	b := s.srv.backend
+	switch r.Type {
+	case proto.ReqHello:
+		if err := validTenant(r.Tenant); err != nil {
+			return errorResponse(err)
+		}
+		s.tenant = r.Tenant
+		s.quota = s.srv.quotaFor(r.Tenant)
+		return proto.Response{Type: proto.RespOK}
+	case proto.ReqPing:
+		return proto.Response{Type: proto.RespOK}
+	case proto.ReqPoint, proto.ReqRange, proto.ReqRange2:
+		// Only reachable with Txn != 0 (auto-commit reads coalesce).
+		tx, ok := s.txns[r.Txn]
+		if !ok {
+			return errorResponse(reject(proto.CodeTxnUnknown, "unknown txn %d", r.Txn))
+		}
+		return b.runTxnQuery(s.tenant, tx, r)
+	case proto.ReqInsert, proto.ReqUpdate, proto.ReqDelete:
+		if r.Txn != 0 {
+			tx, ok := s.txns[r.Txn]
+			if !ok {
+				return errorResponse(reject(proto.CodeTxnUnknown, "unknown txn %d", r.Txn))
+			}
+			return runTxnMutation(s.tenant, tx, r)
+		}
+		return b.runMutation(s.tenant, r)
+	case proto.ReqBatch:
+		if r.Txn != 0 {
+			return errorResponse(reject(proto.CodeBadRequest,
+				"batches are their own transaction; Txn must be 0"))
+		}
+		return b.runBatch(s.tenant, r)
+	case proto.ReqTxnBegin:
+		if s.srv.draining.Load() {
+			return errorResponse(reject(proto.CodeDraining, "server draining"))
+		}
+		if len(s.txns) >= maxOpenTxns {
+			return errorResponse(reject(proto.CodeBadRequest,
+				"session holds %d open transactions", len(s.txns)))
+		}
+		s.nextTx++
+		s.txns[s.nextTx] = b.d.Begin()
+		s.srv.stats.TxnsOpen.Add(1)
+		return proto.Response{Type: proto.RespTxn, Txn: s.nextTx}
+	case proto.ReqTxnCommit:
+		tx, ok := s.txns[r.Txn]
+		if !ok {
+			return errorResponse(reject(proto.CodeTxnUnknown, "unknown txn %d", r.Txn))
+		}
+		delete(s.txns, r.Txn)
+		s.srv.stats.TxnsOpen.Add(-1)
+		if err := tx.Commit(); err != nil {
+			return errorResponse(err)
+		}
+		return proto.Response{Type: proto.RespOK}
+	case proto.ReqTxnRollback:
+		tx, ok := s.txns[r.Txn]
+		if !ok {
+			return errorResponse(reject(proto.CodeTxnUnknown, "unknown txn %d", r.Txn))
+		}
+		delete(s.txns, r.Txn)
+		s.srv.stats.TxnsOpen.Add(-1)
+		tx.Rollback()
+		return proto.Response{Type: proto.RespOK}
+	case proto.ReqCreateTable, proto.ReqCreateIndex:
+		return b.runDDL(s.tenant, r)
+	}
+	return errorResponse(reject(proto.CodeBadRequest, "unknown request type %d", r.Type))
+}
+
+// write encodes one response frame. Flushing per response keeps one-shot
+// clients snappy; the bufio layer still batches a coalesced run's
+// responses written back-to-back.
+func (s *session) write(resp proto.Response) bool {
+	if err := proto.WriteResponse(s.bw, &resp); err != nil {
+		return false
+	}
+	return s.bw.Flush() == nil
+}
+
+// cleanup rolls back every transaction the session still holds. This is
+// the abrupt-disconnect path's GC-safety valve: Rollback releases each
+// transaction's snapshot registration, letting Clock.OldestActive advance
+// past it.
+func (s *session) cleanup() {
+	for id, tx := range s.txns {
+		tx.Rollback()
+		delete(s.txns, id)
+		s.srv.stats.TxnsOpen.Add(-1)
+	}
+}

@@ -1,0 +1,95 @@
+// Command benchcheck validates the machine-readable BENCH_*.json
+// artifacts the bench suite emits: every artifact must parse as JSON and
+// record the experiment id, the generation seed, and the CPU topology
+// (num_cpu, gomaxprocs) the numbers were measured under — without those
+// a stored artifact cannot be compared against a later run. CI runs it
+// after `make bench-all` via `make bench-check`; the multi-core lane
+// additionally pins the expected GOMAXPROCS.
+//
+// Usage:
+//
+//	go run ./internal/tools/benchcheck [-dir .] [-expect-gomaxprocs N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// artifact is the header every BENCH_*.json report shares; experiment
+// files carry more fields, which benchcheck deliberately ignores.
+type artifact struct {
+	Experiment string          `json:"experiment"`
+	Seed       *int64          `json:"seed"`
+	NumCPU     int             `json:"num_cpu"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Caveat     string          `json:"caveat"`
+	Raw        json.RawMessage `json:"-"`
+}
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "directory holding BENCH_*.json artifacts")
+		expect = flag.Int("expect-gomaxprocs", 0, "require every artifact to record this gomaxprocs (0 = only require presence)")
+	)
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: no BENCH_*.json artifacts in %s\n", *dir)
+		os.Exit(1)
+	}
+	sort.Strings(paths)
+
+	bad := 0
+	for _, path := range paths {
+		if err := check(path, *expect); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", filepath.Base(path), err)
+			bad++
+			continue
+		}
+		fmt.Printf("benchcheck: %s ok\n", filepath.Base(path))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d of %d artifacts failed\n", bad, len(paths))
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d artifacts ok\n", len(paths))
+}
+
+// check validates one artifact file.
+func check(path string, expectGomaxprocs int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var a artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if a.Experiment == "" {
+		return fmt.Errorf("missing \"experiment\"")
+	}
+	if a.Seed == nil {
+		return fmt.Errorf("missing \"seed\"")
+	}
+	if a.NumCPU <= 0 {
+		return fmt.Errorf("\"num_cpu\" is %d, want > 0", a.NumCPU)
+	}
+	if a.GOMAXPROCS <= 0 {
+		return fmt.Errorf("\"gomaxprocs\" is %d, want > 0", a.GOMAXPROCS)
+	}
+	if expectGomaxprocs > 0 && a.GOMAXPROCS != expectGomaxprocs {
+		return fmt.Errorf("\"gomaxprocs\" is %d, want %d (was the bench run with GOMAXPROCS set?)",
+			a.GOMAXPROCS, expectGomaxprocs)
+	}
+	return nil
+}
