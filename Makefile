@@ -15,7 +15,7 @@ STATICCHECK_VERSION = 2025.1.1
 
 # BENCH_EXPERIMENTS is every experiment whose BENCH_*.json artifact CI
 # records; bench-all runs them in one invocation after the fig4 smoke.
-BENCH_EXPERIMENTS = concurrency,durability,advisor,partition,txn,server
+BENCH_EXPERIMENTS = concurrency,durability,compaction,advisor,partition,txn,server
 
 # Propagate a `make bench-all GOMAXPROCS=4` override into the spawned
 # bench processes (make variables are not exported to children by
@@ -24,7 +24,7 @@ ifdef GOMAXPROCS
 export GOMAXPROCS
 endif
 
-.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-advisor bench-partition bench-txn bench-server fmt fmt-check vet staticcheck doc-check ci
+.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-compaction bench-advisor bench-partition bench-txn bench-server fmt fmt-check vet staticcheck doc-check ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,11 @@ bench-concurrency: build
 bench-durability: build
 	$(GO) run ./cmd/hermit-bench -exp durability
 
+# Block-storage sweep (checkpoint pause vs table size, steady-state write
+# amplification, bloom-gated cold reads) with BENCH_compaction.json.
+bench-compaction: build
+	$(GO) run ./cmd/hermit-bench -exp compaction
+
 # Advisor sweep (auto-indexing latency before/after, convergence time) with
 # BENCH_advisor.json.
 bench-advisor: build
@@ -129,6 +134,6 @@ staticcheck:
 # Godoc lint: every exported identifier in the public API and the engine
 # must carry a doc comment.
 doc-check:
-	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/advisor ./internal/partition ./internal/difftest ./internal/server ./internal/server/proto ./internal/client
+	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/block ./internal/advisor ./internal/partition ./internal/difftest ./internal/server ./internal/server/proto ./internal/client
 
 ci: fmt-check vet staticcheck doc-check cover build-examples bench-all bench-check difftest

@@ -119,6 +119,7 @@ var Registry = []Experiment{
 	{"ablation", "Ablations: sampling, range union, outlier buffer", Ablations},
 	{"concurrency", "Concurrent serving: throughput vs goroutines", RunConcurrency},
 	{"durability", "Durable inserts vs sync policy; recovery vs WAL length", RunDurability},
+	{"compaction", "Block tier: checkpoint pause vs table size; write amplification; bloom-gated cold reads", RunCompaction},
 	{"advisor", "Self-tuning: advisor auto-indexing and planner re-routing", RunAdvisor},
 	{"partition", "Hash partitioning: scatter-gather throughput vs partitions x goroutines", RunPartition},
 	{"txn", "MVCC transactions: scan-under-writes, abort rate, snapshot overhead", RunTxn},

@@ -45,8 +45,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
 		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
-		"concurrency", "durability", "advisor", "partition", "txn",
-		"server",
+		"concurrency", "durability", "compaction", "advisor", "partition",
+		"txn", "server",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -326,6 +326,82 @@ func TestSmokeDurability(t *testing.T) {
 		if p.WALRecords <= 0 || p.RecoveryMS <= 0 {
 			t.Fatalf("bad recovery point %+v", p)
 		}
+	}
+}
+
+func TestSmokeCompaction(t *testing.T) {
+	e, ok := ByID("compaction")
+	if !ok {
+		t.Fatal("compaction experiment not registered")
+	}
+	cfg := tinyConfig(t)
+	cfg.JSONDir = t.TempDir()
+	buf := &bytes.Buffer{}
+	cfg.Out = buf
+	if err := e.Run(cfg); err != nil {
+		t.Fatalf("compaction: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"checkpoint pause", "write amplification", "bloom"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compaction output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_compaction.json"))
+	if err != nil {
+		t.Fatalf("BENCH_compaction.json not written: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Pause      []struct {
+			TableRows         int     `json:"table_rows"`
+			DeltaRows         int     `json:"delta_rows"`
+			FullCheckpointMS  float64 `json:"full_checkpoint_ms"`
+			DeltaCheckpointMS float64 `json:"delta_checkpoint_ms"`
+		} `json:"checkpoint_pause"`
+		Amplification struct {
+			Flushes            int64   `json:"flushes"`
+			Compactions        int64   `json:"compactions"`
+			WriteAmplification float64 `json:"write_amplification"`
+			Blocks             int     `json:"blocks"`
+		} `json:"write_amplification"`
+		ColdReads []struct {
+			Kind         string  `json:"kind"`
+			Reads        int     `json:"reads"`
+			NSPerRead    float64 `json:"ns_per_read"`
+			BlocksProbed float64 `json:"blocks_probed_per_read"`
+		} `json:"cold_reads"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_compaction.json malformed: %v\n%s", err, data)
+	}
+	if rep.Experiment != "compaction" || len(rep.Pause) != 3 || len(rep.ColdReads) != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	for _, p := range rep.Pause {
+		if p.TableRows <= 0 || p.DeltaRows <= 0 || p.FullCheckpointMS <= 0 || p.DeltaCheckpointMS <= 0 {
+			t.Fatalf("bad pause point %+v", p)
+		}
+	}
+	if rep.Amplification.Flushes < 5 || rep.Amplification.Compactions < 1 ||
+		rep.Amplification.WriteAmplification < 1 || rep.Amplification.Blocks < 1 {
+		t.Fatalf("bad amplification point %+v", rep.Amplification)
+	}
+	// The bloom filters are the whole point of the absent-key row: reads
+	// that miss must probe (strictly) fewer blocks than reads that hit.
+	var hit, miss float64 = -1, -1
+	for _, p := range rep.ColdReads {
+		if p.Reads <= 0 || p.NSPerRead <= 0 {
+			t.Fatalf("bad cold-read point %+v", p)
+		}
+		if p.Kind == "present" {
+			hit = p.BlocksProbed
+		} else {
+			miss = p.BlocksProbed
+		}
+	}
+	if hit < 1 || miss < 0 || miss >= hit {
+		t.Fatalf("bloom skip not visible: hit probes %.2f, miss probes %.2f", hit, miss)
 	}
 }
 

@@ -1,0 +1,118 @@
+package block
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The bloom filter each block carries so point reads can skip blocks that
+// cannot contain a key, without loading their entries. The filter is sized
+// at bloomBitsPerKey bits per entry and probed with bloomHashes
+// double-hashed positions — roughly a 1% false-positive rate — and is
+// serialized inside the block file right after the fixed header, so a
+// reader can answer MaybeContains from the file prefix alone.
+
+const (
+	// bloomBitsPerKey sizes the filter (bits per distinct key).
+	bloomBitsPerKey = 10
+	// bloomHashes is the probe count per key (near-optimal for 10 bits/key).
+	bloomHashes = 7
+)
+
+// bloom is a fixed-size bloom filter over primary-key bit patterns.
+type bloom struct {
+	bits []byte
+}
+
+// newBloom sizes a filter for n keys (never zero-length, so the modulus in
+// probe positions is always valid).
+func newBloom(n int) *bloom {
+	nbits := n * bloomBitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloom{bits: make([]byte, (nbits+7)/8)}
+}
+
+// bloomFromBytes wraps a serialized filter. A nil/empty filter behaves as
+// "maybe contains everything" (no skipping), never as a false negative.
+func bloomFromBytes(raw []byte) *bloom {
+	return &bloom{bits: raw}
+}
+
+// keyBits normalises a primary key to the bit pattern used for hashing,
+// fences and sorting: -0 collapses onto +0 (the engine treats them as the
+// same key).
+func keyBits(pk float64) uint64 {
+	if pk == 0 {
+		pk = 0 // +0 and -0 are one key
+	}
+	return math.Float64bits(pk)
+}
+
+// keyOrder maps a key's bits onto a uint64 whose unsigned order is a total
+// order over float64s (negatives before positives, NaNs at the top), so
+// entries sort and binary-search consistently even for keys that ordinary
+// float comparison cannot order.
+func keyOrder(pk float64) uint64 {
+	b := keyBits(pk)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}
+
+// splitmix64 is the avalanche mixer used to derive probe positions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// add inserts a key.
+func (b *bloom) add(pk float64) {
+	h1 := splitmix64(keyBits(pk))
+	h2 := splitmix64(h1) | 1
+	m := uint64(len(b.bits)) * 8
+	for i := uint64(0); i < bloomHashes; i++ {
+		pos := (h1 + i*h2) % m
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// maybeContains reports whether pk could be in the set. False positives
+// are possible; false negatives are not.
+func (b *bloom) maybeContains(pk float64) bool {
+	if b == nil || len(b.bits) == 0 {
+		return true
+	}
+	h1 := splitmix64(keyBits(pk))
+	h2 := splitmix64(h1) | 1
+	m := uint64(len(b.bits)) * 8
+	for i := uint64(0); i < bloomHashes; i++ {
+		pos := (h1 + i*h2) % m
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendU32/appendU64/appendF64 are the little-endian encoding helpers the
+// block and blocklist writers share.
+func appendU32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}

@@ -1,0 +1,122 @@
+package block
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// The blocklist manifest: the ordered set of blocks per physical table
+// that, replayed oldest-to-newest, reconstructs the rows live at the
+// last flush cut. The durable layer writes one blocklist file per
+// checkpoint/compaction epoch and points the database manifest at it;
+// the blocklist file itself is immutable once written.
+
+// List is one physical table's ordered blocks, oldest first. Later
+// blocks win per key during replay.
+type List struct {
+	// Table is the physical table name (partition tables appear as their
+	// per-partition physical names).
+	Table string
+	// Blocks is the replay order, oldest first.
+	Blocks []Desc
+}
+
+// maxBlocklistTables/maxNameLen bound decoder allocations; both are far
+// above anything the engine writes.
+const (
+	maxBlocklistTables = 1 << 20
+	maxNameLen         = 1 << 10
+)
+
+// EncodeBlocklist serialises the per-table blocklists. Layout, all
+// little-endian:
+//
+//	magic "HBLL" + version
+//	u32 tableCount
+//	tableCount x ( u16 nameLen | name |
+//	               u32 blockCount |
+//	               blockCount x ( u64 id | u32 level | u64 count |
+//	                              u64 bytes | f64 minKey | f64 maxKey ) )
+//	u32 crc32 over everything after the magic
+func EncodeBlocklist(lists []List) ([]byte, error) {
+	out := append([]byte(nil), blocklistMagic...)
+	out = appendU32(out, uint32(len(lists)))
+	for _, l := range lists {
+		if len(l.Table) == 0 || len(l.Table) > maxNameLen {
+			return nil, fmt.Errorf("block: table name length %d out of range", len(l.Table))
+		}
+		out = append(out, byte(len(l.Table)), byte(len(l.Table)>>8))
+		out = append(out, l.Table...)
+		out = appendU32(out, uint32(len(l.Blocks)))
+		for _, d := range l.Blocks {
+			out = appendU64(out, d.ID)
+			out = appendU32(out, d.Level)
+			out = appendU64(out, d.Count)
+			out = appendU64(out, uint64(d.Bytes))
+			out = appendF64(out, d.MinKey)
+			out = appendF64(out, d.MaxKey)
+		}
+	}
+	return appendU32(out, crc32.ChecksumIEEE(out[len(blocklistMagic):])), nil
+}
+
+// DecodeBlocklist parses a blocklist manifest image. Wrong-magic input
+// is ErrBadFormat; anything structurally invalid under a valid magic is
+// ErrCorrupt. The decoder validates every count against the bytes
+// remaining before allocating and never reads past the buffer.
+func DecodeBlocklist(raw []byte) ([]List, error) {
+	c := &cursor{buf: raw}
+	c.checkMagic(blocklistMagic)
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.checkCRC(len(blocklistMagic))
+	nTables := int(c.u32())
+	if c.err != nil {
+		return nil, c.err
+	}
+	// Each table needs at least 6 bytes (nameLen + blockCount) plus a
+	// non-empty name.
+	if nTables > maxBlocklistTables || nTables > c.remaining()/7 {
+		return nil, ErrCorrupt
+	}
+	lists := make([]List, 0, nTables)
+	for i := 0; i < nTables; i++ {
+		nameLen := int(c.u16())
+		if c.err == nil && (nameLen == 0 || nameLen > maxNameLen) {
+			c.fail()
+		}
+		name := c.take(nameLen)
+		nBlocks := int(c.u32())
+		if c.err != nil {
+			return nil, c.err
+		}
+		// Each block descriptor is exactly 44 bytes.
+		if nBlocks > c.remaining()/44 {
+			return nil, ErrCorrupt
+		}
+		l := List{Table: string(name), Blocks: make([]Desc, 0, nBlocks)}
+		for j := 0; j < nBlocks; j++ {
+			d := Desc{
+				ID:    c.u64(),
+				Level: c.u32(),
+				Count: c.u64(),
+			}
+			d.Bytes = int64(c.u64())
+			d.MinKey = c.f64()
+			d.MaxKey = c.f64()
+			if c.err != nil {
+				return nil, c.err
+			}
+			if d.Bytes < 0 {
+				return nil, ErrCorrupt
+			}
+			l.Blocks = append(l.Blocks, d)
+		}
+		lists = append(lists, l)
+	}
+	if c.remaining() != 0 {
+		return nil, ErrCorrupt
+	}
+	return lists, nil
+}

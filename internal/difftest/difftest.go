@@ -55,6 +55,7 @@ var Configs = []string{
 	"txn",                 // atomic multi-op batches vs an all-or-nothing oracle (durable)
 	"snapshot-scan",       // concurrent reader asserting no scan observes a partial batch
 	"server",              // op stream replayed over loopback TCP through the serving tier
+	"blocks",              // durable engine under aggressive flush/compaction thresholds
 }
 
 // schema is the generated table shape: col 0 is the primary key, col 1 the
@@ -426,12 +427,22 @@ func build(cfgName string, cfg Config, s schema) (system, error) {
 		return &partSystem{pt: pt}, nil
 	case "server":
 		return buildServer(cfg, s)
-	case "durable", "durable-partitioned":
-		d, err := engine.OpenDurable(cfg.Dir, hermit.PhysicalPointers)
+	case "durable", "durable-partitioned", "blocks":
+		var opts engine.DurableOptions
+		if cfgName == "blocks" {
+			// Aggressive thresholds so a short stream still crosses every
+			// storage-tier edge: tiny WAL segments force rotating
+			// checkpoints, fan-in 2 makes every pair of delta blocks a
+			// compaction candidate, and the background compactor runs
+			// concurrently with the op stream on top of the forced
+			// mid-stream compactions the cycle adds.
+			opts = engine.DurableOptions{CompactFanIn: 2, WALRotateBytes: 1}
+		}
+		d, err := engine.OpenDurableOptions(cfg.Dir, hermit.PhysicalPointers, opts)
 		if err != nil {
 			return nil, err
 		}
-		ds := &durSystem{dir: cfg.Dir, d: d, name: "t"}
+		ds := &durSystem{dir: cfg.Dir, d: d, name: "t", opts: opts, compact: cfgName == "blocks"}
 		if cfgName == "durable-partitioned" {
 			ds.parts = parts
 			if err := d.CreatePartitionedTable("t", s.cols, 0, parts); err != nil {

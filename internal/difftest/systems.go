@@ -133,6 +133,13 @@ type durSystem struct {
 	name  string
 	parts int // 0 = unpartitioned
 
+	// opts carries the storage tuning across reopens; compact forces a
+	// full checkpoint + compaction drain on every cycle (the "blocks"
+	// configuration), so recovery is exercised against a blocklist that
+	// mixes fresh delta blocks with merged higher-level ones.
+	opts    engine.DurableOptions
+	compact bool
+
 	d  *engine.DurableDB
 	tb *engine.Table    // bound when parts == 0
 	pt *partition.Table // bound when parts > 0
@@ -191,17 +198,30 @@ func (s *durSystem) state() (map[float64][]float64, error) {
 
 // cycle optionally checkpoints, then closes and reopens the database —
 // the crash-free durability round trip — and rebinds the handles. A
-// recovery that skipped records is a divergence in itself.
+// recovery that skipped records is a divergence in itself. The "blocks"
+// configuration always checkpoints and then drains the compactor, so the
+// reopen replays a blocklist reshaped by merges mid-stream.
 func (s *durSystem) cycle(checkpoint bool) error {
-	if checkpoint {
+	if checkpoint || s.compact {
 		if err := s.d.Checkpoint(); err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if s.compact {
+		for {
+			merged, err := s.d.Compact()
+			if err != nil {
+				return fmt.Errorf("compact: %w", err)
+			}
+			if !merged {
+				break
+			}
 		}
 	}
 	if err := s.d.Close(); err != nil {
 		return fmt.Errorf("close: %w", err)
 	}
-	d, err := engine.OpenDurable(s.dir, hermit.PhysicalPointers)
+	d, err := engine.OpenDurableOptions(s.dir, hermit.PhysicalPointers, s.opts)
 	if err != nil {
 		return fmt.Errorf("reopen: %w", err)
 	}

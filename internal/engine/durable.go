@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hermit/internal/block"
 	"hermit/internal/hermit"
 	"hermit/internal/storage"
 	"hermit/internal/trstree"
@@ -21,17 +22,20 @@ import (
 )
 
 // DurableDB wraps the in-memory engine with the persistence scheme §6
-// sketches for main-memory RDBMSs: write-ahead logging plus checkpointing.
+// sketches for main-memory RDBMSs: write-ahead logging plus checkpointing
+// — here in tiered block form, so checkpoint cost tracks the write rate,
+// not the table size.
 //
 // Concurrency contract: DurableDB is safe for concurrent use. Mutations
 // (Insert/Delete/UpdateColumn and the batched ExecuteBatch) coordinate
 // through a reader/writer latch plus a per-primary-key stripe, so writers
-// on different keys proceed in parallel while Checkpoint and DDL quiesce
-// them; the WAL itself serialises frames through a single appender
-// goroutine with group commit. Queries may use the *Table returned by
-// Table directly — but mutations through that handle bypass both the log
-// and the durable layer's coordination, so they must go through the
-// DurableDB methods.
+// on different keys proceed in parallel; DDL quiesces them, and Checkpoint
+// holds the latch only for a short swap window while the block image is
+// written unlatched. The WAL itself serialises frames through a single
+// appender goroutine with group commit. Queries may use the *Table
+// returned by Table directly — but mutations through that handle bypass
+// both the log and the durable layer's coordination, so they must go
+// through the DurableDB methods.
 //
 // Durability protocol: every mutation is applied to the engine (which
 // validates it) and then appended to the WAL under its key's stripe, so a
@@ -41,38 +45,89 @@ import (
 // group-commit / sync-every-op); an acknowledged synced write is never
 // lost by a crash.
 //
-// Checkpoint persists a full image under the next checkpoint epoch —
-// per-table row files and a fresh WAL segment, all epoch-stamped — and
-// atomically publishes it by renaming the manifest, which records the
-// (epoch, WAL start position) pair recovery resumes from. Replay therefore
-// never double-applies on top of a checkpoint image: a crash anywhere in
-// Checkpoint leaves either the old manifest (old image + old WAL replayed
-// in full) or the new one (new image + the new, empty segment). Stale
-// epochs are garbage-collected on open and after each checkpoint.
+// Checkpoint is incremental: it harvests only the versions committed
+// since the last flush cut (Table.DeltaVersions) into one immutable,
+// sorted block file per changed physical table, then atomically publishes
+// a new epoch — a blocklist manifest naming every live block plus the
+// (WAL segment, offset) pair replay resumes from — by renaming
+// manifest.json. A crash anywhere leaves either the old manifest (old
+// blocks + old replay window, nothing lost) or the new one (new blocks +
+// the tail past the new cut), never a double apply. A background
+// compactor merges same-level block runs (size-tiered), dropping
+// superseded entries and bottom-level tombstones, and runs the MVCC
+// version-GC pass — both off the checkpoint critical path. The WAL
+// segment rotates only when it exceeds DurableOptions.WALRotateBytes;
+// rotation quiesces mutations for the whole flush (still only a delta)
+// so no acknowledged record can land in a segment the manifest no longer
+// replays.
 //
-// OpenDurable recovers by loading the manifest's checkpoint image,
-// truncating the current WAL segment to its last valid frame (so a
-// crash-torn tail can never shadow later appends), and replaying the tail.
+// OpenDurableOptions recovers by replaying the manifest's blocklist —
+// oldest block to newest, later entries winning per key — truncating the
+// current WAL segment to its last valid frame, and replaying the tail.
 // Records whose replay fails are counted and skipped — surfaced through
 // RecoverySkipped — rather than permanently aborting recovery. Indexes,
 // including Hermit's TRS-Trees, are rebuilt from their recorded
 // definitions, the cheap option the paper's construction numbers (§7.5)
-// justify.
+// justify. Manifests of earlier layouts (one rows file per table) are
+// rejected loudly, matching the v3→v4 precedent.
 type DurableDB struct {
 	db   *DB
 	dir  string
 	opts DurableOptions
 
 	// mu is the durable layer's latch: mutations hold it shared (plus a
-	// rows stripe); DDL, Checkpoint and Close hold it exclusively. It
-	// protects tables (map and Defs slices) and the log pointer, which
-	// Checkpoint swaps at segment rotation.
+	// rows stripe); DDL and the checkpoint swap window hold it
+	// exclusively. It protects tables (map and Defs slices), the log
+	// pointer, and the published storage state (epoch, lists, handles,
+	// manifestTables, pubWAL*).
 	mu      sync.RWMutex
 	log     *wal.Log
 	epoch   uint64
+	walSeg  uint64
 	tables  map[string]*durableMeta
 	rows    stripedLock
 	orphans []*wal.Log // pre-rotation logs left open by a simulated crash
+
+	// ckptMu serialises the flush/compaction pipeline: Checkpoint,
+	// Compact and Close. It is always acquired before mu.
+	ckptMu sync.Mutex
+
+	// lists is the published blocklist per physical table (the blocks the
+	// current manifest epoch names, oldest first); handles caches an open
+	// block.Handle per live block ID so repeated cold reads reuse loaded
+	// fences, blooms and entries.
+	lists   map[string][]block.Desc
+	handles map[uint64]*block.Handle
+
+	// manifestTables, pubWALSeg and pubWALStart are the catalog and replay
+	// coordinates of the last published manifest. Compaction republishes
+	// exactly these (never the live d.tables), so a manifest rewritten for
+	// a block merge cannot shift the replay window past DDL or mutations
+	// that only the WAL tail records.
+	manifestTables map[string]*durableMeta
+	pubWALSeg      uint64
+	pubWALStart    int64
+
+	// lastFlushTS is the commit timestamp of the last flush cut. Version
+	// GC (which runs during compaction) caps its horizon here so it can
+	// never reclaim a chain whose death no block has recorded yet.
+	lastFlushTS uint64
+
+	// blockSeq issues block file IDs, monotonic per database directory.
+	blockSeq atomic.Uint64
+
+	// Storage counters (see StorageStats).
+	flushes        atomic.Int64
+	compactions    atomic.Int64
+	flushedBytes   atomic.Int64
+	compactedBytes atomic.Int64
+
+	// compactKick wakes the background compactor; compactStop/compactDone
+	// manage its shutdown.
+	compactKick chan struct{}
+	compactStop chan struct{}
+	compactDone chan struct{}
+	stopOnce    sync.Once
 
 	// txnSeq issues transaction ids for the WAL's txn-begin/commit
 	// framing; seeded past the largest id seen during recovery.
@@ -83,9 +138,9 @@ type DurableDB struct {
 	uncommitted int // transactions whose commit record never hit the log
 
 	// failpoint, when non-nil, is invoked at every step boundary of
-	// Checkpoint with a step label; a returned error simulates a crash at
-	// that boundary (the checkpoint aborts with the on-disk state exactly
-	// as a process kill would leave it). Test hook only.
+	// Checkpoint and Compact with a step label; a returned error simulates
+	// a crash at that boundary (the operation aborts with the on-disk
+	// state exactly as a process kill would leave it). Test hook only.
 	failpoint func(step string) error
 }
 
@@ -103,17 +158,57 @@ const (
 	SyncAlways = wal.SyncAlways
 )
 
-// DurableOptions configures the durability/latency trade-off.
+// Default storage tuning (see DurableOptions).
+const (
+	// DefaultCompactFanIn is the same-level run length that triggers a
+	// block merge.
+	DefaultCompactFanIn = 4
+	// DefaultWALRotateBytes is the segment size beyond which a checkpoint
+	// rotates to a fresh WAL segment.
+	DefaultWALRotateBytes = 4 << 20
+)
+
+// DurableOptions configures the durability/latency trade-off and the
+// block-storage tuning.
 type DurableOptions struct {
 	// Policy is the WAL sync policy (default SyncNever).
 	Policy SyncPolicy
 	// GroupInterval is the group-commit interval for SyncGroup
 	// (wal.DefaultGroupInterval when zero).
 	GroupInterval time.Duration
+	// CompactFanIn is the number of contiguous same-level blocks that
+	// triggers a merge (DefaultCompactFanIn when zero; minimum 2).
+	CompactFanIn int
+	// WALRotateBytes is the WAL segment size at which a checkpoint
+	// rotates to a fresh segment — rotation quiesces mutations for the
+	// whole flush, so it is kept rare (DefaultWALRotateBytes when zero;
+	// negative disables rotation).
+	WALRotateBytes int64
+	// DisableAutoCompact turns off the background compactor goroutine;
+	// compaction then runs only through explicit Compact calls. Used by
+	// deterministic tests.
+	DisableAutoCompact bool
 }
 
 func (o DurableOptions) walOptions() wal.Options {
 	return wal.Options{Policy: o.Policy, GroupInterval: o.GroupInterval}
+}
+
+func (o DurableOptions) fanIn() int {
+	switch {
+	case o.CompactFanIn == 0:
+		return DefaultCompactFanIn
+	case o.CompactFanIn < 2:
+		return 2
+	}
+	return o.CompactFanIn
+}
+
+func (o DurableOptions) rotateBytes() int64 {
+	if o.WALRotateBytes == 0 {
+		return DefaultWALRotateBytes
+	}
+	return o.WALRotateBytes
 }
 
 type durableMeta struct {
@@ -128,6 +223,23 @@ type durableMeta struct {
 	Partitions int `json:"parts,omitempty"`
 }
 
+// copyMeta deep-copies one table's metadata (the slices a concurrent DDL
+// could grow while an unlatched flush is marshalling the manifest).
+func copyMeta(m *durableMeta) *durableMeta {
+	cp := *m
+	cp.Cols = append([]string(nil), m.Cols...)
+	cp.Defs = append([]IndexDef(nil), m.Defs...)
+	return &cp
+}
+
+func copyTables(src map[string]*durableMeta) map[string]*durableMeta {
+	out := make(map[string]*durableMeta, len(src))
+	for name, m := range src {
+		out[name] = copyMeta(m)
+	}
+	return out
+}
+
 // IndexDef records how to rebuild one index during recovery.
 type IndexDef struct {
 	Kind    string         `json:"kind"` // "btree" | "hermit" | "composite-btree" | "composite-hermit"
@@ -138,22 +250,26 @@ type IndexDef struct {
 	Params  trstree.Params `json:"params,omitempty"`
 }
 
-// manifestVersion identifies the epoch-based checkpoint layout. Version 3
-// added hash-partitioned tables: a partition id in every WAL frame and a
-// partition count in table metadata. Version 4 moved the WAL to frame
-// format v4 (per-record transaction ids plus txn-begin/commit records), so
-// recovery replays only committed transactions; checkpoints now dump the
-// rows visible at the latest commit timestamp after a version-GC pass.
-const manifestVersion = 4
+// manifestVersion identifies the on-disk layout. Version 3 added
+// hash-partitioned tables; version 4 moved the WAL to frame format v4
+// (txn framing). Version 5 replaced the one-rows-file-per-table
+// checkpoint image with tiered block storage: the manifest names a
+// blocklist file (epoch-stamped, listing every live block per physical
+// table) and records the WAL segment number separately from the epoch,
+// because incremental checkpoints share a segment and only rotation
+// opens a new one. Older manifests are rejected loudly.
+const manifestVersion = 5
 
-// manifest is the durably-published checkpoint descriptor. Epoch names the
-// row files and WAL segment of the image; WALStart is the byte offset in
-// that segment where replay begins (0 after a rotation). The pair makes
-// recovery idempotent: replay can never start before the image's cut.
+// manifest is the durably-published checkpoint descriptor. Epoch names
+// the blocklist file; WALSeg/WALStart are the segment and byte offset
+// replay resumes from. The triple makes recovery idempotent: the blocks
+// reproduce exactly the rows live at the flush cut and the tail replays
+// only records committed after it.
 type manifest struct {
 	Version  int                     `json:"version"`
 	Scheme   int                     `json:"scheme"`
 	Epoch    uint64                  `json:"epoch"`
+	WALSeg   uint64                  `json:"wal_seg"`
 	WALStart int64                   `json:"wal_start"`
 	Tables   map[string]*durableMeta `json:"tables"`
 }
@@ -177,11 +293,14 @@ type durablePaths struct{ dir string }
 
 func (f durablePaths) String() string   { return f.dir }
 func (f durablePaths) manifest() string { return filepath.Join(f.dir, "manifest.json") }
-func (f durablePaths) rows(t string, epoch uint64) string {
-	return filepath.Join(f.dir, fmt.Sprintf("table_%s.%08d.rows", t, epoch))
+func (f durablePaths) wal(seg uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("wal.%08d.log", seg))
 }
-func (f durablePaths) wal(epoch uint64) string {
-	return filepath.Join(f.dir, fmt.Sprintf("wal.%08d.log", epoch))
+func (f durablePaths) blocklist(epoch uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("blocklist.%08d", epoch))
+}
+func (f durablePaths) block(id uint64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("block.%016x.blk", id))
 }
 
 // OpenDurable opens (or creates) a durable database in dir with default
@@ -192,7 +311,7 @@ func OpenDurable(dir string, scheme hermit.PointerScheme) (*DurableDB, error) {
 }
 
 // OpenDurableOptions opens the durable database stored in dir with the
-// given sync policy.
+// given options.
 func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOptions) (*DurableDB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -204,41 +323,86 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 		return nil, fmt.Errorf("engine: %s holds a pre-epoch WAL (wal.log); migrate it before opening", dir)
 	}
 	d := &DurableDB{
-		db:     NewDB(scheme),
-		dir:    dir,
-		opts:   opts,
-		tables: make(map[string]*durableMeta),
+		db:             NewDB(scheme),
+		dir:            dir,
+		opts:           opts,
+		tables:         make(map[string]*durableMeta),
+		lists:          make(map[string][]block.Desc),
+		handles:        make(map[uint64]*block.Handle),
+		manifestTables: make(map[string]*durableMeta),
+		compactKick:    make(chan struct{}, 1),
+		compactStop:    make(chan struct{}),
+		compactDone:    make(chan struct{}),
 	}
-	// Phase 1: checkpoint image.
-	var walStart int64
+	// Phase 1: the checkpoint image — blocklist replay per table.
 	if raw, err := os.ReadFile(p.manifest()); err == nil {
 		var m manifest
 		if err := json.Unmarshal(raw, &m); err != nil {
 			return nil, fmt.Errorf("engine: corrupt manifest: %w", err)
 		}
 		if m.Version != manifestVersion {
-			return nil, fmt.Errorf("engine: checkpoint manifest version %d, want %d", m.Version, manifestVersion)
+			return nil, fmt.Errorf("engine: checkpoint manifest version %d, want %d (older layouts must be migrated or discarded)", m.Version, manifestVersion)
 		}
 		if m.Scheme != int(scheme) {
 			return nil, fmt.Errorf("engine: checkpoint scheme %d != requested %d", m.Scheme, scheme)
 		}
 		d.epoch = m.Epoch
-		walStart = m.WALStart
-		for name, meta := range m.Tables {
-			if err := d.restoreTable(p, name, meta); err != nil {
+		d.walSeg = m.WALSeg
+		d.pubWALSeg = m.WALSeg
+		d.pubWALStart = m.WALStart
+		rawList, err := os.ReadFile(p.blocklist(m.Epoch))
+		if err != nil {
+			return nil, fmt.Errorf("engine: blocklist named by manifest: %w", err)
+		}
+		lists, err := block.DecodeBlocklist(rawList)
+		if err != nil {
+			return nil, fmt.Errorf("engine: blocklist %s: %w", p.blocklist(m.Epoch), err)
+		}
+		for _, l := range lists {
+			d.lists[l.Table] = l.Blocks
+			for _, desc := range l.Blocks {
+				d.handles[desc.ID] = block.NewHandle(p.block(desc.ID), desc)
+				if desc.ID > d.blockSeq.Load() {
+					d.blockSeq.Store(desc.ID)
+				}
+			}
+		}
+		names := make([]string, 0, len(m.Tables))
+		for name := range m.Tables {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := d.restoreTable(p, name, m.Tables[name]); err != nil {
 				return nil, err
 			}
 		}
+		d.manifestTables = copyTables(d.tables)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
+	// Crash leftovers may hold block IDs above anything the manifest
+	// references; seed the allocator past them so a new block can never
+	// collide with a stray file.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if id, ok := parseBlockID(e.Name()); ok && id > d.blockSeq.Load() {
+				d.blockSeq.Store(id)
+			}
+		}
+	}
+	// The flush cut: everything restored from blocks is flushed as of this
+	// clock position; everything the WAL tail replays (below) commits
+	// after it and lands in the next delta, and version GC never reaches
+	// past it.
+	d.lastFlushTS = d.db.clock.Now()
 	// Phase 2: replay the WAL tail. Replay stops at the first torn or
 	// corrupt frame on its own; a record that fails to apply is counted
 	// and skipped, never aborting recovery. Records carrying a transaction
 	// id buffer until their commit record arrives — a transaction whose
 	// OpTxnCommit never reached the log is an uncommitted tail and rolls
 	// back (its buffered mutations are simply dropped).
-	walPath := p.wal(d.epoch)
+	walPath := p.wal(d.walSeg)
 	pending := make(map[uint64][]wal.Record)
 	var maxTxn uint64
 	applyCounted := func(rec wal.Record) {
@@ -247,7 +411,7 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 			d.lastSkipErr = aerr
 		}
 	}
-	err := wal.ReplayFrom(walPath, walStart, func(rec wal.Record) error {
+	err := wal.ReplayFrom(walPath, d.pubWALStart, func(rec wal.Record) error {
 		if rec.Txn > maxTxn {
 			maxTxn = rec.Txn
 		}
@@ -279,14 +443,28 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 	d.txnSeq.Store(maxTxn)
 	// Phase 3: open the log for appending — wal.OpenWith truncates any
 	// crash-torn tail, which is what keeps post-recovery appends reachable
-	// — and clear stale-epoch leftovers.
+	// — clear stale-epoch leftovers, and start the compactor.
 	log, err := wal.OpenWith(walPath, opts.walOptions())
 	if err != nil {
 		return nil, err
 	}
 	d.log = log
 	d.gcStale()
+	if !opts.DisableAutoCompact {
+		go d.compactor()
+	} else {
+		close(d.compactDone)
+	}
 	return d, nil
+}
+
+// parseBlockID extracts the ID from a block filename ("block.<16hex>.blk").
+func parseBlockID(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "block.") || !strings.HasSuffix(name, ".blk") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[len("block."):len(name)-len(".blk")], 16, 64)
+	return id, err == nil
 }
 
 // RecoverySkipped reports how many WAL records failed to apply during the
@@ -307,21 +485,49 @@ func (d *DurableDB) Snapshot() *Snapshot { return d.db.Snapshot() }
 // Clock returns the commit clock ordering every table in this database.
 func (d *DurableDB) Clock() *Clock { return d.db.Clock() }
 
-// GC runs one version-garbage-collection pass (see DB.GC). Checkpoint runs
-// it automatically; this is the manual hook.
-func (d *DurableDB) GC() int { return d.db.GC() }
+// GC runs one version-garbage-collection pass (see DB.GC). Compaction
+// runs it automatically; this is the manual hook. The horizon is the
+// oldest live snapshot, capped at the last flush cut — so GC can never
+// erase a change no block has recorded.
+func (d *DurableDB) GC() int {
+	d.mu.RLock()
+	cut := d.lastFlushTS
+	d.mu.RUnlock()
+	return d.db.GCBelow(cut)
+}
 
+// restoreTable rebuilds one logical table from its blocklists: each
+// physical table's blocks replay oldest to newest, later entries winning
+// per key, tombstones deleting.
 func (d *DurableDB) restoreTable(p durablePaths, name string, meta *durableMeta) error {
 	for _, phys := range physicalNames(name, meta) {
 		tb, err := d.db.CreateTable(phys, meta.Cols, meta.PKCol)
 		if err != nil {
 			return err
 		}
-		rows, err := readRowsFile(p.rows(phys, d.epoch), len(meta.Cols))
-		if err != nil {
-			return err
+		live := make(map[float64][]float64)
+		for _, desc := range d.lists[phys] {
+			entries, width, err := block.ReadAll(p.block(desc.ID))
+			if err != nil {
+				return fmt.Errorf("engine: restoring %q: %w", phys, err)
+			}
+			if width != len(meta.Cols) {
+				return fmt.Errorf("engine: restoring %q: block %016x width %d != schema %d",
+					phys, desc.ID, width, len(meta.Cols))
+			}
+			if uint64(len(entries)) != desc.Count {
+				return fmt.Errorf("engine: restoring %q: block %016x holds %d entries, blocklist says %d",
+					phys, desc.ID, len(entries), desc.Count)
+			}
+			for _, e := range entries {
+				if e.Tombstone {
+					delete(live, e.PK)
+				} else {
+					live[e.PK] = e.Row
+				}
+			}
 		}
-		for _, row := range rows {
+		for _, row := range live {
 			if _, err := tb.Insert(row); err != nil {
 				return fmt.Errorf("engine: restoring %q: %w", phys, err)
 			}
@@ -529,9 +735,9 @@ func (d *DurableDB) CreateTable(name string, cols []string, pkCol int) (*Table, 
 // engine tables (each with its own indexes, latches and planner state)
 // behind one logical name. Mutations on the logical name route by
 // PartitionOf over the primary key and are WAL-logged with their partition
-// id; checkpoints write one rows file per partition and recovery rebuilds
-// each partition from its file plus the routed WAL tail. Queries
-// scatter-gather through the internal/partition wrapper (see
+// id; checkpoints flush one block stream per partition and recovery
+// rebuilds each partition from its blocklist plus the routed WAL tail.
+// Queries scatter-gather through the internal/partition wrapper (see
 // partition.OpenDurable), which is also how per-partition handles are
 // obtained.
 func (d *DurableDB) CreatePartitionedTable(name string, cols []string, pkCol, parts int) error {
@@ -672,9 +878,9 @@ func (d *DurableDB) removeDef(table string, col int, kind string) {
 
 // DropIndex drops and logs the removal of the index of the given kind
 // ("btree", "hermit" or "cm") on col: the advisor's durable reclamation
-// path. Like all durable DDL it quiesces mutations and checkpoints via the
-// exclusive latch, and the drop is WAL-logged so recovery replays it; the
-// index also leaves the recorded definitions, so later checkpoints do not
+// path. Like all durable DDL it quiesces mutations via the exclusive
+// latch, and the drop is WAL-logged so recovery replays it; the index
+// also leaves the recorded definitions, so later checkpoints do not
 // resurrect it.
 func (d *DurableDB) DropIndex(table string, col int, kind string) error {
 	d.mu.Lock()
@@ -716,12 +922,12 @@ func (d *DurableDB) DropIndex(table string, col int, kind string) error {
 }
 
 // mutate applies one validated mutation and logs it, holding the shared
-// latch (vs Checkpoint/DDL) and the primary key's stripe (so per-key log
-// order equals apply order). On a partitioned table the mutation routes to
-// the primary key's hash partition and the WAL record carries the
-// partition id. It returns once the record is acknowledged under the sync
-// policy. A failed apply is returned without logging — validate-then-log,
-// the fix for WAL poisoning.
+// latch (vs the checkpoint swap window and DDL) and the primary key's
+// stripe (so per-key log order equals apply order). On a partitioned
+// table the mutation routes to the primary key's hash partition and the
+// WAL record carries the partition id. It returns once the record is
+// acknowledged under the sync policy. A failed apply is returned without
+// logging — validate-then-log, the fix for WAL poisoning.
 func (d *DurableDB) mutate(table string, pk float64, apply func(tb *Table) error, rec func() wal.Record) error {
 	d.mu.RLock()
 	phys, part := table, uint32(0)
@@ -823,7 +1029,7 @@ func (d *DurableDB) UpdateColumn(table string, pk float64, col int, v float64) e
 
 // Sync forces an fsync covering every mutation acknowledged so far — a
 // durability barrier regardless of the configured policy. The latch is
-// held across the fsync so a concurrent Checkpoint cannot rotate (and
+// held across the fsync so a concurrent checkpoint cannot rotate (and
 // close) the segment out from under the barrier.
 func (d *DurableDB) Sync() error {
 	d.mu.RLock()
@@ -831,7 +1037,7 @@ func (d *DurableDB) Sync() error {
 	return d.log.Sync()
 }
 
-// fp triggers the checkpoint failpoint hook (tests only; no-op otherwise).
+// fp triggers the failpoint hook (tests only; no-op otherwise).
 func (d *DurableDB) fp(step string) error {
 	if d.failpoint != nil {
 		return d.failpoint(step)
@@ -839,25 +1045,75 @@ func (d *DurableDB) fp(step string) error {
 	return nil
 }
 
-// Checkpoint persists a full image under the next epoch and atomically
-// publishes it. The protocol, with the crash outcome of each window:
+// flushCut is everything a checkpoint captures during its swap window:
+// the state it needs to build and publish a new epoch without the latch.
+type flushCut struct {
+	flushTS uint64
+	prevTS  uint64
+	tables  map[string]*durableMeta
+	phys    []physTable
+	lists   map[string][]block.Desc
+	rotate  bool
+	next    uint64
+	// walSeg/walStart are the replay coordinates the manifest will record
+	// (the current segment at its synced offset, or a fresh segment at 0
+	// when rotating).
+	walSeg   uint64
+	walStart int64
+}
+
+type physTable struct {
+	name string
+	tb   *Table
+}
+
+// Checkpoint flushes the delta since the last flush — only versions
+// committed after the previous cut — as one sorted block per changed
+// physical table, then atomically publishes a new epoch. The protocol,
+// with the crash outcome of each window:
 //
-//  1. Quiesce mutations and flush the WAL (crash: old manifest, full
-//     old-WAL replay — nothing lost).
-//  2. Write each table's rows under the next epoch (tmp + fsync + rename;
-//     crash: new-epoch files are unreferenced garbage, GC'd later).
-//  3. Create the next epoch's empty WAL segment (crash: same).
+//  1. Swap window (exclusive latch, short): flush the WAL, capture the
+//     cut — flush timestamp, catalog copy, current blocklists, and the
+//     replay offset (the synced WAL size). Crash: old manifest, full
+//     old-window replay — nothing lost.
+//  2. Unlatched write phase: harvest each table's delta (DeltaVersions)
+//     and write it as an immutable block (tmp + fsync + rename).
+//     Mutations proceed concurrently; they commit after the cut, so they
+//     belong to the next delta and to the WAL tail both manifests replay.
+//     Crash: the new blocks are unreferenced garbage, GC'd later.
+//  3. Write the next epoch's blocklist file naming old + new blocks.
+//     Crash: same.
 //  4. Write manifest.tmp and rename it over manifest.json, fsyncing file
-//     and directory — the commit point. A crash before the rename recovers
-//     the old epoch in full; after it, the new image plus the new (empty)
-//     segment. Replay can never be applied on top of the wrong image, so
-//     recovery never double-applies.
-//  5. Switch appending to the new segment and delete stale-epoch files
-//     (crash: recovery GCs them instead).
+//     and directory — the commit point. Before the rename recovery uses
+//     the old epoch in full; after it, the blocks plus the tail past the
+//     new cut. Replay can never start before its image's cut, so recovery
+//     never double-applies.
+//  5. Re-latch briefly to publish the new epoch in memory, advance the
+//     flush cut, delete stale files and kick the compactor.
+//
+// When the WAL segment has outgrown DurableOptions.WALRotateBytes the
+// checkpoint instead rotates: it holds the latch across the whole flush
+// (still only a delta) so no acknowledged record can land in the old
+// segment after the cut, and the manifest names a fresh, empty segment.
 func (d *DurableDB) Checkpoint() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *DurableDB) checkpointLocked() error {
 	p := durablePaths{d.dir}
+
+	// --- Swap window: capture the cut under the exclusive latch. ---
+	d.mu.Lock()
+	latched := true
+	unlatch := func() {
+		if latched {
+			d.mu.Unlock()
+			latched = false
+		}
+	}
+	defer unlatch()
 	if err := d.fp("begin"); err != nil {
 		return err
 	}
@@ -867,114 +1123,641 @@ func (d *DurableDB) Checkpoint() error {
 	if err := d.fp("after-wal-sync"); err != nil {
 		return err
 	}
-	// Version-GC pass: with mutations quiesced, reclaim every row version
-	// older than the oldest live snapshot (concurrent snapshot readers are
-	// registered on the clock and bound the horizon), so the rows files
-	// below stay one-version-per-key and superseded versions stop
-	// accumulating in the store and indexes.
-	d.db.GC()
-	next := d.epoch + 1
-	names := make([]string, 0, len(d.tables))
-	for name := range d.tables {
+	rb := d.opts.rotateBytes()
+	cut := flushCut{
+		flushTS:  d.db.clock.Now(),
+		prevTS:   d.lastFlushTS,
+		tables:   copyTables(d.tables),
+		lists:    make(map[string][]block.Desc, len(d.lists)),
+		rotate:   rb > 0 && d.log.Size() >= rb,
+		next:     d.epoch + 1,
+		walSeg:   d.walSeg,
+		walStart: d.log.Size(),
+	}
+	for phys, descs := range d.lists {
+		cut.lists[phys] = descs
+	}
+	names := make([]string, 0, len(cut.tables))
+	for name := range cut.tables {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		// One rows file per physical table: a plain table writes one, a
-		// partitioned table one per partition.
-		for _, phys := range physicalNames(name, d.tables[name]) {
+		for _, phys := range physicalNames(name, cut.tables[name]) {
 			tb, err := d.db.Table(phys)
 			if err != nil {
 				return err
 			}
-			if err := writeRowsFile(p.rows(phys, next), tb); err != nil {
-				return err
-			}
-			if err := d.fp("after-rows:" + phys); err != nil {
-				return err
-			}
+			cut.phys = append(cut.phys, physTable{phys, tb})
 		}
 	}
-	newLog, err := wal.OpenWith(p.wal(next), d.opts.walOptions())
+	// An incremental (non-rotating) checkpoint releases the latch here:
+	// the delta is frozen by the cut timestamps, not by quiescence, so
+	// mutations and the block writes proceed in parallel. Rotation keeps
+	// the latch — the manifest will abandon the current segment, so
+	// nothing may append to it past the cut.
+	if !cut.rotate {
+		unlatch()
+		if err := d.fp("after-swap"); err != nil {
+			return err
+		}
+	}
+
+	// --- Write phase: delta blocks, blocklist, manifest. ---
+	newLog, newLists, flushed, err := d.writeEpoch(p, &cut)
 	if err != nil {
 		return err
 	}
-	// Make the rows-file renames and the new segment durable before the
-	// manifest can name them: without this ordering, a power loss right
-	// after the manifest rename could publish an epoch whose files the
-	// directory lost.
-	syncDir(d.dir)
-	if err := d.fp("after-new-wal"); err != nil {
-		newLog.Close()
+
+	// --- Publish: commit point passed, swap the in-memory state. ---
+	if !latched {
+		d.mu.Lock()
+		latched = true
+	}
+	d.epoch = cut.next
+	d.setLists(p, newLists)
+	d.manifestTables = cut.tables
+	d.pubWALSeg = cut.walSeg
+	d.pubWALStart = cut.walStart
+	var oldLog *wal.Log
+	if cut.rotate {
+		oldLog, d.log = d.log, newLog
+		d.walSeg = cut.next
+	}
+	d.lastFlushTS = cut.flushTS
+	unlatch()
+	d.flushes.Add(1)
+	d.flushedBytes.Add(flushed)
+	if err := d.fp("after-manifest-rename"); err != nil {
+		if oldLog != nil {
+			d.mu.Lock()
+			d.orphans = append(d.orphans, oldLog) // closed by Close; simulated crash
+			d.mu.Unlock()
+		}
 		return err
+	}
+	if oldLog != nil {
+		if err := oldLog.Close(); err != nil {
+			return fmt.Errorf("engine: closing rotated wal: %w", err)
+		}
+	}
+	d.gcStale()
+	d.kickCompactor()
+	return d.fp("after-gc")
+}
+
+// writeEpoch writes the cut's delta blocks, blocklist and manifest, and
+// returns the new segment's log (rotation only), the new blocklists, and
+// the flushed byte count. On error nothing has been published: any files
+// already written are unreferenced and will be garbage-collected.
+func (d *DurableDB) writeEpoch(p durablePaths, cut *flushCut) (newLog *wal.Log, newLists map[string][]block.Desc, flushed int64, err error) {
+	defer func() {
+		if err != nil && newLog != nil {
+			newLog.Close()
+		}
+	}()
+	newLists = make(map[string][]block.Desc, len(cut.lists))
+	for phys, descs := range cut.lists {
+		newLists[phys] = descs
+	}
+	for _, pt := range cut.phys {
+		entries := pt.tb.DeltaVersions(cut.prevTS, cut.flushTS)
+		if len(entries) == 0 {
+			continue // unchanged since the last flush: no block
+		}
+		id := d.blockSeq.Add(1)
+		desc, werr := block.Write(p.block(id), pt.tb.Store().Width(), 0, entries)
+		if werr != nil {
+			return newLog, nil, 0, werr
+		}
+		desc.ID = id
+		newLists[pt.name] = append(append([]block.Desc(nil), newLists[pt.name]...), desc)
+		flushed += desc.Bytes
+		if ferr := d.fp("after-block:" + pt.name); ferr != nil {
+			return newLog, nil, 0, ferr
+		}
+	}
+	if cut.rotate {
+		var werr error
+		newLog, werr = wal.OpenWith(p.wal(cut.next), d.opts.walOptions())
+		if werr != nil {
+			return newLog, nil, 0, werr
+		}
+		cut.walSeg, cut.walStart = cut.next, 0
+		if ferr := d.fp("after-new-wal"); ferr != nil {
+			return newLog, nil, 0, ferr
+		}
+	}
+	rawList, werr := block.EncodeBlocklist(listsFor(newLists, cut.tables))
+	if werr != nil {
+		return newLog, nil, 0, werr
+	}
+	if werr := writeFileSync(p.blocklist(cut.next), rawList); werr != nil {
+		return newLog, nil, 0, werr
+	}
+	// Make the block renames, the blocklist and (on rotation) the new
+	// segment durable before the manifest can name them: without this
+	// ordering, a power loss right after the manifest rename could
+	// publish an epoch whose files the directory lost.
+	syncDir(d.dir)
+	if ferr := d.fp("after-blocklist"); ferr != nil {
+		return newLog, nil, 0, ferr
 	}
 	m := manifest{
 		Version:  manifestVersion,
 		Scheme:   int(d.db.Scheme()),
+		Epoch:    cut.next,
+		WALSeg:   cut.walSeg,
+		WALStart: cut.walStart,
+		Tables:   cut.tables,
+	}
+	raw, werr := json.MarshalIndent(m, "", "  ")
+	if werr != nil {
+		return newLog, nil, 0, werr
+	}
+	tmp := p.manifest() + ".tmp"
+	if werr := writeFileSync(tmp, raw); werr != nil {
+		return newLog, nil, 0, werr
+	}
+	if ferr := d.fp("after-manifest-tmp"); ferr != nil {
+		return newLog, nil, 0, ferr
+	}
+	if werr := os.Rename(tmp, p.manifest()); werr != nil {
+		return newLog, nil, 0, werr
+	}
+	syncDir(d.dir)
+	return newLog, newLists, flushed, nil
+}
+
+// listsFor shapes the per-phys blocklist map for encoding: one List per
+// physical table that has blocks, sorted by name for determinism. Only
+// tables present in the catalog are included, so a block list cannot
+// outlive its table.
+func listsFor(lists map[string][]block.Desc, tables map[string]*durableMeta) []block.List {
+	known := make(map[string]bool)
+	for name, meta := range tables {
+		for _, phys := range physicalNames(name, meta) {
+			known[phys] = true
+		}
+	}
+	out := make([]block.List, 0, len(lists))
+	for phys, descs := range lists {
+		if len(descs) > 0 && known[phys] {
+			out = append(out, block.List{Table: phys, Blocks: descs})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// setLists publishes new blocklists and refreshes the handle cache,
+// reusing open handles for surviving blocks. Caller holds d.mu.
+func (d *DurableDB) setLists(p durablePaths, newLists map[string][]block.Desc) {
+	d.lists = newLists
+	fresh := make(map[uint64]*block.Handle)
+	for _, descs := range newLists {
+		for _, desc := range descs {
+			if h, ok := d.handles[desc.ID]; ok {
+				fresh[desc.ID] = h
+			} else {
+				fresh[desc.ID] = block.NewHandle(p.block(desc.ID), desc)
+			}
+		}
+	}
+	d.handles = fresh
+}
+
+// Compact runs one compaction round: it merges the first contiguous run
+// of CompactFanIn same-level blocks found in any table's blocklist into
+// one block at the next level (dropping superseded entries, and
+// tombstones when the run starts at the bottom of the list), publishes
+// the result as a new epoch — reusing the last published catalog and
+// replay coordinates verbatim, so the WAL tail is untouched — and then
+// runs a version-GC pass. It reports whether a merge happened; the GC
+// pass runs either way (GC rides compaction, not checkpoints). The
+// background compactor calls this in a loop; it is also the manual hook
+// for deterministic tests.
+func (d *DurableDB) Compact() (bool, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	merged, err := d.compactOnce()
+	if err != nil {
+		return merged, err
+	}
+	d.mu.RLock()
+	cut := d.lastFlushTS
+	d.mu.RUnlock()
+	d.db.GCBelow(cut)
+	return merged, d.fp("compact-after-gc")
+}
+
+// compactOnce performs at most one merge. Caller holds ckptMu.
+func (d *DurableDB) compactOnce() (bool, error) {
+	p := durablePaths{d.dir}
+	d.mu.RLock()
+	lists := make(map[string][]block.Desc, len(d.lists))
+	for phys, descs := range d.lists {
+		lists[phys] = descs
+	}
+	next := d.epoch + 1
+	tables := d.manifestTables
+	walSeg, walStart := d.pubWALSeg, d.pubWALStart
+	d.mu.RUnlock()
+
+	phys, start, n := pickRun(lists, d.opts.fanIn())
+	if n == 0 {
+		return false, nil
+	}
+	if err := d.fp("compact-begin"); err != nil {
+		return false, err
+	}
+	run := lists[phys][start : start+n]
+	merged, width, err := mergeBlocks(p, run, start == 0)
+	if err != nil {
+		return false, err
+	}
+	var replacement []block.Desc
+	var mergedBytes int64
+	if len(merged) > 0 {
+		id := d.blockSeq.Add(1)
+		desc, err := block.Write(p.block(id), width, maxLevel(run)+1, merged)
+		if err != nil {
+			return false, err
+		}
+		desc.ID = id
+		replacement = []block.Desc{desc}
+		mergedBytes = desc.Bytes
+	}
+	if err := d.fp("compact-after-block"); err != nil {
+		return false, err
+	}
+	newLists := make(map[string][]block.Desc, len(lists))
+	for ph, descs := range lists {
+		newLists[ph] = descs
+	}
+	spliced := make([]block.Desc, 0, len(lists[phys])-n+len(replacement))
+	spliced = append(spliced, lists[phys][:start]...)
+	spliced = append(spliced, replacement...)
+	spliced = append(spliced, lists[phys][start+n:]...)
+	if len(spliced) == 0 {
+		delete(newLists, phys)
+	} else {
+		newLists[phys] = spliced
+	}
+
+	rawList, err := block.EncodeBlocklist(listsFor(newLists, tables))
+	if err != nil {
+		return false, err
+	}
+	if err := writeFileSync(p.blocklist(next), rawList); err != nil {
+		return false, err
+	}
+	syncDir(d.dir)
+	if err := d.fp("compact-after-blocklist"); err != nil {
+		return false, err
+	}
+	// The manifest republishes the last published catalog and replay
+	// coordinates verbatim: compaction changes how the flushed state is
+	// stored, never what it is or where the tail begins.
+	m := manifest{
+		Version:  manifestVersion,
+		Scheme:   int(d.db.Scheme()),
 		Epoch:    next,
-		WALStart: 0,
-		Tables:   d.tables,
+		WALSeg:   walSeg,
+		WALStart: walStart,
+		Tables:   tables,
 	}
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		newLog.Close()
-		return err
+		return false, err
 	}
 	tmp := p.manifest() + ".tmp"
 	if err := writeFileSync(tmp, raw); err != nil {
-		newLog.Close()
-		return err
+		return false, err
 	}
-	if err := d.fp("after-manifest-tmp"); err != nil {
-		newLog.Close()
-		return err
+	if err := d.fp("compact-after-manifest-tmp"); err != nil {
+		return false, err
 	}
 	if err := os.Rename(tmp, p.manifest()); err != nil {
-		newLog.Close()
-		return err
+		return false, err
 	}
 	syncDir(d.dir)
-	// Commit point passed: publish the new epoch in memory before anything
-	// else can fail, so a post-commit failpoint leaves d consistent with
-	// the on-disk manifest.
-	old := d.log
-	d.log = newLog
+
+	d.mu.Lock()
 	d.epoch = next
-	if err := d.fp("after-manifest-rename"); err != nil {
-		d.orphans = append(d.orphans, old) // closed by Close; simulated crash
-		return err
-	}
-	if err := old.Close(); err != nil {
-		return fmt.Errorf("engine: closing rotated wal: %w", err)
+	d.setLists(p, newLists)
+	d.mu.Unlock()
+	d.compactions.Add(1)
+	d.compactedBytes.Add(mergedBytes)
+	if err := d.fp("compact-after-manifest-rename"); err != nil {
+		return true, err
 	}
 	d.gcStale()
-	return d.fp("after-gc")
+	return true, nil
 }
 
-// gcStale removes artifacts from other epochs and leftover temp files.
-// Best-effort: failures leave garbage that the next pass retries.
+// pickRun finds the first contiguous run of fanIn blocks at one level in
+// any table's blocklist (tables scanned in sorted order for determinism).
+func pickRun(lists map[string][]block.Desc, fanIn int) (phys string, start, n int) {
+	names := make([]string, 0, len(lists))
+	for name := range lists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		descs := lists[name]
+		i := 0
+		for i < len(descs) {
+			j := i + 1
+			for j < len(descs) && descs[j].Level == descs[i].Level {
+				j++
+			}
+			if j-i >= fanIn {
+				return name, i, j - i
+			}
+			i = j
+		}
+	}
+	return "", 0, 0
+}
+
+func maxLevel(run []block.Desc) uint32 {
+	var lvl uint32
+	for _, d := range run {
+		if d.Level > lvl {
+			lvl = d.Level
+		}
+	}
+	return lvl
+}
+
+// mergeBlocks merges a run oldest-to-newest, later entries winning per
+// key. Tombstones are dropped when the run is at the bottom of the
+// blocklist (nothing older exists for them to shadow); otherwise they are
+// preserved so older blocks stay masked.
+func mergeBlocks(p durablePaths, run []block.Desc, bottom bool) ([]block.Entry, int, error) {
+	width := 0
+	live := make(map[float64]block.Entry)
+	for _, desc := range run {
+		entries, w, err := block.ReadAll(p.block(desc.ID))
+		if err != nil {
+			return nil, 0, fmt.Errorf("engine: compacting block %016x: %w", desc.ID, err)
+		}
+		if width == 0 {
+			width = w
+		} else if w != width {
+			return nil, 0, fmt.Errorf("engine: compacting block %016x: width %d != run width %d", desc.ID, w, width)
+		}
+		for _, e := range entries {
+			live[e.PK] = e
+		}
+	}
+	merged := make([]block.Entry, 0, len(live))
+	for _, e := range live {
+		if e.Tombstone && bottom {
+			continue
+		}
+		merged = append(merged, e)
+	}
+	block.SortEntries(merged)
+	return merged, width, nil
+}
+
+// compactor is the background merge goroutine: it sleeps until a
+// checkpoint kicks it, then compacts until no run is ready.
+func (d *DurableDB) compactor() {
+	defer close(d.compactDone)
+	for {
+		select {
+		case <-d.compactStop:
+			return
+		case <-d.compactKick:
+			for {
+				select {
+				case <-d.compactStop:
+					return
+				default:
+				}
+				merged, err := d.Compact()
+				if err != nil || !merged {
+					break
+				}
+			}
+		}
+	}
+}
+
+func (d *DurableDB) kickCompactor() {
+	select {
+	case d.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// stopCompactor shuts the background compactor down (idempotent) and
+// waits for any in-flight round to finish.
+func (d *DurableDB) stopCompactor() {
+	d.stopOnce.Do(func() { close(d.compactStop) })
+	<-d.compactDone
+}
+
+// StorageStats summarises the block storage tier (see /v1/stats on the
+// serving side).
+type StorageStats struct {
+	// Epoch is the published manifest epoch; WALSegment the segment
+	// currently appended to.
+	Epoch      uint64 `json:"epoch"`
+	WALSegment uint64 `json:"wal_segment"`
+	// Blocks/BlockEntries/BlockBytes describe the live block set;
+	// MaxLevel is the deepest compaction tier present.
+	Blocks       int    `json:"blocks"`
+	BlockEntries uint64 `json:"block_entries"`
+	BlockBytes   int64  `json:"block_bytes"`
+	MaxLevel     uint32 `json:"max_level"`
+	// CompactionBacklog counts the same-level runs currently eligible to
+	// merge (0 = fully compacted).
+	CompactionBacklog int `json:"compaction_backlog"`
+	// Flushes/Compactions count completed operations; FlushedBytes and
+	// CompactedBytes the block bytes they wrote. WriteAmplification is
+	// (flushed+compacted)/flushed — 1.0 means no rewrite cost yet.
+	Flushes            int64   `json:"flushes"`
+	Compactions        int64   `json:"compactions"`
+	FlushedBytes       int64   `json:"flushed_bytes"`
+	CompactedBytes     int64   `json:"compacted_bytes"`
+	WriteAmplification float64 `json:"write_amplification"`
+}
+
+// StorageStats snapshots the block storage tier's counters.
+func (d *DurableDB) StorageStats() StorageStats {
+	d.mu.RLock()
+	st := StorageStats{
+		Epoch:      d.epoch,
+		WALSegment: d.walSeg,
+	}
+	for _, descs := range d.lists {
+		st.Blocks += len(descs)
+		for _, desc := range descs {
+			st.BlockEntries += desc.Count
+			st.BlockBytes += desc.Bytes
+			if desc.Level > st.MaxLevel {
+				st.MaxLevel = desc.Level
+			}
+		}
+	}
+	lists := d.lists
+	fanIn := d.opts.fanIn()
+	st.CompactionBacklog = countBacklog(lists, fanIn)
+	d.mu.RUnlock()
+	st.Flushes = d.flushes.Load()
+	st.Compactions = d.compactions.Load()
+	st.FlushedBytes = d.flushedBytes.Load()
+	st.CompactedBytes = d.compactedBytes.Load()
+	if st.FlushedBytes > 0 {
+		st.WriteAmplification = float64(st.FlushedBytes+st.CompactedBytes) / float64(st.FlushedBytes)
+	}
+	return st
+}
+
+// countBacklog counts merge-eligible same-level runs across all lists.
+func countBacklog(lists map[string][]block.Desc, fanIn int) int {
+	backlog := 0
+	for _, descs := range lists {
+		i := 0
+		for i < len(descs) {
+			j := i + 1
+			for j < len(descs) && descs[j].Level == descs[i].Level {
+				j++
+			}
+			if j-i >= fanIn {
+				backlog++
+			}
+			i = j
+		}
+	}
+	return backlog
+}
+
+// TableBlockStats describes one physical table's blocklist.
+type TableBlockStats struct {
+	// Table is the physical table name (partitions appear individually).
+	Table string `json:"table"`
+	// Blocks/Entries/Bytes/MaxLevel summarise its live blocks.
+	Blocks   int    `json:"blocks"`
+	Entries  uint64 `json:"entries"`
+	Bytes    int64  `json:"bytes"`
+	MaxLevel uint32 `json:"max_level"`
+}
+
+// TableBlocks reports the blocklist behind each physical table of the
+// named logical table (one element per partition for partitioned tables).
+func (d *DurableDB) TableBlocks(name string) ([]TableBlockStats, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	meta := d.tables[name]
+	if meta == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	out := make([]TableBlockStats, 0, len(physicalNames(name, meta)))
+	for _, phys := range physicalNames(name, meta) {
+		st := TableBlockStats{Table: phys}
+		for _, desc := range d.lists[phys] {
+			st.Blocks++
+			st.Entries += desc.Count
+			st.Bytes += desc.Bytes
+			if desc.Level > st.MaxLevel {
+				st.MaxLevel = desc.Level
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// BlockRead answers a point read from the block tier alone — the path a
+// cold (evicted or larger-than-RAM) table would take. Blocks are probed
+// newest to oldest; each block's key fence and bloom filter exclude it
+// before any entry load, so a read outside a block's key range costs
+// nothing. probed counts the blocks whose entries were actually
+// consulted. The answer reflects the last flush cut, not the WAL tail:
+// found=false means the key was absent (or deleted) as of the last
+// checkpoint.
+func (d *DurableDB) BlockRead(table string, pk float64) (row []float64, found bool, probed int, err error) {
+	d.mu.RLock()
+	meta := d.tables[table]
+	if meta == nil {
+		d.mu.RUnlock()
+		return nil, false, 0, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+	}
+	phys := table
+	if meta.Partitions > 0 {
+		phys = PartitionName(table, PartitionOf(pk, meta.Partitions))
+	}
+	descs := d.lists[phys]
+	handles := make([]*block.Handle, len(descs))
+	for i, desc := range descs {
+		handles[i] = d.handles[desc.ID]
+	}
+	d.mu.RUnlock()
+	for i := len(handles) - 1; i >= 0; i-- {
+		h := handles[i]
+		if h == nil || !h.MaybeContains(pk) {
+			continue
+		}
+		probed++
+		e, ok, gerr := h.Get(pk)
+		if gerr != nil {
+			return nil, false, probed, gerr
+		}
+		if !ok {
+			continue // bloom false positive
+		}
+		if e.Tombstone {
+			return nil, false, probed, nil
+		}
+		return e.Row, true, probed, nil
+	}
+	return nil, false, probed, nil
+}
+
+// gcStale removes artifacts no longer referenced by the published epoch:
+// temp files, WAL segments other than the appended-to one, blocklists of
+// other epochs, unreferenced block files, and rows files from the
+// pre-block layout. Best-effort: failures leave garbage that the next
+// pass retries.
 func (d *DurableDB) gcStale() {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
 		return
 	}
+	d.mu.RLock()
+	epoch, walSeg := d.epoch, d.walSeg
+	referenced := make(map[uint64]bool)
+	for _, descs := range d.lists {
+		for _, desc := range descs {
+			referenced[desc.ID] = true
+		}
+	}
+	d.mu.RUnlock()
 	for _, e := range entries {
 		name := e.Name()
-		var epoch uint64
-		var ok bool
+		stale := false
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
-			os.Remove(filepath.Join(d.dir, name))
-			continue
+			stale = true
 		case strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log"):
-			epoch, ok = parseEpoch(name[len("wal.") : len(name)-len(".log")])
+			seg, ok := parseEpoch(name[len("wal.") : len(name)-len(".log")])
+			stale = ok && seg != walSeg
+		case strings.HasPrefix(name, "blocklist."):
+			ep, ok := parseEpoch(name[len("blocklist."):])
+			stale = ok && ep != epoch
+		case strings.HasSuffix(name, ".blk"):
+			id, ok := parseBlockID(name)
+			stale = ok && !referenced[id]
 		case strings.HasPrefix(name, "table_") && strings.HasSuffix(name, ".rows"):
-			base := name[:len(name)-len(".rows")]
-			if i := strings.LastIndex(base, "."); i >= 0 {
-				epoch, ok = parseEpoch(base[i+1:])
-			}
+			// Pre-block layout leftovers; a v5 manifest never names them.
+			stale = true
 		}
-		if ok && epoch != d.epoch {
+		if stale {
 			os.Remove(filepath.Join(d.dir, name))
 		}
 	}
@@ -985,8 +1768,12 @@ func parseEpoch(s string) (uint64, bool) {
 	return epoch, err == nil
 }
 
-// Close syncs and closes the WAL. The checkpoint files stay on disk.
+// Close stops the compactor, syncs and closes the WAL. The checkpoint
+// files stay on disk.
 func (d *DurableDB) Close() error {
+	d.stopCompactor()
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, o := range d.orphans {
@@ -1036,77 +1823,4 @@ func syncDir(dir string) {
 		f.Sync()
 		f.Close()
 	}
-}
-
-// writeRowsFile dumps the rows live at the latest commit timestamp — one
-// version per key — as u32 width, u64 count, then raw rows. The caller
-// (Checkpoint) holds the durable latch exclusively, so the live set is
-// stable while we stream it.
-func writeRowsFile(path string, tb *Table) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(tb.Store().Width()))
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(tb.Len()))
-	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		return err
-	}
-	var werr error
-	tb.ScanLive(func(_ storage.RID, row []float64) bool {
-		if _, err := f.Write(encodeFloats(row)); err != nil {
-			werr = err
-			return false
-		}
-		return true
-	})
-	if werr != nil {
-		f.Close()
-		return werr
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
-
-// readRowsFile loads a row dump written by writeRowsFile.
-func readRowsFile(path string, width int) ([][]float64, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			// writeRowsFile creates a file even for an empty table, so a
-			// manifest-referenced rows file can only be missing through
-			// corruption or external deletion: fail loudly rather than
-			// silently recovering zero rows.
-			return nil, fmt.Errorf("engine: rows file %q named by manifest is missing", path)
-		}
-		return nil, err
-	}
-	if len(raw) < 12 {
-		return nil, fmt.Errorf("engine: truncated rows file %q", path)
-	}
-	w := int(binary.LittleEndian.Uint32(raw[0:4]))
-	count := int(binary.LittleEndian.Uint64(raw[4:12]))
-	if w != width {
-		return nil, fmt.Errorf("engine: rows file width %d != schema %d", w, width)
-	}
-	need := 12 + count*w*8
-	if len(raw) < need {
-		return nil, fmt.Errorf("engine: rows file %q shorter than declared", path)
-	}
-	rows := make([][]float64, count)
-	off := 12
-	for i := range rows {
-		rows[i] = decodeFloats(raw[off : off+w*8])
-		off += w * 8
-	}
-	return rows, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -11,11 +12,23 @@ import (
 )
 
 // This file is the crash-injection suite: it simulates a process kill at
-// every step boundary of the checkpoint protocol (via the failpoint hook)
-// and after torn WAL appends, then verifies that recovery restores exactly
-// the acknowledged state — no lost writes, no double-applied rows.
+// every step boundary of the checkpoint and compaction protocols (via the
+// failpoint hook) and after torn WAL appends, then verifies that recovery
+// restores exactly the acknowledged state — no lost writes, no
+// double-applied rows or blocks.
 
 var errInjectedCrash = errors.New("injected crash")
+
+// crashOpts disables the background compactor so failpoint wiring cannot
+// race with a concurrent compaction round; rotation stays off by default
+// (the incremental path) and is forced per-test with WALRotateBytes: 1.
+func crashOpts(rotate bool) DurableOptions {
+	opts := DurableOptions{DisableAutoCompact: true, WALRotateBytes: -1}
+	if rotate {
+		opts.WALRotateBytes = 1
+	}
+	return opts
+}
 
 // checkpointSteps probes the failpoint labels a checkpoint of the given
 // database emits, in order, so the crash sweep stays in sync with the
@@ -41,36 +54,38 @@ func checkpointSteps(t *testing.T, build func(t *testing.T, dir string) *Durable
 	return steps
 }
 
-// buildCrashDB creates the standard crash-test database: a checkpointed
-// prefix (so the sweep exercises a second checkpoint over a previous one,
-// the double-apply window) plus a logged tail of inserts, a delete and an
-// update.
-func buildCrashDB(t *testing.T, dir string) *DurableDB {
-	t.Helper()
-	d, err := OpenDurable(dir, hermit.LogicalPointers)
-	if err != nil {
-		t.Fatal(err)
-	}
-	populateDurable(t, d, 600, 11)
-	if err := d.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-	for i := 600; i < 700; i++ {
-		c := float64(i % 1000)
-		if _, err := d.Insert("syn", []float64{float64(i), 2*c + 100, c, 0}); err != nil {
+// buildCrashDBOpts creates the standard crash-test database: a
+// checkpointed prefix (so the sweep exercises a second, incremental
+// checkpoint over a previous one — the double-apply window) plus a logged
+// tail of inserts, a delete and an update.
+func buildCrashDBOpts(opts DurableOptions) func(t *testing.T, dir string) *DurableDB {
+	return func(t *testing.T, dir string) *DurableDB {
+		t.Helper()
+		d, err := OpenDurableOptions(dir, hermit.LogicalPointers, opts)
+		if err != nil {
 			t.Fatal(err)
 		}
+		populateDurable(t, d, 600, 11)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 600; i < 700; i++ {
+			c := float64(i % 1000)
+			if _, err := d.Insert("syn", []float64{float64(i), 2*c + 100, c, 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := d.Delete("syn", 42); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.UpdateColumn("syn", 43, 2, 1234.5); err != nil {
+			t.Fatal(err)
+		}
+		return d
 	}
-	if _, err := d.Delete("syn", 42); err != nil {
-		t.Fatal(err)
-	}
-	if err := d.UpdateColumn("syn", 43, 2, 1234.5); err != nil {
-		t.Fatal(err)
-	}
-	return d
 }
 
-// verifyCrashDB checks the exact acknowledged state of buildCrashDB.
+// verifyCrashDB checks the exact acknowledged state of buildCrashDBOpts.
 func verifyCrashDB(t *testing.T, d *DurableDB, ctx string) {
 	t.Helper()
 	tb, err := d.Table("syn")
@@ -95,76 +110,97 @@ func verifyCrashDB(t *testing.T, d *DurableDB, ctx string) {
 }
 
 // TestCheckpointCrashAtEveryStep kills a checkpoint at each step boundary
-// of its protocol and verifies full recovery, including that the database
-// keeps working (mutations + a clean checkpoint) after the recovery.
+// of its protocol — in both incremental (shared WAL segment) and rotating
+// modes — and verifies full recovery, including that the database keeps
+// working (mutations + a clean checkpoint) after the recovery.
 func TestCheckpointCrashAtEveryStep(t *testing.T) {
-	steps := checkpointSteps(t, buildCrashDB)
-	t.Logf("checkpoint protocol steps: %v", steps)
-	for _, step := range steps {
-		t.Run(step, func(t *testing.T) {
-			dir := t.TempDir()
-			d := buildCrashDB(t, dir)
-			d.failpoint = func(s string) error {
-				if s == step {
-					return fmt.Errorf("%w at %s", errInjectedCrash, s)
+	for _, mode := range []struct {
+		name   string
+		rotate bool
+	}{{"incremental", false}, {"rotating", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			opts := crashOpts(mode.rotate)
+			build := buildCrashDBOpts(opts)
+			steps := checkpointSteps(t, build)
+			t.Logf("checkpoint protocol steps (%s): %v", mode.name, steps)
+			if mode.rotate {
+				if !containsStep(steps, "after-new-wal") || containsStep(steps, "after-swap") {
+					t.Fatalf("rotating checkpoint took the wrong path: %v", steps)
 				}
-				return nil
+			} else if containsStep(steps, "after-new-wal") || !containsStep(steps, "after-swap") {
+				t.Fatalf("incremental checkpoint took the wrong path: %v", steps)
 			}
-			err := d.Checkpoint()
-			if step == "after-gc" {
-				// The final boundary is after the checkpoint's effects are
-				// complete; the error is still surfaced.
-				if !errors.Is(err, errInjectedCrash) {
-					t.Fatalf("failpoint not hit: %v", err)
-				}
-			} else if !errors.Is(err, errInjectedCrash) {
-				t.Fatalf("failpoint not hit: %v", err)
-			}
-			// The crashed process's in-memory state dies with it; Close
-			// only releases file handles (it appends nothing).
-			if err := d.Close(); err != nil {
-				t.Fatal(err)
-			}
+			for _, step := range steps {
+				t.Run(step, func(t *testing.T) {
+					dir := t.TempDir()
+					d := build(t, dir)
+					d.failpoint = func(s string) error {
+						if s == step {
+							return fmt.Errorf("%w at %s", errInjectedCrash, s)
+						}
+						return nil
+					}
+					if err := d.Checkpoint(); !errors.Is(err, errInjectedCrash) {
+						// "after-gc" is past the checkpoint's effects, but the
+						// error must still be surfaced.
+						t.Fatalf("failpoint not hit: %v", err)
+					}
+					// The crashed process's in-memory state dies with it; Close
+					// only releases file handles (it appends nothing).
+					if err := d.Close(); err != nil {
+						t.Fatal(err)
+					}
 
-			d2, err := OpenDurable(dir, hermit.LogicalPointers)
-			if err != nil {
-				t.Fatalf("recovery after crash at %q: %v", step, err)
-			}
-			verifyCrashDB(t, d2, "after recovery")
+					d2, err := OpenDurableOptions(dir, hermit.LogicalPointers, opts)
+					if err != nil {
+						t.Fatalf("recovery after crash at %q: %v", step, err)
+					}
+					verifyCrashDB(t, d2, "after recovery")
 
-			// The recovered database must be fully operational: more
-			// mutations, a clean checkpoint, and a second recovery.
-			for i := 700; i < 750; i++ {
-				c := float64(i % 1000)
-				if _, err := d2.Insert("syn", []float64{float64(i), 2*c + 100, c, 0}); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if err := d2.Checkpoint(); err != nil {
-				t.Fatalf("checkpoint after recovery: %v", err)
-			}
-			if err := d2.Close(); err != nil {
-				t.Fatal(err)
-			}
-			d3, err := OpenDurable(dir, hermit.LogicalPointers)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer d3.Close()
-			tb, _ := d3.Table("syn")
-			if tb.Len() != 749 {
-				t.Fatalf("post-recovery state lost: %d rows, want 749", tb.Len())
+					// The recovered database must be fully operational: more
+					// mutations, a clean checkpoint, and a second recovery.
+					for i := 700; i < 750; i++ {
+						c := float64(i % 1000)
+						if _, err := d2.Insert("syn", []float64{float64(i), 2*c + 100, c, 0}); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := d2.Checkpoint(); err != nil {
+						t.Fatalf("checkpoint after recovery: %v", err)
+					}
+					if err := d2.Close(); err != nil {
+						t.Fatal(err)
+					}
+					d3, err := OpenDurableOptions(dir, hermit.LogicalPointers, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer d3.Close()
+					tb, _ := d3.Table("syn")
+					if tb.Len() != 749 {
+						t.Fatalf("post-recovery state lost: %d rows, want 749", tb.Len())
+					}
+				})
 			}
 		})
 	}
 }
 
+func containsStep(steps []string, want string) bool {
+	for _, s := range steps {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
 // TestCheckpointCrashDoubleApplyWindow pins the historical bug: a crash
-// after the manifest publish but before the old WAL is discarded must not
-// replay the old WAL on top of the new checkpoint image.
+// after the manifest publish but before the rotated-out WAL segment is
+// discarded must not replay the old segment on top of the new blocks.
 func TestCheckpointCrashDoubleApplyWindow(t *testing.T) {
 	dir := t.TempDir()
-	d := buildCrashDB(t, dir)
+	d := buildCrashDBOpts(crashOpts(true))(t, dir)
 	d.failpoint = func(s string) error {
 		if s == "after-manifest-rename" {
 			return errInjectedCrash
@@ -180,7 +216,7 @@ func TestCheckpointCrashDoubleApplyWindow(t *testing.T) {
 	// Both WAL segments exist on disk at this point — the crash window.
 	p := durablePaths{dir}
 	if _, err := os.Stat(p.wal(1)); err != nil {
-		t.Fatalf("old epoch WAL missing, window not reproduced: %v", err)
+		t.Fatalf("old segment missing, window not reproduced: %v", err)
 	}
 	d2, err := OpenDurable(dir, hermit.LogicalPointers)
 	if err != nil {
@@ -188,9 +224,201 @@ func TestCheckpointCrashDoubleApplyWindow(t *testing.T) {
 	}
 	defer d2.Close()
 	verifyCrashDB(t, d2, "double-apply window")
-	// Recovery must have garbage-collected the superseded epoch.
+	// Recovery must have garbage-collected the superseded segment.
 	if _, err := os.Stat(p.wal(1)); !os.IsNotExist(err) {
-		t.Fatalf("stale epoch WAL not collected: %v", err)
+		t.Fatalf("stale WAL segment not collected: %v", err)
+	}
+}
+
+// buildCompactDB creates a database with a compaction-ready blocklist:
+// four incremental checkpoints leave four level-0 blocks on one table
+// (with overlapping keys and a tombstone), so a fan-in-2 compactor has
+// work at every level.
+func buildCompactDB(t *testing.T, dir string) *DurableDB {
+	t.Helper()
+	opts := crashOpts(false)
+	opts.CompactFanIn = 2
+	d, err := OpenDurableOptions(dir, hermit.LogicalPointers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("t", []string{"pk", "v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 4; ck++ {
+		for i := 0; i < 30; i++ {
+			pk := float64(ck*20 + i) // overlapping ranges across checkpoints
+			if _, err := d.Insert("t", []float64{pk, float64(ck)}); err != nil && ck == 0 {
+				t.Fatal(err)
+			} else if err != nil {
+				// Overlap rows already exist: update them instead so every
+				// delta block carries the key again.
+				if uerr := d.UpdateColumn("t", pk, 1, float64(ck)); uerr != nil {
+					t.Fatal(uerr)
+				}
+			}
+		}
+		if ck == 2 {
+			if _, err := d.Delete("t", 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// verifyCompactDB checks buildCompactDB's logical state: pks 0..89 with
+// pk 5 deleted, latest value per key.
+func verifyCompactDB(t *testing.T, d *DurableDB, ctx string) {
+	t.Helper()
+	tb, err := d.Table("t")
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	if tb.Len() != 89 {
+		t.Fatalf("%s: %d rows, want 89", ctx, tb.Len())
+	}
+	if rids, _, err := tb.PointQuery(0, 5); err != nil || len(rids) != 0 {
+		t.Fatalf("%s: tombstoned row resurrected: %v %v", ctx, rids, err)
+	}
+	// pk 60 was written only by the last checkpoint (ck=3): value 3.
+	rids, _, err := tb.PointQuery(0, 60)
+	if err != nil || len(rids) != 1 {
+		t.Fatalf("%s: pk 60: %v %v", ctx, rids, err)
+	}
+	if v, _ := tb.Store().Value(rids[0], 1); v != 3 {
+		t.Fatalf("%s: pk 60 v=%v, want 3", ctx, v)
+	}
+}
+
+// compactionSteps probes the failpoint labels one compaction round emits.
+func compactionSteps(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	d := buildCompactDB(t, dir)
+	var steps []string
+	d.failpoint = func(step string) error {
+		steps = append(steps, step)
+		return nil
+	}
+	merged, err := d.Compact()
+	if err != nil || !merged {
+		t.Fatalf("compaction probe: merged=%v err=%v", merged, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 4 {
+		t.Fatalf("compaction probe saw only %d steps: %v", len(steps), steps)
+	}
+	return steps
+}
+
+// TestCompactionCrashAtEveryStep kills a compaction round at each step
+// boundary and verifies that recovery sees the same logical state — a
+// merge either fully publishes or fully vanishes, never a double apply.
+func TestCompactionCrashAtEveryStep(t *testing.T) {
+	steps := compactionSteps(t)
+	t.Logf("compaction protocol steps: %v", steps)
+	for _, step := range steps {
+		t.Run(step, func(t *testing.T) {
+			dir := t.TempDir()
+			d := buildCompactDB(t, dir)
+			d.failpoint = func(s string) error {
+				if s == step {
+					return fmt.Errorf("%w at %s", errInjectedCrash, s)
+				}
+				return nil
+			}
+			if _, err := d.Compact(); !errors.Is(err, errInjectedCrash) {
+				t.Fatalf("failpoint not hit: %v", err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := OpenDurable(dir, hermit.LogicalPointers)
+			if err != nil {
+				t.Fatalf("recovery after compaction crash at %q: %v", step, err)
+			}
+			verifyCompactDB(t, d2, "after recovery")
+			// And the blocklist must still compact to completion afterwards.
+			for {
+				merged, err := d2.Compact()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !merged {
+					break
+				}
+			}
+			if err := d2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			d3, err := OpenDurable(dir, hermit.LogicalPointers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d3.Close()
+			verifyCompactDB(t, d3, "after full compaction")
+		})
+	}
+}
+
+// TestCheckpointBoundedStall is the regression for the latch-across-flush
+// bug: an incremental checkpoint must release the durable latch before
+// writing blocks, so concurrent mutations see only the short swap window,
+// not a stall proportional to the delta size.
+func TestCheckpointBoundedStall(t *testing.T) {
+	dir := t.TempDir()
+	d := buildCrashDBOpts(crashOpts(false))(t, dir)
+	defer d.Close()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	d.failpoint = func(s string) error {
+		if s == "after-swap" {
+			close(entered)
+			<-release
+		}
+		return nil
+	}
+	ckptDone := make(chan error, 1)
+	go func() { ckptDone <- d.Checkpoint() }()
+	<-entered
+	// The checkpoint is parked inside its write phase. A mutation must
+	// complete anyway — it may not block until the checkpoint finishes.
+	insDone := make(chan error, 1)
+	go func() {
+		_, err := d.Insert("syn", []float64{9000, 1, 2, 3})
+		insDone <- err
+	}()
+	select {
+	case err := <-insDone:
+		if err != nil {
+			t.Fatalf("insert during checkpoint write phase: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mutation stalled for the whole checkpoint write phase (latch held across flush)")
+	}
+	close(release)
+	if err := <-ckptDone; err != nil {
+		t.Fatal(err)
+	}
+	// The concurrent insert committed after the cut: it must survive via
+	// the WAL tail both before and after the next checkpoint.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, hermit.LogicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tb, _ := d2.Table("syn")
+	if rids, _, err := tb.PointQuery(0, 9000); err != nil || len(rids) != 1 {
+		t.Fatalf("insert overlapping checkpoint lost: %v %v", rids, err)
 	}
 }
 
@@ -347,10 +575,11 @@ func TestDurableSyncPoliciesRecover(t *testing.T) {
 }
 
 // TestDurableCheckpointRotatesEpochs verifies the on-disk layout across
-// repeated checkpoints: exactly one epoch's artifacts survive.
+// repeated rotating checkpoints: exactly one segment and one blocklist
+// epoch survive, and only referenced block files remain.
 func TestDurableCheckpointRotatesEpochs(t *testing.T) {
 	dir := t.TempDir()
-	d, err := OpenDurable(dir, hermit.LogicalPointers)
+	d, err := OpenDurableOptions(dir, hermit.LogicalPointers, crashOpts(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,17 +597,29 @@ func TestDurableCheckpointRotatesEpochs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	st := d.StorageStats()
+	if st.Epoch != 3 || st.WALSegment != 3 || st.Blocks != 3 {
+		t.Fatalf("unexpected storage state: %+v", st)
+	}
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
 	p := durablePaths{dir}
 	if _, err := os.Stat(p.wal(3)); err != nil {
-		t.Fatalf("epoch-3 WAL missing: %v", err)
+		t.Fatalf("segment-3 WAL missing: %v", err)
 	}
-	for _, stale := range []string{p.wal(0), p.wal(1), p.wal(2), p.rows("t", 1), p.rows("t", 2)} {
+	if _, err := os.Stat(p.blocklist(3)); err != nil {
+		t.Fatalf("epoch-3 blocklist missing: %v", err)
+	}
+	for _, stale := range []string{p.wal(0), p.wal(1), p.wal(2), p.blocklist(1), p.blocklist(2)} {
 		if _, err := os.Stat(stale); !os.IsNotExist(err) {
 			t.Fatalf("stale artifact %s survived rotation", stale)
 		}
+	}
+	// Exactly the three delta blocks the checkpoints flushed remain.
+	blks, err := filepath.Glob(filepath.Join(dir, "*.blk"))
+	if err != nil || len(blks) != 3 {
+		t.Fatalf("want 3 block files, got %v (%v)", blks, err)
 	}
 	d2, err := OpenDurable(dir, hermit.LogicalPointers)
 	if err != nil {
@@ -388,5 +629,19 @@ func TestDurableCheckpointRotatesEpochs(t *testing.T) {
 	tb, _ := d2.Table("t")
 	if tb.Len() != 60 {
 		t.Fatalf("recovered %d rows, want 60", tb.Len())
+	}
+}
+
+// TestDurableOldManifestRejected: a pre-block manifest (version 4, one
+// rows file per table) must be rejected loudly, not silently reopened as
+// an empty database.
+func TestDurableOldManifestRejected(t *testing.T) {
+	dir := t.TempDir()
+	old := `{"version": 4, "scheme": 0, "epoch": 2, "wal_start": 0, "tables": {}}`
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(dir, hermit.LogicalPointers); err == nil {
+		t.Fatal("version-4 manifest accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hermit/internal/block"
 	"hermit/internal/storage"
 )
 
@@ -34,8 +35,11 @@ import (
 //
 // Version garbage collection (GCVersions) reclaims versions whose endTS is
 // at or below the oldest timestamp any live snapshot could read, removing
-// their index entries and tombstoning their store rows. It is invoked by
-// DurableDB.Checkpoint as the version-GC pass and exported via DB.GC.
+// their index entries and tombstoning their store rows. The durable layer
+// runs it during block compaction — off the checkpoint critical path — and
+// pins a snapshot at its last flush cut so GC can never erase a change
+// (in particular a whole-chain delete) that no block has recorded yet; it
+// is also exported via DB.GC.
 
 // Clock is the global commit clock a database (or a set of partitioned
 // databases) orders its transactions with. It also registers live
@@ -151,8 +155,18 @@ func (db *DB) Clock() *Clock { return db.clock }
 // no snapshot can resolve any more — endTS at or below the oldest live
 // snapshot — lose their index entries and store rows. It returns the
 // number of versions reclaimed.
-func (db *DB) GC() int {
+func (db *DB) GC() int { return db.GCBelow(^uint64(0)) }
+
+// GCBelow is GC with an additional horizon cap: versions are reclaimed
+// only below min(oldest live snapshot, limit). The durable layer uses the
+// cap to keep every change committed after its last flush cut alive until
+// a delta block has recorded it, without registering a snapshot that
+// would pin Clock.OldestActive for everyone else.
+func (db *DB) GCBelow(limit uint64) int {
 	horizon := db.clock.OldestActive()
+	if limit < horizon {
+		horizon = limit
+	}
 	db.mu.RLock()
 	tables := make([]*Table, 0, len(db.tables))
 	for _, t := range db.tables {
@@ -268,6 +282,62 @@ func (t *Table) ScanLive(fn func(rid storage.RID, row []float64) bool) {
 			return
 		}
 	}
+}
+
+// DeltaVersions harvests the changes committed in the half-open window
+// (prevTS, ts]: for every key whose visible-at-ts incarnation began after
+// prevTS an upsert entry carrying the full row, and for every key whose
+// chain died in the window a tombstone entry. Replaying the resulting
+// block on top of the state at prevTS reproduces exactly the live rows at
+// ts. Entries come back sorted by key (the order block.Encode requires).
+//
+// The caller must pin a snapshot at or below prevTS for the duration (the
+// durable layer's flush snapshot), so no version visible at ts can be
+// reclaimed between the chain walk and the row fetch.
+func (t *Table) DeltaVersions(prevTS, ts uint64) []block.Entry {
+	type cand struct {
+		rid  storage.RID
+		pk   float64
+		tomb bool
+	}
+	t.verMu.RLock()
+	cands := make([]cand, 0, 64)
+	for pk, head := range t.chains {
+		// Walk to the newest version begun at or before ts: the key's
+		// incarnation as of the flush cut (a commit racing past ts may
+		// already have stamped newer heads).
+		v := head
+		for v != nil && v.beginTS > ts {
+			v = v.prev
+		}
+		if v == nil {
+			continue
+		}
+		if v.endTS == 0 || ts < v.endTS {
+			if v.beginTS > prevTS {
+				cands = append(cands, cand{rid: v.rid, pk: pk})
+			}
+		} else if v.endTS > prevTS {
+			// Dead at ts, and the death is inside the window: the key was
+			// deleted since the last flush.
+			cands = append(cands, cand{pk: pk, tomb: true})
+		}
+	}
+	t.verMu.RUnlock()
+	entries := make([]block.Entry, 0, len(cands))
+	for _, c := range cands {
+		if c.tomb {
+			entries = append(entries, block.Entry{PK: c.pk, Tombstone: true})
+			continue
+		}
+		row, err := t.store.Get(c.rid, nil)
+		if err != nil {
+			continue // unreachable with the flush snapshot pinned; defensive
+		}
+		entries = append(entries, block.Entry{PK: c.pk, Row: row})
+	}
+	block.SortEntries(entries)
+	return entries
 }
 
 // GCVersions reclaims every version whose endTS is at or below horizon:

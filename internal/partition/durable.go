@@ -10,10 +10,11 @@ import (
 
 // This file is the durable face of partitioned tables. The engine owns the
 // persistence protocol — DurableDB routes logged mutations by primary-key
-// hash, stamps every WAL record with its partition id, and checkpoints/
-// recovers one rows file per partition — so the wrapper here only has to
-// send writes and DDL through the logged DurableDB paths and run queries
-// against the recovered per-partition handles.
+// hash, stamps every WAL record with its partition id, flushes one delta
+// block stream per partition at checkpoints, and recovers each partition
+// from its blocklist plus the routed WAL tail — so the wrapper here only
+// has to send writes and DDL through the logged DurableDB paths and run
+// queries against the recovered per-partition handles.
 
 // CreateDurable creates a WAL-logged partitioned table in d and returns
 // its scatter-gather wrapper. The partition count is fixed for the life of
@@ -59,6 +60,31 @@ func OpenDurable(d *engine.DurableDB, name string, opts Options) (*Table, error)
 	}
 	t.mut = durMutator{d: d, name: name}
 	return t, nil
+}
+
+// BlockStats reports the block-tier backing of each partition (one
+// element per partition, in partition order). It errors on a table that
+// was not opened through OpenDurable — an in-memory partitioned table has
+// no block tier.
+func (t *Table) BlockStats() ([]engine.TableBlockStats, error) {
+	m, ok := t.mut.(durMutator)
+	if !ok {
+		return nil, fmt.Errorf("partition: table %q is not durable", t.name)
+	}
+	return m.d.TableBlocks(m.name)
+}
+
+// ColdPoint answers a point read for pk from the block tier alone — the
+// partition is derived from the key, then only that partition's blocks
+// are consulted (fences and bloom filters first), exactly the fan-out a
+// cold scatter-gather read would take. probed counts the blocks whose
+// entries were loaded. The answer reflects the last flush cut.
+func (t *Table) ColdPoint(pk float64) (row []float64, found bool, probed int, err error) {
+	m, ok := t.mut.(durMutator)
+	if !ok {
+		return nil, false, 0, fmt.Errorf("partition: table %q is not durable", t.name)
+	}
+	return m.d.BlockRead(m.name, pk)
 }
 
 // durMutator sends writes and DDL through the WAL-logged DurableDB paths;

@@ -215,3 +215,70 @@ func TestDurablePartitionedDDLAndGuards(t *testing.T) {
 		t.Fatal("OpenDurable on unpartitioned table accepted")
 	}
 }
+
+// TestDurablePartitionedBlockTier: checkpoints flush one block stream per
+// partition, BlockStats exposes them, and ColdPoint answers from the
+// blocks of the owning partition alone (fences/blooms keep the probe
+// count at one block for a key written once).
+func TestDurablePartitionedBlockTier(t *testing.T) {
+	dir := t.TempDir()
+	d, err := engine.OpenDurableOptions(dir, hermit.PhysicalPointers,
+		engine.DurableOptions{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	pt, err := CreateDurable(d, "p", []string{"pk", "v"}, 0, Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := pt.Insert([]float64{float64(i), float64(i) * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pt.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pt.BlockStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("BlockStats returned %d partitions, want 4", len(stats))
+	}
+	var entries uint64
+	for i, st := range stats {
+		if st.Blocks != 1 {
+			t.Fatalf("partition %d has %d blocks after one checkpoint, want 1", i, st.Blocks)
+		}
+		entries += st.Entries
+	}
+	if entries != 400 { // 399 live rows + 1 tombstone, spread across partitions
+		t.Fatalf("block tier holds %d entries, want 400", entries)
+	}
+	row, found, probed, err := pt.ColdPoint(42)
+	if err != nil || !found || row[1] != 84 {
+		t.Fatalf("ColdPoint(42) = %v found=%v err=%v", row, found, err)
+	}
+	if probed != 1 {
+		t.Fatalf("ColdPoint(42) probed %d blocks, want 1", probed)
+	}
+	if _, found, _, err := pt.ColdPoint(7); err != nil || found {
+		t.Fatalf("ColdPoint(7) resurrected a tombstoned key: found=%v err=%v", found, err)
+	}
+	if _, found, probed, err := pt.ColdPoint(99999); err != nil || found || probed != 0 {
+		t.Fatalf("ColdPoint(99999): found=%v probed=%d err=%v (fence should exclude)", found, probed, err)
+	}
+	// An in-memory partitioned table has no block tier.
+	memT, err := New(hermit.PhysicalPointers, "m", []string{"pk"}, 0, Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memT.BlockStats(); err == nil {
+		t.Fatal("BlockStats on in-memory table accepted")
+	}
+}

@@ -131,7 +131,11 @@ func TestHTTPFallback(t *testing.T) {
 		t.Fatalf("bad tenant status %d", code)
 	}
 
-	// Stats and health.
+	// Stats and health. A checkpoint first, so the storage section has
+	// real block-tier numbers to report.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	hr, err := http.Get(base + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +147,12 @@ func TestHTTPFallback(t *testing.T) {
 	hr.Body.Close()
 	if st.Requests == 0 {
 		t.Fatalf("stats did not count HTTP requests: %+v", st)
+	}
+	if st.Storage.Flushes < 1 || st.Storage.Blocks < 1 {
+		t.Fatalf("stats missing block-storage tier: %+v", st.Storage)
+	}
+	if st.Storage.WriteAmplification < 1 {
+		t.Fatalf("write amplification %v < 1 after a flush", st.Storage.WriteAmplification)
 	}
 	hr, err = http.Get(base + "/healthz")
 	if err != nil || hr.StatusCode != 200 {

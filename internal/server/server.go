@@ -75,7 +75,9 @@ type Stats struct {
 }
 
 // StatsSnapshot is a plain-value copy of Stats (JSON-friendly for the
-// HTTP endpoint).
+// HTTP endpoint), plus the engine's block-storage counters — block
+// counts, compaction backlog and write amplification — so an operator
+// can watch the storage tier from the same /v1/stats poll.
 type StatsSnapshot struct {
 	Conns         int64 `json:"conns"`
 	ConnsActive   int64 `json:"conns_active"`
@@ -84,6 +86,8 @@ type StatsSnapshot struct {
 	Rejected      int64 `json:"rejected"`
 	QuotaRejected int64 `json:"quota_rejected"`
 	TxnsOpen      int64 `json:"txns_open"`
+
+	Storage engine.StorageStats `json:"storage"`
 }
 
 // tenantQuota is one tenant's remaining op budget.
@@ -257,6 +261,7 @@ func (s *Server) Stats() StatsSnapshot {
 		Rejected:      st.Rejected.Load(),
 		QuotaRejected: st.QuotaRejected.Load(),
 		TxnsOpen:      st.TxnsOpen.Load(),
+		Storage:       s.s.backend.d.StorageStats(),
 	}
 }
 

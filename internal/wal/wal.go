@@ -40,6 +40,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -164,6 +165,10 @@ type Log struct {
 	f    *os.File
 	opts Options
 
+	// size is the log's byte length: header plus every frame the appender
+	// has written. Readable without the appender via Size.
+	size atomic.Int64
+
 	reqs chan request // unbuffered: a completed send is owned by the appender
 	quit chan struct{}
 	done chan struct{}
@@ -247,9 +252,16 @@ func OpenWith(path string, opts Options) (*Log, error) {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	l.size.Store(validLen)
 	go l.run(lastLSN)
 	return l, nil
 }
+
+// Size returns the log's byte length: the file header plus every frame
+// written so far. A frame is counted once the appender has written it, so
+// after a Sync the value covers every acknowledged record — the offset a
+// checkpoint manifest records as its replay start.
+func (l *Log) Size() int64 { return l.size.Load() }
 
 // RepairTail truncates the file at path to its last valid frame (or to
 // zero for a torn header) and returns the resulting length. A missing
@@ -402,12 +414,14 @@ func (l *Log) run(lastLSN uint64) {
 				return
 			}
 			lsn++
-			if _, err := l.f.Write(encodeFrame(req.rec, lsn)); err != nil {
+			frame := encodeFrame(req.rec, lsn)
+			if _, err := l.f.Write(frame); err != nil {
 				sticky = fmt.Errorf("wal: append: %w", err)
 				lsn--
 				req.ch <- result{0, sticky}
 				return
 			}
+			l.size.Add(int64(len(frame)))
 			switch l.opts.Policy {
 			case SyncNever:
 				req.ch <- result{lsn, nil}
