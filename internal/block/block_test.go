@@ -16,10 +16,10 @@ func mkEntries(n, width int, seed int64) []Entry {
 	seen := map[uint64]bool{}
 	for len(entries) < n {
 		pk := float64(rng.Intn(n * 4))
-		if seen[keyBits(pk)] {
+		if seen[KeyBits(pk)] {
 			continue
 		}
-		seen[keyBits(pk)] = true
+		seen[KeyBits(pk)] = true
 		e := Entry{PK: pk}
 		if rng.Intn(4) == 0 {
 			e.Tombstone = true
@@ -164,7 +164,7 @@ func TestBloomSkipRate(t *testing.T) {
 	entries := mkEntries(1000, 1, 3)
 	present := map[uint64]bool{}
 	for _, e := range entries {
-		present[keyBits(e.PK)] = true
+		present[KeyBits(e.PK)] = true
 	}
 	bl := newBloom(len(entries))
 	for _, e := range entries {
@@ -172,7 +172,7 @@ func TestBloomSkipRate(t *testing.T) {
 	}
 	falsePos, probes := 0, 0
 	for pk := float64(100000); pk < 110000; pk++ {
-		if present[keyBits(pk)] {
+		if present[KeyBits(pk)] {
 			continue
 		}
 		probes++

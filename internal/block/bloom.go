@@ -40,10 +40,13 @@ func bloomFromBytes(raw []byte) *bloom {
 	return &bloom{bits: raw}
 }
 
-// keyBits normalises a primary key to the bit pattern used for hashing,
+// KeyBits normalises a primary key to the bit pattern used for hashing,
 // fences and sorting: -0 collapses onto +0 (the engine treats them as the
-// same key).
-func keyBits(pk float64) uint64 {
+// same key). It is the map key for any per-primary-key bookkeeping that
+// must agree with the block tier's notion of key identity — float64 map
+// keys cannot be trusted for that (NaN never equals itself, so a NaN key
+// could neither be found, overwritten nor deleted).
+func KeyBits(pk float64) uint64 {
 	if pk == 0 {
 		pk = 0 // +0 and -0 are one key
 	}
@@ -55,7 +58,7 @@ func keyBits(pk float64) uint64 {
 // entries sort and binary-search consistently even for keys that ordinary
 // float comparison cannot order.
 func keyOrder(pk float64) uint64 {
-	b := keyBits(pk)
+	b := KeyBits(pk)
 	if b&(1<<63) != 0 {
 		return ^b
 	}
@@ -72,7 +75,7 @@ func splitmix64(x uint64) uint64 {
 
 // add inserts a key.
 func (b *bloom) add(pk float64) {
-	h1 := splitmix64(keyBits(pk))
+	h1 := splitmix64(KeyBits(pk))
 	h2 := splitmix64(h1) | 1
 	m := uint64(len(b.bits)) * 8
 	for i := uint64(0); i < bloomHashes; i++ {
@@ -87,7 +90,7 @@ func (b *bloom) maybeContains(pk float64) bool {
 	if b == nil || len(b.bits) == 0 {
 		return true
 	}
-	h1 := splitmix64(keyBits(pk))
+	h1 := splitmix64(KeyBits(pk))
 	h2 := splitmix64(h1) | 1
 	m := uint64(len(b.bits)) * 8
 	for i := uint64(0); i < bloomHashes; i++ {

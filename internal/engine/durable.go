@@ -3,7 +3,9 @@ package engine
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -121,6 +123,14 @@ type DurableDB struct {
 	compactions    atomic.Int64
 	flushedBytes   atomic.Int64
 	compactedBytes atomic.Int64
+
+	// compactErrs counts failed compaction rounds; compactErr holds the
+	// most recent failure (cleared by the next successful round). The
+	// background compactor stops merging on error, so without these a
+	// stalled compactor is indistinguishable from an idle one.
+	compactErrs  atomic.Int64
+	compactErrMu sync.Mutex
+	compactErr   error
 
 	// compactKick wakes the background compactor; compactStop/compactDone
 	// manage its shutdown.
@@ -505,7 +515,11 @@ func (d *DurableDB) restoreTable(p durablePaths, name string, meta *durableMeta)
 		if err != nil {
 			return err
 		}
-		live := make(map[float64][]float64)
+		// Keyed by block.KeyBits, not raw float64: a float64 map could
+		// never overwrite or delete a NaN key, so a NaN tombstone would
+		// fail to suppress an earlier upsert and the deleted row would
+		// resurrect on recovery.
+		live := make(map[uint64][]float64)
 		for _, desc := range d.lists[phys] {
 			entries, width, err := block.ReadAll(p.block(desc.ID))
 			if err != nil {
@@ -521,9 +535,9 @@ func (d *DurableDB) restoreTable(p durablePaths, name string, meta *durableMeta)
 			}
 			for _, e := range entries {
 				if e.Tombstone {
-					delete(live, e.PK)
+					delete(live, block.KeyBits(e.PK))
 				} else {
-					live[e.PK] = e.Row
+					live[block.KeyBits(e.PK)] = e.Row
 				}
 			}
 		}
@@ -1338,6 +1352,17 @@ func (d *DurableDB) setLists(p durablePaths, newLists map[string][]block.Desc) {
 // background compactor calls this in a loop; it is also the manual hook
 // for deterministic tests.
 func (d *DurableDB) Compact() (bool, error) {
+	merged, err := d.compact()
+	d.compactErrMu.Lock()
+	d.compactErr = err
+	d.compactErrMu.Unlock()
+	if err != nil {
+		d.compactErrs.Add(1)
+	}
+	return merged, err
+}
+
+func (d *DurableDB) compact() (bool, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
 	merged, err := d.compactOnce()
@@ -1497,7 +1522,11 @@ func maxLevel(run []block.Desc) uint32 {
 // preserved so older blocks stay masked.
 func mergeBlocks(p durablePaths, run []block.Desc, bottom bool) ([]block.Entry, int, error) {
 	width := 0
-	live := make(map[float64]block.Entry)
+	// Keyed by block.KeyBits (the same identity block.Encode sorts and
+	// dedupes under): a float64-keyed map would keep every NaN entry of
+	// the run as a distinct key, and the merged block would carry
+	// duplicates Encode rejects — wedging compaction permanently.
+	live := make(map[uint64]block.Entry)
 	for _, desc := range run {
 		entries, w, err := block.ReadAll(p.block(desc.ID))
 		if err != nil {
@@ -1509,7 +1538,7 @@ func mergeBlocks(p durablePaths, run []block.Desc, bottom bool) ([]block.Entry, 
 			return nil, 0, fmt.Errorf("engine: compacting block %016x: width %d != run width %d", desc.ID, w, width)
 		}
 		for _, e := range entries {
-			live[e.PK] = e
+			live[block.KeyBits(e.PK)] = e
 		}
 	}
 	merged := make([]block.Entry, 0, len(live))
@@ -1585,6 +1614,12 @@ type StorageStats struct {
 	FlushedBytes       int64   `json:"flushed_bytes"`
 	CompactedBytes     int64   `json:"compacted_bytes"`
 	WriteAmplification float64 `json:"write_amplification"`
+	// CompactErrors counts failed compaction rounds; LastCompactError is
+	// the most recent failure, empty once a later round succeeds. A
+	// growing CompactionBacklog alongside a non-empty LastCompactError
+	// means the compactor is stalled, not idle.
+	CompactErrors    int64  `json:"compact_errors"`
+	LastCompactError string `json:"last_compact_error,omitempty"`
 }
 
 // StorageStats snapshots the block storage tier's counters.
@@ -1615,6 +1650,12 @@ func (d *DurableDB) StorageStats() StorageStats {
 	if st.FlushedBytes > 0 {
 		st.WriteAmplification = float64(st.FlushedBytes+st.CompactedBytes) / float64(st.FlushedBytes)
 	}
+	st.CompactErrors = d.compactErrs.Load()
+	d.compactErrMu.Lock()
+	if d.compactErr != nil {
+		st.LastCompactError = d.compactErr.Error()
+	}
+	d.compactErrMu.Unlock()
 	return st
 }
 
@@ -1682,22 +1723,48 @@ func (d *DurableDB) TableBlocks(name string) ([]TableBlockStats, error) {
 // found=false means the key was absent (or deleted) as of the last
 // checkpoint.
 func (d *DurableDB) BlockRead(table string, pk float64) (row []float64, found bool, probed int, err error) {
-	d.mu.RLock()
-	meta := d.tables[table]
-	if meta == nil {
+	for {
+		d.mu.RLock()
+		meta := d.tables[table]
+		if meta == nil {
+			d.mu.RUnlock()
+			return nil, false, probed, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+		}
+		phys := table
+		if meta.Partitions > 0 {
+			phys = PartitionName(table, PartitionOf(pk, meta.Partitions))
+		}
+		epoch := d.epoch
+		descs := d.lists[phys]
+		handles := make([]*block.Handle, len(descs))
+		for i, desc := range descs {
+			handles[i] = d.handles[desc.ID]
+		}
 		d.mu.RUnlock()
-		return nil, false, 0, fmt.Errorf("%w: %q", ErrNoSuchTable, table)
+		row, found, n, perr := probeBlocks(handles, pk)
+		probed += n
+		if perr == nil || !errors.Is(perr, fs.ErrNotExist) {
+			return row, found, probed, perr
+		}
+		// The probe raced a compaction: between the handle snapshot above
+		// and the file load, a new epoch was published and gcStale unlinked
+		// a merged-away block that this snapshot still references but never
+		// loaded. The freshly published blocklist describes the same
+		// flushed state, so retry against it. If the epoch has not moved,
+		// the file is genuinely missing — surface the error.
+		d.mu.RLock()
+		cur := d.epoch
+		d.mu.RUnlock()
+		if cur == epoch {
+			return nil, false, probed, perr
+		}
 	}
-	phys := table
-	if meta.Partitions > 0 {
-		phys = PartitionName(table, PartitionOf(pk, meta.Partitions))
-	}
-	descs := d.lists[phys]
-	handles := make([]*block.Handle, len(descs))
-	for i, desc := range descs {
-		handles[i] = d.handles[desc.ID]
-	}
-	d.mu.RUnlock()
+}
+
+// probeBlocks probes a blocklist snapshot newest to oldest for pk,
+// returning the first entry found. probed counts blocks whose entries
+// were consulted (fence/bloom exclusions are free).
+func probeBlocks(handles []*block.Handle, pk float64) (row []float64, found bool, probed int, err error) {
 	for i := len(handles) - 1; i >= 0; i-- {
 		h := handles[i]
 		if h == nil || !h.MaybeContains(pk) {

@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"sync"
+	"testing"
+
+	"hermit/internal/block"
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+)
+
+// NaN is a legal float64 primary key (see partition_test.go), but NaN
+// never equals itself, so any float64-keyed map silently loses it. The
+// version chains key by bit pattern instead: duplicate NaN inserts are
+// rejected, delete/update find the chain, and a delta flush emits exactly
+// one entry per NaN payload — not one per insert, which block.Encode
+// would reject as duplicates.
+func TestNaNPrimaryKeyEngine(t *testing.T) {
+	db := NewDB(hermit.LogicalPointers)
+	tb, err := db.CreateTable("t", []string{"k", "v"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	if _, err := tb.Insert([]float64{nan, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert([]float64{nan, 2}); !errors.Is(err, ErrDupKey) {
+		t.Fatalf("duplicate NaN insert: got %v, want ErrDupKey", err)
+	}
+	if err := tb.UpdateColumn(nan, 1, 3); err != nil {
+		t.Fatalf("update by NaN key: %v", err)
+	}
+	entries := tb.DeltaVersions(0, db.Clock().Now())
+	if len(entries) != 1 || !math.IsNaN(entries[0].PK) || entries[0].Row[1] != 3 {
+		t.Fatalf("delta = %+v, want exactly one NaN upsert with v=3", entries)
+	}
+	if found, err := tb.Delete(nan); err != nil || !found {
+		t.Fatalf("delete by NaN key: found=%v err=%v", found, err)
+	}
+	if found, _ := tb.Delete(nan); found {
+		t.Fatal("second delete found an already-deleted NaN key")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after deleting the only row", tb.Len())
+	}
+	// Re-insert over the dead chain.
+	if _, err := tb.Insert([]float64{nan, 4}); err != nil {
+		t.Fatalf("re-insert after delete: %v", err)
+	}
+}
+
+// A NaN key must survive the whole block pipeline: repeated delta
+// flushes, a merge (which dedupes by key bits — by float it would emit
+// duplicates and wedge compaction forever), cold point reads, a
+// tombstone, and recovery (where a float-keyed replay map could not
+// suppress the earlier upsert, resurrecting the deleted row).
+func TestDurableNaNKeyCheckpointCompactRecover(t *testing.T) {
+	dir := t.TempDir()
+	opts := DurableOptions{CompactFanIn: 2, DisableAutoCompact: true}
+	d, err := OpenDurableOptions(dir, hermit.LogicalPointers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("t", []string{"k", "v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	if _, err := d.Insert("t", []float64{nan, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert("t", []float64{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("first checkpoint with NaN key: %v", err)
+	}
+	if err := d.UpdateColumn("t", nan, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("second checkpoint (NaN in two blocks): %v", err)
+	}
+	if merged, err := d.Compact(); err != nil || !merged {
+		t.Fatalf("compacting blocks sharing a NaN key: merged=%v err=%v", merged, err)
+	}
+	row, found, _, err := d.BlockRead("t", nan)
+	if err != nil || !found || row[1] != 2 {
+		t.Fatalf("cold NaN read = %v found=%v err=%v, want v=2", row, found, err)
+	}
+	if _, err := d.Delete("t", nan); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint flushing NaN tombstone: %v", err)
+	}
+	if _, found, _, err := d.BlockRead("t", nan); err != nil || found {
+		t.Fatalf("cold read after delete: found=%v err=%v", found, err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurableOptions(dir, hermit.LogicalPointers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	tb, err := d2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("recovered %d rows, want 1 (the deleted NaN row must not resurrect)", tb.Len())
+	}
+	tb.ScanLive(func(_ storage.RID, row []float64) bool {
+		if math.IsNaN(row[0]) {
+			t.Errorf("deleted NaN row resurrected: %v", row)
+		}
+		return true
+	})
+}
+
+// A point read that snapshots the blocklist just before a compaction
+// publishes must retry against the fresh list when the merged-away files
+// are already unlinked — not surface a spurious ENOENT.
+func TestBlockReadRetriesAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurableOptions(dir, hermit.LogicalPointers,
+		DurableOptions{CompactFanIn: 2, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.CreateTable("t", []string{"k", "v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Insert("t", []float64{float64(i), float64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot handles the way a concurrent BlockRead would, before the
+	// compaction publishes and gcStale unlinks the merged-away files.
+	d.mu.RLock()
+	descs := d.lists["t"]
+	stale := make([]*block.Handle, len(descs))
+	for i, desc := range descs {
+		stale[i] = d.handles[desc.ID]
+	}
+	d.mu.RUnlock()
+	if merged, err := d.Compact(); err != nil || !merged {
+		t.Fatalf("compact: merged=%v err=%v", merged, err)
+	}
+	// The stale snapshot now references unlinked files: a raw probe hits
+	// ENOENT (the trigger for the retry path)...
+	if _, _, _, err := probeBlocks(stale, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("stale probe error = %v, want fs.ErrNotExist", err)
+	}
+	// ...and BlockRead retries against the published blocklist.
+	row, found, _, err := d.BlockRead("t", 0)
+	if err != nil || !found || row[1] != 0 {
+		t.Fatalf("BlockRead after compaction = %v found=%v err=%v", row, found, err)
+	}
+}
+
+// Cold point reads hammered while checkpoints and compactions republish
+// the blocklist must never fail: before BlockRead retried on unlinked
+// files, this raced into spurious ENOENTs.
+func TestBlockReadUnderCompactionChurn(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurableOptions(dir, hermit.LogicalPointers,
+		DurableOptions{CompactFanIn: 2, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.CreateTable("t", []string{"k", "v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert("t", []float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var readErr error
+	var mu sync.Mutex
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, found, _, err := d.BlockRead("t", 0); err != nil || !found {
+					mu.Lock()
+					if readErr == nil {
+						readErr = errors.Join(err, errors.New("key 0 not found"))
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i < 40; i++ {
+		if _, err := d.Insert("t", []float64{float64(i), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if readErr != nil {
+		t.Fatalf("cold read failed during compaction churn: %v", readErr)
+	}
+}
+
+// A failing compaction round must be visible in StorageStats — the
+// background compactor stops on error, and without the counters a
+// stalled compactor with a growing backlog looks idle.
+func TestCompactErrorSurfacedInStats(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurableOptions(dir, hermit.LogicalPointers,
+		DurableOptions{CompactFanIn: 2, DisableAutoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.CreateTable("t", []string{"k", "v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := d.Insert("t", []float64{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("boom")
+	d.failpoint = func(step string) error {
+		if step == "compact-begin" {
+			return boom
+		}
+		return nil
+	}
+	if _, err := d.Compact(); !errors.Is(err, boom) {
+		t.Fatalf("Compact error = %v, want boom", err)
+	}
+	st := d.StorageStats()
+	if st.CompactErrors != 1 || st.LastCompactError != "boom" {
+		t.Fatalf("stats after failed round: errors=%d last=%q", st.CompactErrors, st.LastCompactError)
+	}
+	d.failpoint = nil
+	if merged, err := d.Compact(); err != nil || !merged {
+		t.Fatalf("retry compact: merged=%v err=%v", merged, err)
+	}
+	st = d.StorageStats()
+	if st.LastCompactError != "" {
+		t.Fatalf("LastCompactError = %q after a successful round, want cleared", st.LastCompactError)
+	}
+	if st.CompactErrors != 1 {
+		t.Fatalf("CompactErrors = %d, want the counter to persist at 1", st.CompactErrors)
+	}
+}

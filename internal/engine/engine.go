@@ -82,7 +82,7 @@ func (db *DB) CreateTable(name string, cols []string, pkCol int) (*Table, error)
 		scheme:       db.scheme,
 		clock:        db.clock,
 		store:        storage.NewTable(len(cols)),
-		chains:       make(map[float64]*version),
+		chains:       make(map[uint64]*version),
 		verOf:        make(map[storage.RID]*version),
 		primary:      btree.New(btree.DefaultOrder),
 		secondary:    make(map[int]*btree.Tree),
@@ -137,8 +137,11 @@ type Table struct {
 	// MVCC state (mvcc.go): per-key version chains (newest first), the
 	// reverse RID -> version map queries filter candidates through, and
 	// the live-row count at the latest timestamp. All guarded by verMu.
+	// Chains are keyed by chainKey (the block tier's key-bit
+	// normalisation), not raw float64 — a float64-keyed map could never
+	// find, overwrite or delete a NaN key's chain.
 	verMu    sync.RWMutex
-	chains   map[float64]*version
+	chains   map[uint64]*version
 	verOf    map[storage.RID]*version
 	liveRows int
 

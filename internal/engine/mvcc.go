@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -180,11 +181,19 @@ func (db *DB) GCBelow(limit uint64) int {
 	return n
 }
 
+// chainKey normalises a primary key to the version-chain map key: the
+// block tier's bit-pattern normalisation (block.KeyBits), under which ±0
+// are one key and each NaN payload is its own key. Keying chains by raw
+// float64 would break for NaN — Go map lookups never find a NaN key, so
+// repeated NaN inserts would grow duplicate chains with identical bits
+// and the delta flush would emit duplicate entries block.Encode rejects.
+func chainKey(pk float64) uint64 { return block.KeyBits(pk) }
+
 // head returns pk's chain head (the newest version, live or not) under
 // verMu; nil when the key has never existed (or was fully reclaimed).
 func (t *Table) head(pk float64) *version {
 	t.verMu.RLock()
-	v := t.chains[pk]
+	v := t.chains[chainKey(pk)]
 	t.verMu.RUnlock()
 	return v
 }
@@ -193,7 +202,7 @@ func (t *Table) head(pk float64) *version {
 // the key has no visible incarnation.
 func (t *Table) resolveVisible(pk float64, ts uint64) *version {
 	t.verMu.RLock()
-	v := t.chains[pk]
+	v := t.chains[chainKey(pk)]
 	for v != nil && !visibleAt(v, ts) {
 		v = v.prev
 	}
@@ -216,9 +225,10 @@ func (t *Table) versionVisible(rid storage.RID, ts uint64) bool {
 // commitTS. Called with the key's stripe held and the clock's commit lock
 // held; prev is the (dead) head observed during validation, if any.
 func (t *Table) stampInsert(rid storage.RID, pk float64, commitTS uint64) {
+	k := chainKey(pk)
 	t.verMu.Lock()
-	v := &version{rid: rid, pk: pk, beginTS: commitTS, prev: t.chains[pk]}
-	t.chains[pk] = v
+	v := &version{rid: rid, pk: pk, beginTS: commitTS, prev: t.chains[k]}
+	t.chains[k] = v
 	t.verOf[rid] = v
 	t.liveRows++
 	t.verMu.Unlock()
@@ -229,7 +239,7 @@ func (t *Table) stampUpdate(old *version, rid storage.RID, commitTS uint64) {
 	t.verMu.Lock()
 	old.endTS = commitTS
 	v := &version{rid: rid, pk: old.pk, beginTS: commitTS, prev: old}
-	t.chains[old.pk] = v
+	t.chains[chainKey(old.pk)] = v
 	t.verOf[rid] = v
 	t.verMu.Unlock()
 }
@@ -302,7 +312,7 @@ func (t *Table) DeltaVersions(prevTS, ts uint64) []block.Entry {
 	}
 	t.verMu.RLock()
 	cands := make([]cand, 0, 64)
-	for pk, head := range t.chains {
+	for _, head := range t.chains {
 		// Walk to the newest version begun at or before ts: the key's
 		// incarnation as of the flush cut (a commit racing past ts may
 		// already have stamped newer heads).
@@ -315,12 +325,12 @@ func (t *Table) DeltaVersions(prevTS, ts uint64) []block.Entry {
 		}
 		if v.endTS == 0 || ts < v.endTS {
 			if v.beginTS > prevTS {
-				cands = append(cands, cand{rid: v.rid, pk: pk})
+				cands = append(cands, cand{rid: v.rid, pk: v.pk})
 			}
 		} else if v.endTS > prevTS {
 			// Dead at ts, and the death is inside the window: the key was
 			// deleted since the last flush.
-			cands = append(cands, cand{pk: pk, tomb: true})
+			cands = append(cands, cand{pk: v.pk, tomb: true})
 		}
 	}
 	t.verMu.RUnlock()
@@ -354,20 +364,23 @@ func (t *Table) GCVersions(horizon uint64) int {
 	// Harvest candidate keys first; chain surgery happens per key under
 	// its stripe so writers never observe a half-unlinked chain.
 	t.verMu.RLock()
-	pks := make([]float64, 0, len(t.chains))
-	for pk, head := range t.chains {
+	keys := make([]uint64, 0, len(t.chains))
+	for k, head := range t.chains {
 		if (head.endTS != 0 && head.endTS <= horizon) || head.prev != nil {
-			pks = append(pks, pk)
+			keys = append(keys, k)
 		}
 	}
 	t.verMu.RUnlock()
 
 	reclaimed := 0
-	for _, pk := range pks {
-		unlock := t.rows.lock(pk)
+	for _, k := range keys {
+		// The chain key's bit pattern round-trips to the float every
+		// version of the chain stamped (±0 normalised), so the stripe here
+		// is the one writers of this key hold.
+		unlock := t.rows.lock(math.Float64frombits(k))
 		var dead []*version
 		t.verMu.Lock()
-		head := t.chains[pk]
+		head := t.chains[k]
 		if head == nil {
 			t.verMu.Unlock()
 			unlock()
@@ -379,7 +392,7 @@ func (t *Table) GCVersions(horizon uint64) int {
 				dead = append(dead, v)
 				delete(t.verOf, v.rid)
 			}
-			delete(t.chains, pk)
+			delete(t.chains, k)
 		} else {
 			// Keep the newest reachable suffix; cut below the first
 			// version old enough that no snapshot can reach past it.
