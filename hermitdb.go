@@ -34,6 +34,7 @@ import (
 	"hermit/internal/engine"
 	"hermit/internal/hermit"
 	"hermit/internal/partition"
+	"hermit/internal/repl"
 	"hermit/internal/server"
 	"hermit/internal/storage"
 	"hermit/internal/trstree"
@@ -406,6 +407,13 @@ type (
 	ClientOp = client.Op
 	// ClientResult is one operation's outcome inside a batch or pipeline.
 	ClientResult = client.Result
+	// Cluster is a multi-endpoint client over a replicated deployment:
+	// writes go to the leader, reads round-robin across followers (with
+	// an optional read-your-writes freshness token).
+	Cluster = client.Cluster
+	// ClusterOptions configures DialCluster (read-your-writes, tenant,
+	// dial timeout).
+	ClusterOptions = client.ClusterOptions
 )
 
 // Serving-tier constructors and sentinel errors.
@@ -426,6 +434,57 @@ var (
 	ErrAborted = client.ErrAborted
 	// ErrNoTable reports a missing table in the tenant's namespace.
 	ErrNoTable = client.ErrNoTable
+	// DialCluster connects to a replicated deployment: one leader
+	// endpoint for writes, follower endpoints for reads.
+	DialCluster = client.DialCluster
+	// ErrNotLeader reports a write sent to a read-only follower; retry
+	// against the leader (Cluster does this routing automatically).
+	ErrNotLeader = client.ErrNotLeader
+)
+
+// Replication: leader-side WAL shipping and follower replay
+// (internal/repl). cmd/hermitd wires these behind -replicate-from and
+// -repl-ack; embedders can run both roles in-process (see
+// examples/replica). A follower is promoted to leader with
+// Follower.Promote, which bumps and fences the replication epoch.
+type (
+	// ReplLeader ships committed WAL frame groups to subscribed
+	// followers and tracks their acked watermarks.
+	ReplLeader = repl.Leader
+	// ReplLeaderOptions tunes a ReplLeader (ack mode, quorum timeout,
+	// frame batch bounds).
+	ReplLeaderOptions = repl.LeaderOptions
+	// ReplFollower tails a leader and replays its log into a local
+	// read-only DurableDB, publishing an applied-LSN watermark.
+	ReplFollower = repl.Follower
+	// ReplFollowerOptions configures OpenReplFollower (directory, stable
+	// identity, leader address, pointer scheme, reconnect cadence).
+	ReplFollowerOptions = repl.FollowerOptions
+	// ReplAckMode selects when the leader acknowledges a write: as soon
+	// as it is locally durable, or only after a follower quorum acks.
+	ReplAckMode = repl.AckMode
+)
+
+// Replication constructors and ack modes.
+var (
+	// NewReplLeader wraps an open DurableDB in a replication leader;
+	// pass it to ServerOptions.Leader so subscriptions come in over the
+	// server's wire endpoint.
+	NewReplLeader = repl.NewLeader
+	// OpenReplFollower opens (or resumes) a follower database tailing a
+	// leader; pass it to ServerOptions.Follower to serve replicated
+	// reads, and call Start to begin tailing.
+	OpenReplFollower = repl.OpenFollower
+)
+
+// Replication ack modes (ReplLeaderOptions.AckMode).
+const (
+	// ReplAckAsync acknowledges writes on local durability; followers
+	// apply in the background (the default).
+	ReplAckAsync = repl.AckAsync
+	// ReplAckQuorum acknowledges writes only after a majority of
+	// registered followers have acked the write's LSN.
+	ReplAckQuorum = repl.AckQuorum
 )
 
 // Client-side batch op kinds (ClientOp.Kind).

@@ -124,6 +124,7 @@ var Registry = []Experiment{
 	{"partition", "Hash partitioning: scatter-gather throughput vs partitions x goroutines", RunPartition},
 	{"txn", "MVCC transactions: scan-under-writes, abort rate, snapshot overhead", RunTxn},
 	{"server", "Network serving tier: loopback throughput/latency vs clients", RunServer},
+	{"repl", "Replication: follower read scaling; lag vs write rate", RunRepl},
 }
 
 // ByID returns the experiment with the given id.

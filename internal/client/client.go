@@ -34,6 +34,11 @@ var (
 	ErrDraining = errors.New("client: server draining")
 	// ErrDupKey: insert collided with an existing primary key (or table).
 	ErrDupKey = errors.New("client: duplicate key")
+	// ErrNotLeader: the node is a read-only replication follower; retry
+	// the write against the leader.
+	ErrNotLeader = errors.New("client: node is not the leader")
+	// ErrFenced: the peer was fenced by a newer leader epoch.
+	ErrFenced = errors.New("client: fenced by a newer epoch")
 )
 
 // Error is a server-reported failure (any RespError), wrapping the
@@ -65,6 +70,10 @@ func (e *Error) Unwrap() error {
 		return ErrDraining
 	case proto.CodeDupKey:
 		return ErrDupKey
+	case proto.CodeNotLeader:
+		return ErrNotLeader
+	case proto.CodeFenced:
+		return ErrFenced
 	}
 	return nil
 }
@@ -140,6 +149,17 @@ func (c *Conn) readResponse() (proto.Response, error) {
 func (c *Conn) Ping() error {
 	_, err := c.roundTrip(&proto.Request{Type: proto.ReqPing})
 	return err
+}
+
+// LSN returns the node's replication watermark: its last written LSN on a
+// leader, its applied LSN on a follower. Reads against a follower are
+// consistent as of its watermark.
+func (c *Conn) LSN() (uint64, error) {
+	resp, err := c.roundTrip(&proto.Request{Type: proto.ReqLSN})
+	if err != nil {
+		return 0, err
+	}
+	return resp.LSN, nil
 }
 
 // Point returns the rows where column col equals v.

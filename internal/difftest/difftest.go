@@ -56,6 +56,7 @@ var Configs = []string{
 	"snapshot-scan",       // concurrent reader asserting no scan observes a partial batch
 	"server",              // op stream replayed over loopback TCP through the serving tier
 	"blocks",              // durable engine under aggressive flush/compaction thresholds
+	"replica",             // leader + tailing follower, three-way audits, follower restarts
 }
 
 // schema is the generated table shape: col 0 is the primary key, col 1 the
@@ -427,6 +428,8 @@ func build(cfgName string, cfg Config, s schema) (system, error) {
 		return &partSystem{pt: pt}, nil
 	case "server":
 		return buildServer(cfg, s)
+	case "replica":
+		return buildReplica(cfg, s)
 	case "durable", "durable-partitioned", "blocks":
 		var opts engine.DurableOptions
 		if cfgName == "blocks" {

@@ -25,7 +25,8 @@ func TestDifferential(t *testing.T) {
 				t.Parallel()
 				cfg := Config{Seed: seed, Ops: *difftestOps, Partitions: 2 + int(seed)%3}
 				if cfgName == "durable" || cfgName == "durable-partitioned" ||
-					cfgName == "txn" || cfgName == "server" || cfgName == "blocks" {
+					cfgName == "txn" || cfgName == "server" || cfgName == "blocks" ||
+					cfgName == "replica" {
 					cfg.Dir = t.TempDir()
 				}
 				if err := Run(cfgName, cfg); err != nil {

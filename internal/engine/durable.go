@@ -90,6 +90,16 @@ type DurableDB struct {
 	rows    stripedLock
 	orphans []*wal.Log // pre-rotation logs left open by a simulated crash
 
+	// walBase is the global LSN the current segment continues from (the
+	// last LSN of the previous segment; 0 for the first segment ever).
+	// It keeps LSNs strictly increasing across rotations — the coordinate
+	// system replication subscriptions live in. Guarded by mu.
+	walBase uint64
+	// walWatchers holds every channel registered through WatchWAL; a
+	// rotation re-registers them on the successor segment's log so a
+	// tailer's wakeup source survives the swap. Guarded by mu.
+	walWatchers []chan struct{}
+
 	// ckptMu serialises the flush/compaction pipeline: Checkpoint,
 	// Compact and Close. It is always acquired before mu.
 	ckptMu sync.Mutex
@@ -147,6 +157,13 @@ type DurableDB struct {
 	lastSkipErr error
 	uncommitted int // transactions whose commit record never hit the log
 
+	// recPending holds the mutation records of transactions whose commit
+	// record never reached the log, keyed by txn id — the uncommitted
+	// tails recovery rolled back. A replication follower seeds its apply
+	// buffers from this: the frames are already in its WAL, so the leader
+	// resumes past them and only the commit decision is still owed.
+	recPending map[uint64][]wal.Record
+
 	// failpoint, when non-nil, is invoked at every step boundary of
 	// Checkpoint and Compact with a step label; a returned error simulates
 	// a crash at that boundary (the operation aborts with the on-disk
@@ -198,6 +215,14 @@ type DurableOptions struct {
 	// compaction then runs only through explicit Compact calls. Used by
 	// deterministic tests.
 	DisableAutoCompact bool
+	// ReplRetainWALSegments is how many pre-rotation WAL segments to keep
+	// on disk for replication catch-up (0 — the default — deletes them at
+	// the first GC after rotation, the historical behaviour). A leader
+	// sets this so a briefly-disconnected follower can resume from its
+	// LSN by tailing retained segments; a follower further behind than
+	// the oldest retained segment falls back to snapshot bootstrap, which
+	// is what bounds disk growth under an arbitrarily slow subscriber.
+	ReplRetainWALSegments int
 }
 
 func (o DurableOptions) walOptions() wal.Options {
@@ -276,12 +301,17 @@ const manifestVersion = 5
 // reproduce exactly the rows live at the flush cut and the tail replays
 // only records committed after it.
 type manifest struct {
-	Version  int                     `json:"version"`
-	Scheme   int                     `json:"scheme"`
-	Epoch    uint64                  `json:"epoch"`
-	WALSeg   uint64                  `json:"wal_seg"`
-	WALStart int64                   `json:"wal_start"`
-	Tables   map[string]*durableMeta `json:"tables"`
+	Version  int    `json:"version"`
+	Scheme   int    `json:"scheme"`
+	Epoch    uint64 `json:"epoch"`
+	WALSeg   uint64 `json:"wal_seg"`
+	WALStart int64  `json:"wal_start"`
+	// WALBase is the global LSN the manifest's segment continues from
+	// (the previous segment's last LSN). Additive in v5: older manifests
+	// decode it as 0, which reproduces the historical per-segment
+	// numbering exactly.
+	WALBase uint64                  `json:"wal_base_lsn,omitempty"`
+	Tables  map[string]*durableMeta `json:"tables"`
 }
 
 type ddlTable struct {
@@ -358,6 +388,7 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 		}
 		d.epoch = m.Epoch
 		d.walSeg = m.WALSeg
+		d.walBase = m.WALBase
 		d.pubWALSeg = m.WALSeg
 		d.pubWALStart = m.WALStart
 		rawList, err := os.ReadFile(p.blocklist(m.Epoch))
@@ -450,11 +481,14 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 		return nil, err
 	}
 	d.uncommitted = len(pending)
+	d.recPending = pending
 	d.txnSeq.Store(maxTxn)
 	// Phase 3: open the log for appending — wal.OpenWith truncates any
 	// crash-torn tail, which is what keeps post-recovery appends reachable
 	// — clear stale-epoch leftovers, and start the compactor.
-	log, err := wal.OpenWith(walPath, opts.walOptions())
+	wo := opts.walOptions()
+	wo.BaseLSN = d.walBase
+	log, err := wal.OpenWith(walPath, wo)
 	if err != nil {
 		return nil, err
 	}
@@ -1074,6 +1108,10 @@ type flushCut struct {
 	// when rotating).
 	walSeg   uint64
 	walStart int64
+	// walBase is the global LSN the manifest's segment continues from: the
+	// current segment's base, or — when rotating — the old segment's last
+	// LSN, which the fresh segment numbers onward from.
+	walBase uint64
 }
 
 type physTable struct {
@@ -1147,6 +1185,13 @@ func (d *DurableDB) checkpointLocked() error {
 		next:     d.epoch + 1,
 		walSeg:   d.walSeg,
 		walStart: d.log.Size(),
+		walBase:  d.walBase,
+	}
+	if cut.rotate {
+		// The latch is held across the whole rotating flush, so the old
+		// segment's last LSN is final here — the fresh segment continues
+		// the global sequence from it.
+		cut.walBase = d.log.LastLSN()
 	}
 	for phys, descs := range d.lists {
 		cut.lists[phys] = descs
@@ -1194,12 +1239,27 @@ func (d *DurableDB) checkpointLocked() error {
 	d.pubWALSeg = cut.walSeg
 	d.pubWALStart = cut.walStart
 	var oldLog *wal.Log
+	var rotatedWatchers []chan struct{}
 	if cut.rotate {
 		oldLog, d.log = d.log, newLog
 		d.walSeg = cut.next
+		d.walBase = cut.walBase
+		// Re-home registered tailer wakeups onto the successor segment and
+		// remember them for a post-swap nudge, so a tailer parked at the old
+		// segment's EOF notices the rotation.
+		rotatedWatchers = append(rotatedWatchers, d.walWatchers...)
+		for _, ch := range rotatedWatchers {
+			newLog.Watch(ch)
+		}
 	}
 	d.lastFlushTS = cut.flushTS
 	unlatch()
+	for _, ch := range rotatedWatchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 	d.flushes.Add(1)
 	d.flushedBytes.Add(flushed)
 	if err := d.fp("after-manifest-rename"); err != nil {
@@ -1252,8 +1312,10 @@ func (d *DurableDB) writeEpoch(p durablePaths, cut *flushCut) (newLog *wal.Log, 
 		}
 	}
 	if cut.rotate {
+		wo := d.opts.walOptions()
+		wo.BaseLSN = cut.walBase
 		var werr error
-		newLog, werr = wal.OpenWith(p.wal(cut.next), d.opts.walOptions())
+		newLog, werr = wal.OpenWith(p.wal(cut.next), wo)
 		if werr != nil {
 			return newLog, nil, 0, werr
 		}
@@ -1283,6 +1345,7 @@ func (d *DurableDB) writeEpoch(p durablePaths, cut *flushCut) (newLog *wal.Log, 
 		Epoch:    cut.next,
 		WALSeg:   cut.walSeg,
 		WALStart: cut.walStart,
+		WALBase:  cut.walBase,
 		Tables:   cut.tables,
 	}
 	raw, werr := json.MarshalIndent(m, "", "  ")
@@ -1387,6 +1450,7 @@ func (d *DurableDB) compactOnce() (bool, error) {
 	next := d.epoch + 1
 	tables := d.manifestTables
 	walSeg, walStart := d.pubWALSeg, d.pubWALStart
+	walBase := d.walBase
 	d.mu.RUnlock()
 
 	phys, start, n := pickRun(lists, d.opts.fanIn())
@@ -1450,6 +1514,7 @@ func (d *DurableDB) compactOnce() (bool, error) {
 		Epoch:    next,
 		WALSeg:   walSeg,
 		WALStart: walStart,
+		WALBase:  walBase,
 		Tables:   tables,
 	}
 	raw, err := json.MarshalIndent(m, "", "  ")
@@ -1787,10 +1852,11 @@ func probeBlocks(handles []*block.Handle, pk float64) (row []float64, found bool
 }
 
 // gcStale removes artifacts no longer referenced by the published epoch:
-// temp files, WAL segments other than the appended-to one, blocklists of
-// other epochs, unreferenced block files, and rows files from the
-// pre-block layout. Best-effort: failures leave garbage that the next
-// pass retries.
+// temp files, WAL segments other than the appended-to one (minus the
+// ReplRetainWALSegments newest predecessors kept for replication
+// catch-up), blocklists of other epochs, unreferenced block files, and
+// rows files from the pre-block layout. Best-effort: failures leave
+// garbage that the next pass retries.
 func (d *DurableDB) gcStale() {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
@@ -1805,6 +1871,28 @@ func (d *DurableDB) gcStale() {
 		}
 	}
 	d.mu.RUnlock()
+	// Retention keeps the newest K segments older than the current one;
+	// anything older still, plus any segment numbered past the current
+	// (a crash leftover from an unpublished rotation), is stale.
+	retained := make(map[uint64]bool)
+	if k := d.opts.ReplRetainWALSegments; k > 0 {
+		var old []uint64
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log") {
+				if seg, ok := parseEpoch(name[len("wal.") : len(name)-len(".log")]); ok && seg < walSeg {
+					old = append(old, seg)
+				}
+			}
+		}
+		sort.Slice(old, func(i, j int) bool { return old[i] > old[j] })
+		if len(old) > k {
+			old = old[:k]
+		}
+		for _, seg := range old {
+			retained[seg] = true
+		}
+	}
 	for _, e := range entries {
 		name := e.Name()
 		stale := false
@@ -1813,7 +1901,7 @@ func (d *DurableDB) gcStale() {
 			stale = true
 		case strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log"):
 			seg, ok := parseEpoch(name[len("wal.") : len(name)-len(".log")])
-			stale = ok && seg != walSeg
+			stale = ok && seg != walSeg && !retained[seg]
 		case strings.HasPrefix(name, "blocklist."):
 			ep, ok := parseEpoch(name[len("blocklist."):])
 			stale = ok && ep != epoch

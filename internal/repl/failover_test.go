@@ -1,0 +1,335 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermit/internal/engine"
+	"hermit/internal/hermit"
+	"hermit/internal/server/proto"
+)
+
+// errInjected is the simulated leader crash a failpoint raises.
+var errInjected = errors.New("injected leader crash")
+
+// armOnce installs a failpoint on the leader that fires errInjected the
+// nth time the named step is reached, then disarms.
+func armOnce(l *Leader, step string, nth int64) *atomic.Int64 {
+	var hits atomic.Int64
+	l.failpoint = func(s string) error {
+		if s != step {
+			return nil
+		}
+		if hits.Add(1) == nth {
+			return errInjected
+		}
+		return nil
+	}
+	return &hits
+}
+
+// TestFailoverAtStepBoundaries kills the leader's subscription stream at
+// every replication step boundary ("state" handshake, each snapshot
+// chunk, the snapshot cut, each frame batch) and proves the follower
+// recovers through reconnection, converges, and survives promotion with
+// every leader write intact.
+func TestFailoverAtStepBoundaries(t *testing.T) {
+	steps := []struct {
+		step string
+		nth  int64
+		snap bool // scenario must force the snapshot-bootstrap path
+	}{
+		{"state", 1, false},
+		{"frames", 1, false},
+		{"frames", 3, false},
+		{"snap", 1, true},
+		{"snap", 2, true},
+		{"snap-done", 1, true},
+	}
+	for _, tc := range steps {
+		tc := tc
+		name := tc.step
+		if tc.nth > 1 {
+			name += "-later"
+		}
+		t.Run(name, func(t *testing.T) {
+			dopts := engine.DurableOptions{}
+			if tc.snap {
+				dopts = rotatingOpts(0)
+			}
+			h := newLeaderHarness(t, t.TempDir(), dopts, LeaderOptions{
+				// Small batches so "frames" fires several times.
+				BatchRecords: 16,
+			})
+			defer h.close()
+
+			if _, err := h.d.CreateTable("t", []string{"id", "v"}, 0); err != nil {
+				t.Fatal(err)
+			}
+			// A second table gives a bootstrap image several chunks, so
+			// "snap" can crash mid-snapshot rather than only on the first
+			// chunk.
+			if _, err := h.d.CreateTable("u", []string{"id"}, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.d.Insert("u", []float64{1}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if _, err := h.d.Insert("t", []float64{float64(i), float64(i)}); err != nil {
+					t.Fatal(err)
+				}
+				if tc.snap && i%40 == 39 {
+					// Rotations beyond retention 0 force a joining
+					// follower through snapshot bootstrap.
+					if err := h.d.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			hits := armOnce(h.l, tc.step, tc.nth)
+			f := openTestFollower(t, t.TempDir(), "f1", h.addr(), engine.DurableOptions{})
+			defer f.Close()
+			if err := f.WaitFor(h.d.LastLSN(), waitTimeout); err != nil {
+				t.Fatal(err)
+			}
+			if hits.Load() < tc.nth {
+				t.Fatalf("failpoint %s fired %d times, want >= %d", tc.step, hits.Load(), tc.nth)
+			}
+			assertSameRows(t, tableRows(t, h.d, "t"), tableRows(t, f.DB(), "t"), "converged after crash")
+			assertSameRows(t, tableRows(t, h.d, "u"), tableRows(t, f.DB(), "u"), "second table converged")
+
+			// Now the leader dies for real; the follower takes over with
+			// every write intact and a fenced epoch.
+			want := tableRows(t, h.d, "t")
+			oldEpoch := h.l.Epoch()
+			h.close()
+			db, err := f.Promote()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			nl, err := NewLeader(db, LeaderOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nl.Epoch() != oldEpoch+1 {
+				t.Fatalf("promoted epoch %d, want %d", nl.Epoch(), oldEpoch+1)
+			}
+			assertSameRows(t, want, tableRows(t, db, "t"), "promoted state")
+			if _, err := db.Insert("t", []float64{9999, 0}); err != nil {
+				t.Fatalf("promoted leader rejects writes: %v", err)
+			}
+		})
+	}
+}
+
+// TestQuorumNoAckedWriteLoss is the core failover guarantee: with two
+// followers and quorum acknowledgement, every write whose quorum wait
+// succeeded before the leader crash must survive promotion of the
+// highest-LSN follower — including when one follower lags far behind.
+func TestQuorumNoAckedWriteLoss(t *testing.T) {
+	h := newLeaderHarness(t, t.TempDir(), engine.DurableOptions{},
+		LeaderOptions{AckMode: AckQuorum, BatchRecords: 8})
+	f1 := openTestFollower(t, t.TempDir(), "f1", h.addr(), engine.DurableOptions{})
+	defer f1.Close()
+	f2dir := t.TempDir()
+	f2 := openTestFollower(t, f2dir, "f2", h.addr(), engine.DurableOptions{})
+
+	if _, err := h.d.CreateTable("t", []string{"id", "v"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.WaitFor(h.d.LastLSN(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.WaitFor(h.d.LastLSN(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	var acked []float64
+	for i := 0; i < 150; i++ {
+		if i == 50 {
+			// One follower stalls; quorum (majority of 3 = leader + 1
+			// of 2 followers) keeps committing through the other.
+			f2.Pause()
+		}
+		if _, err := h.d.Insert("t", []float64{float64(i), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.l.WaitQuorum(h.d.LastLSN(), waitTimeout); err == nil {
+			acked = append(acked, float64(i))
+		}
+	}
+	if len(acked) != 150 {
+		t.Fatalf("only %d/150 writes reached quorum", len(acked))
+	}
+	st := h.l.Stats()
+	if len(st.Followers) != 2 {
+		t.Fatalf("leader tracks %d followers, want 2", len(st.Followers))
+	}
+
+	// Leader crashes. Promote the highest-LSN follower.
+	oldEpoch := h.l.Epoch()
+	h.close()
+	if f1.DurableLSN() < f2.DurableLSN() {
+		t.Fatalf("expected f1 (%d) ahead of paused f2 (%d)", f1.DurableLSN(), f2.DurableLSN())
+	}
+	db, err := f1.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := NewLeader(db, LeaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Epoch() != oldEpoch+1 {
+		t.Fatalf("promoted epoch %d, want %d", nl.Epoch(), oldEpoch+1)
+	}
+
+	// Zero acked-write loss: every quorum-acknowledged row is present.
+	got := map[float64]bool{}
+	for _, row := range tableRows(t, db, "t") {
+		got[row[0]] = true
+	}
+	for _, pk := range acked {
+		if !got[pk] {
+			t.Fatalf("acked write pk=%v lost across failover", pk)
+		}
+	}
+
+	// The lagging follower re-points at the new leader and converges on
+	// the promoted history.
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nh := harnessFor(t, db, nl)
+	defer nh.close()
+	f2b := openTestFollower(t, f2dir, "f2", nh.addr(), engine.DurableOptions{})
+	defer f2b.Close()
+	if _, err := db.Insert("t", []float64{1000, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2b.WaitFor(db.LastLSN(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, tableRows(t, db, "t"), tableRows(t, f2b.DB(), "t"), "lagging follower converges")
+	if f2b.Epoch() != nl.Epoch() {
+		t.Fatalf("follower epoch %d, want %d", f2b.Epoch(), nl.Epoch())
+	}
+}
+
+// TestZombieLeaderRejoinsFenced crash-recovers the old leader's directory
+// after a failover and proves it cannot serve the new replica set: a
+// subscriber carrying the promoted epoch is refused with CodeFenced.
+func TestZombieLeaderRejoinsFenced(t *testing.T) {
+	ldir := t.TempDir()
+	h := newLeaderHarness(t, ldir, engine.DurableOptions{}, LeaderOptions{})
+	f := openTestFollower(t, t.TempDir(), "f1", h.addr(), engine.DurableOptions{})
+
+	if _, err := h.d.CreateTable("t", []string{"id"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := h.d.Insert("t", []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitFor(h.d.LastLSN(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+	h.close()
+	db, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	nl, err := NewLeader(db, LeaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The old leader restarts from its directory, oblivious to the
+	// failover: its persisted epoch predates the promotion.
+	zd, err := engine.OpenDurable(ldir, hermit.PhysicalPointers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zl, err := NewLeader(zd, LeaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zh := harnessFor(t, zd, zl)
+	defer zh.close()
+	if zl.Epoch() >= nl.Epoch() {
+		t.Fatalf("zombie epoch %d not behind promoted %d", zl.Epoch(), nl.Epoch())
+	}
+
+	// Direct subscription with the new epoch: refused and fenced.
+	var mu sync.Mutex
+	var got *proto.Response
+	send := func(resp *proto.Response) error {
+		mu.Lock()
+		if got == nil {
+			r := *resp
+			got = &r
+		}
+		mu.Unlock()
+		return nil
+	}
+	err = zl.ServeSubscriber(0, nl.Epoch(), "probe", send, make(chan struct{}))
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie served a new-epoch subscriber: %v", err)
+	}
+	mu.Lock()
+	if got == nil || got.Code != proto.CodeFenced {
+		t.Fatalf("subscriber saw %+v, want CodeFenced", got)
+	}
+	mu.Unlock()
+
+	// A real follower of the new leader dials the zombie by mistake: its
+	// subscription loop must fence rather than regress onto stale history.
+	fz, err := OpenFollower(FollowerOptions{
+		Dir: t.TempDir(), ID: "fz", LeaderAddr: zh.addr(),
+		Scheme:         hermit.PhysicalPointers,
+		ReconnectDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fz.Close()
+	fz.mu.Lock()
+	fz.epoch = nl.Epoch()
+	fz.mu.Unlock()
+	fz.Start()
+	deadline := time.Now().Add(waitTimeout)
+	for {
+		if err := fz.err(); err != nil && errors.Is(err, ErrFenced) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never fenced the zombie: %v", fz.err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDivergedFollowerFenced: a follower whose log runs past the
+// leader's (it followed a different history) must be refused, not
+// silently reset.
+func TestDivergedFollowerFenced(t *testing.T) {
+	h := newLeaderHarness(t, t.TempDir(), engine.DurableOptions{}, LeaderOptions{})
+	defer h.close()
+	if _, err := h.d.CreateTable("t", []string{"id"}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(resp *proto.Response) error { return nil }
+	err := h.l.ServeSubscriber(h.d.LastLSN()+100, 0, "diverged", send, make(chan struct{}))
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("diverged subscriber served: %v", err)
+	}
+}

@@ -157,7 +157,11 @@ func (sv *server) execHTTP(h *httpOp) httpResult {
 		return httpResult{Code: int(proto.CodeQuota), Error: "tenant op quota exhausted"}
 	}
 
-	b := sv.backend
+	b := sv.be()
+	if sv.follower.Load() != nil && isMutating(&req) {
+		return fromResponse(errorResponse(reject(proto.CodeNotLeader,
+			"node is a read-only follower; send writes to the leader")))
+	}
 	var resp proto.Response
 	switch req.Type {
 	case proto.ReqPing:
@@ -165,11 +169,14 @@ func (sv *server) execHTTP(h *httpOp) httpResult {
 	case proto.ReqPoint, proto.ReqRange, proto.ReqRange2:
 		resp = b.runReads(h.Tenant, []proto.Request{req})[0]
 	case proto.ReqInsert, proto.ReqUpdate, proto.ReqDelete:
-		resp = b.runMutation(h.Tenant, &req)
+		resp = sv.quorumGate(b.runMutation(h.Tenant, &req))
 	case proto.ReqBatch:
 		resp = b.runBatch(h.Tenant, &req)
+		if isMutating(&req) {
+			resp = sv.quorumGate(resp)
+		}
 	case proto.ReqCreateTable, proto.ReqCreateIndex:
-		resp = b.runDDL(h.Tenant, &req)
+		resp = sv.quorumGate(b.runDDL(h.Tenant, &req))
 	}
 	return fromResponse(resp)
 }
@@ -199,6 +206,20 @@ func (sv *server) serveHTTP(addr string) (func() error, net.Listener, error) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode((&Server{s: sv}).Stats())
 	})
+	mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if sv.promote == nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]any{"ok": false, "error": "promotion not configured"})
+			return
+		}
+		if err := sv.promote(); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{"ok": false, "error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": true})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if sv.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -222,8 +243,10 @@ func httpStatus(code proto.ErrCode) int {
 		return http.StatusTooManyRequests
 	case proto.CodeNoTable:
 		return http.StatusNotFound
-	case proto.CodeConflict, proto.CodeAborted, proto.CodeDupKey:
+	case proto.CodeConflict, proto.CodeAborted, proto.CodeDupKey, proto.CodeFenced:
 		return http.StatusConflict
+	case proto.CodeNotLeader:
+		return http.StatusMisdirectedRequest
 	default:
 		return http.StatusInternalServerError
 	}

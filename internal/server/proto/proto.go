@@ -142,6 +142,13 @@ type Request struct {
 	// Kind and Host describe a ReqCreateIndex.
 	Kind IndexKind
 	Host uint16
+	// LSN, Epoch and Follower are the replication fields: the resume /
+	// acked LSN (ReqReplSubscribe, ReqReplAck), the leader epoch the
+	// sender last followed (ReqReplSubscribe), and the follower's stable
+	// id (both).
+	LSN      uint64
+	Epoch    uint64
+	Follower string
 }
 
 // RespType identifies a server-to-client message.
@@ -209,6 +216,16 @@ type Response struct {
 	// Code and Msg describe a RespError.
 	Code ErrCode
 	Msg  string
+	// LSN is the watermark of a RespLSN, the leader's last LSN in a
+	// RespReplState, or the snapshot cut of a RespReplSnapDone; Epoch and
+	// NeedSnapshot complete a RespReplState.
+	LSN          uint64
+	Epoch        uint64
+	NeedSnapshot bool
+	// Recs are a RespReplFrames batch, in strict LSN order.
+	Recs []WALRecord
+	// Snap is a RespReplSnapTable bootstrap chunk.
+	Snap *SnapTable
 }
 
 // --- encoding ------------------------------------------------------------
@@ -326,6 +343,15 @@ func appendRequestBody(b []byte, r *Request, nested bool) ([]byte, error) {
 		b = append(b, byte(r.Kind))
 		b = appendU16(b, r.Col)
 		return appendU16(b, r.Host), nil
+	case ReqLSN:
+		return b, nil
+	case ReqReplSubscribe:
+		b = appendU64(b, r.LSN)
+		b = appendU64(b, r.Epoch)
+		return appendStr(b, r.Follower)
+	case ReqReplAck:
+		b = appendU64(b, r.LSN)
+		return appendStr(b, r.Follower)
 	default:
 		return nil, fmt.Errorf("%w: unknown request type %d", ErrBadMessage, r.Type)
 	}
@@ -375,6 +401,28 @@ func appendResponseBody(b []byte, r *Response, nested bool) ([]byte, error) {
 	case RespError:
 		b = append(b, byte(r.Code))
 		return appendStr(b, r.Msg)
+	case RespLSN, RespReplSnapDone:
+		return appendU64(b, r.LSN), nil
+	case RespReplState:
+		b = appendU64(b, r.LSN)
+		b = appendU64(b, r.Epoch)
+		if r.NeedSnapshot {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	case RespReplFrames:
+		b = appendU32(b, uint32(len(r.Recs)))
+		for i := range r.Recs {
+			if b, err = appendWALRecord(b, &r.Recs[i]); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case RespReplSnapTable:
+		if r.Snap == nil {
+			return nil, fmt.Errorf("%w: snapshot chunk without table", ErrBadMessage)
+		}
+		return appendSnapTable(b, r.Snap)
 	default:
 		return nil, fmt.Errorf("%w: unknown response type %d", ErrBadMessage, r.Type)
 	}
@@ -588,6 +636,11 @@ func decodeRequestBody(c *cursor, nested bool) (Request, error) {
 		if c.err == nil && r.Kind > IndexHermit {
 			return r, fmt.Errorf("%w: index kind %d", ErrBadMessage, r.Kind)
 		}
+	case ReqLSN:
+	case ReqReplSubscribe:
+		r.LSN, r.Epoch, r.Follower = c.u64(), c.u64(), c.str()
+	case ReqReplAck:
+		r.LSN, r.Follower = c.u64(), c.str()
 	default:
 		return r, fmt.Errorf("%w: unknown request type %d", ErrBadMessage, r.Type)
 	}
@@ -638,6 +691,40 @@ func decodeResponseBody(c *cursor, nested bool) (Response, error) {
 	case RespError:
 		r.Code = ErrCode(c.u8())
 		r.Msg = c.str()
+	case RespLSN, RespReplSnapDone:
+		r.LSN = c.u64()
+	case RespReplState:
+		r.LSN = c.u64()
+		r.Epoch = c.u64()
+		r.NeedSnapshot = c.u8() != 0
+	case RespReplFrames:
+		n := int(c.u32())
+		// Each record carries at least its fixed header: a count beyond
+		// the remaining bytes is structurally impossible.
+		if c.err == nil && (n < 0 || n > len(c.b)-c.off) {
+			return r, fmt.Errorf("%w: frame batch count %d", ErrBadMessage, n)
+		}
+		last := uint64(0)
+		for i := 0; i < n && c.err == nil; i++ {
+			rec := decodeWALRecord(c)
+			if c.err != nil {
+				break
+			}
+			// The stream invariant — strictly increasing LSNs — is checked
+			// at the framing layer so a corrupt batch is refused whole,
+			// before any record could be applied.
+			if rec.LSN <= last {
+				return r, fmt.Errorf("%w: frame batch LSN %d after %d", ErrBadMessage, rec.LSN, last)
+			}
+			last = rec.LSN
+			r.Recs = append(r.Recs, rec)
+		}
+	case RespReplSnapTable:
+		st, err := decodeSnapTable(c)
+		if err != nil {
+			return r, err
+		}
+		r.Snap = st
 	default:
 		return r, fmt.Errorf("%w: unknown response type %d", ErrBadMessage, r.Type)
 	}

@@ -36,6 +36,10 @@ func sampleRequests() []Request {
 		{Type: ReqCreateTable, Table: "p", PKCol: 0, Parts: 4, Cols: []string{"id", "x"}},
 		{Type: ReqCreateIndex, Table: "t", Kind: IndexHermit, Col: 2, Host: 1},
 		{Type: ReqCreateIndex, Table: "t", Kind: IndexBTree, Col: 1},
+		{Type: ReqLSN},
+		{Type: ReqReplSubscribe, LSN: 42, Epoch: 3, Follower: "replica-1"},
+		{Type: ReqReplSubscribe},
+		{Type: ReqReplAck, LSN: 17, Follower: "replica-1"},
 	}
 }
 
@@ -55,6 +59,24 @@ func sampleResponses() []Response {
 		}},
 		{Type: RespBatch},
 		{Type: RespError, Code: CodeOverloaded, Msg: "backpressure"},
+		{Type: RespError, Code: CodeNotLeader, Msg: "read-only follower"},
+		{Type: RespError, Code: CodeFenced, Msg: "stale epoch"},
+		{Type: RespLSN, LSN: 99},
+		{Type: RespReplState, LSN: 1000, Epoch: 5, NeedSnapshot: true},
+		{Type: RespReplState},
+		{Type: RespReplFrames, Recs: []WALRecord{
+			{LSN: 1, Op: 8, Txn: 9},
+			{LSN: 2, Op: 1, Part: 3, Txn: 9, Table: "t#1", Payload: []byte{1, 2, 3}},
+			{LSN: 3, Op: 9, Txn: 9, Payload: []byte{}},
+		}},
+		{Type: RespReplFrames},
+		{Type: RespReplSnapTable, Snap: &SnapTable{
+			Name: "t", Cols: []string{"id", "x"}, PKCol: 0, Parts: 2,
+			DefsJSON: []byte(`[{"kind":"btree","col":1}]`),
+			Rows:     [][]float64{{1, 2}, {3, math.NaN()}},
+		}},
+		{Type: RespReplSnapTable, Snap: &SnapTable{Name: "empty", Cols: []string{"id"}}},
+		{Type: RespReplSnapDone, LSN: 4096},
 	}
 }
 
@@ -86,6 +108,7 @@ func eqRequest(a, b Request) bool {
 	if a.Type != b.Type || a.Txn != b.Txn || a.Table != b.Table || a.Tenant != b.Tenant ||
 		a.Col != b.Col || a.BCol != b.BCol || a.PKCol != b.PKCol || a.Parts != b.Parts ||
 		a.Kind != b.Kind || a.Host != b.Host ||
+		a.LSN != b.LSN || a.Epoch != b.Epoch || a.Follower != b.Follower ||
 		!eqFloat(a.Lo, b.Lo) || !eqFloat(a.Hi, b.Hi) ||
 		!eqFloat(a.BLo, b.BLo) || !eqFloat(a.BHi, b.BHi) ||
 		!eqFloat(a.PK, b.PK) || !eqFloat(a.Value, b.Value) {
@@ -110,10 +133,25 @@ func eqRequest(a, b Request) bool {
 
 func eqResponse(a, b Response) bool {
 	if a.Type != b.Type || a.Found != b.Found || a.Txn != b.Txn ||
-		a.Code != b.Code || a.Msg != b.Msg {
+		a.Code != b.Code || a.Msg != b.Msg ||
+		a.LSN != b.LSN || a.Epoch != b.Epoch || a.NeedSnapshot != b.NeedSnapshot {
 		return false
 	}
 	if !eqRows(a.Rows, b.Rows) {
+		return false
+	}
+	if len(a.Recs) != len(b.Recs) {
+		return false
+	}
+	for i := range a.Recs {
+		if !eqWALRecord(a.Recs[i], b.Recs[i]) {
+			return false
+		}
+	}
+	if (a.Snap == nil) != (b.Snap == nil) {
+		return false
+	}
+	if a.Snap != nil && !eqSnapTable(*a.Snap, *b.Snap) {
 		return false
 	}
 	if len(a.Results) != len(b.Results) {

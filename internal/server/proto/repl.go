@@ -1,0 +1,198 @@
+package proto
+
+import (
+	"fmt"
+)
+
+// Replication wire messages. A follower opens an ordinary protocol
+// connection and sends ReqReplSubscribe naming its resume LSN, leader
+// epoch and follower id; the leader answers RespReplState (accepting,
+// fencing, or demanding a snapshot bootstrap), then streams
+// RespReplSnapTable/RespReplSnapDone (bootstrap only) followed by
+// RespReplFrames batches for as long as the subscription lives. The
+// follower sends ReqReplAck frames upstream on the same connection as its
+// durable LSN advances; acks carry no response. Like the rest of the
+// protocol these messages know nothing about engines — WALRecord mirrors
+// internal/wal's record shape without importing it, so the framing stays
+// fuzzable in isolation.
+
+// Replication request types (continuing the ReqType space).
+const (
+	// ReqLSN asks for the peer's applied LSN watermark (RespLSN). On a
+	// leader the watermark is its last written LSN.
+	ReqLSN ReqType = 15
+	// ReqReplSubscribe opens a replication stream: LSN is the last LSN the
+	// follower holds (resume point), Epoch the leader epoch it last
+	// followed, Follower its stable id.
+	ReqReplSubscribe ReqType = 16
+	// ReqReplAck reports a follower's durable LSN upstream (LSN +
+	// Follower). It has no response frame.
+	ReqReplAck ReqType = 17
+)
+
+// Replication response types (continuing the RespType space).
+const (
+	// RespLSN carries an applied-LSN watermark.
+	RespLSN RespType = 70
+	// RespReplState answers a subscribe: LSN is the leader's current last
+	// LSN, Epoch its epoch, NeedSnapshot whether a bootstrap stream
+	// (RespReplSnapTable... RespReplSnapDone) precedes the frame stream.
+	RespReplState RespType = 71
+	// RespReplFrames carries a batch of WAL records in strict LSN order.
+	RespReplFrames RespType = 72
+	// RespReplSnapTable carries one bootstrap chunk: a table's schema and
+	// a slice of its rows (large tables span several chunks; the schema
+	// repeats in each, so chunks are self-contained).
+	RespReplSnapTable RespType = 73
+	// RespReplSnapDone ends a bootstrap stream; LSN is the snapshot cut
+	// the follower resumes from.
+	RespReplSnapDone RespType = 74
+)
+
+// Replication error codes (continuing the ErrCode space).
+const (
+	// CodeNotLeader: the node is a read-only follower; writes (and
+	// replication subscriptions) belong on the leader.
+	CodeNotLeader ErrCode = 11
+	// CodeFenced: the peer's leader epoch is stale — a newer leader was
+	// promoted and the old epoch's streams are rejected.
+	CodeFenced ErrCode = 12
+)
+
+// maxBlob bounds the variable-length byte fields replication messages
+// carry (WAL payloads, index-definition JSON) well under MaxFrame.
+const maxBlob = 4 << 20
+
+// WALRecord is one WAL record on the wire: internal/wal's record shape
+// (LSN, op, partition, txn id, table, payload) without the import.
+type WALRecord struct {
+	LSN     uint64
+	Op      uint8
+	Part    uint32
+	Txn     uint64
+	Table   string
+	Payload []byte
+}
+
+// SnapTable is one snapshot-bootstrap chunk: the table's schema, its
+// recovery index definitions (JSON, schema-owned by the engine), and a
+// run of rows. Rows are uniform at len(Cols) width.
+type SnapTable struct {
+	Name     string
+	Cols     []string
+	PKCol    uint16
+	Parts    uint16
+	DefsJSON []byte
+	Rows     [][]float64
+}
+
+func appendBlob(b, blob []byte) ([]byte, error) {
+	if len(blob) > maxBlob {
+		return nil, fmt.Errorf("%w: blob length %d", ErrBadMessage, len(blob))
+	}
+	b = appendU32(b, uint32(len(blob)))
+	return append(b, blob...), nil
+}
+
+// blob reads a u32-counted byte field, validating the count against both
+// the remaining payload and maxBlob before allocating.
+func (c *cursor) blob() []byte {
+	n := int(c.u32())
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxBlob {
+		c.err = fmt.Errorf("%w: blob length %d", ErrBadMessage, n)
+		return nil
+	}
+	if b := c.take(n); b != nil {
+		return append([]byte(nil), b...)
+	}
+	return nil
+}
+
+func appendWALRecord(b []byte, rec *WALRecord) ([]byte, error) {
+	b = appendU64(b, rec.LSN)
+	b = append(b, rec.Op)
+	b = appendU32(b, rec.Part)
+	b = appendU64(b, rec.Txn)
+	var err error
+	if b, err = appendStr(b, rec.Table); err != nil {
+		return nil, err
+	}
+	return appendBlob(b, rec.Payload)
+}
+
+func decodeWALRecord(c *cursor) WALRecord {
+	var rec WALRecord
+	rec.LSN = c.u64()
+	rec.Op = c.u8()
+	rec.Part = c.u32()
+	rec.Txn = c.u64()
+	rec.Table = c.str()
+	rec.Payload = c.blob()
+	return rec
+}
+
+func appendSnapTable(b []byte, st *SnapTable) ([]byte, error) {
+	var err error
+	if b, err = appendStr(b, st.Name); err != nil {
+		return nil, err
+	}
+	b = appendU16(b, st.PKCol)
+	b = appendU16(b, st.Parts)
+	b = appendU16(b, uint16(len(st.Cols)))
+	for _, col := range st.Cols {
+		if b, err = appendStr(b, col); err != nil {
+			return nil, err
+		}
+	}
+	if b, err = appendBlob(b, st.DefsJSON); err != nil {
+		return nil, err
+	}
+	width := len(st.Cols)
+	b = appendU32(b, uint32(len(st.Rows)))
+	for _, row := range st.Rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("%w: snapshot row width %d != schema %d", ErrBadMessage, len(row), width)
+		}
+		for _, v := range row {
+			b = appendF64(b, v)
+		}
+	}
+	return b, nil
+}
+
+func decodeSnapTable(c *cursor) (*SnapTable, error) {
+	st := &SnapTable{}
+	st.Name = c.str()
+	st.PKCol = c.u16()
+	st.Parts = c.u16()
+	ncols := int(c.u16())
+	if c.err == nil && ncols > len(c.b)-c.off {
+		return nil, fmt.Errorf("%w: snapshot column count %d", ErrBadMessage, ncols)
+	}
+	for i := 0; i < ncols && c.err == nil; i++ {
+		st.Cols = append(st.Cols, c.str())
+	}
+	st.DefsJSON = c.blob()
+	nrows := int(c.u32())
+	width := len(st.Cols)
+	if c.err == nil {
+		if width == 0 && nrows != 0 {
+			return nil, fmt.Errorf("%w: %d zero-width snapshot rows", ErrBadMessage, nrows)
+		}
+		if nrows < 0 || (width > 0 && nrows > (len(c.b)-c.off)/(width*8)) {
+			c.fail()
+			return nil, c.err
+		}
+	}
+	for i := 0; i < nrows && c.err == nil; i++ {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = c.f64()
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	return st, c.err
+}

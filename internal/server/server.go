@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"hermit/internal/engine"
+	"hermit/internal/repl"
+	"hermit/internal/server/proto"
 )
 
 // Options tunes a Server. The zero value picks sensible defaults.
@@ -43,6 +45,17 @@ type Options struct {
 	// HTTPAddr, when non-empty, also serves the HTTP/JSON fallback
 	// endpoint on that address.
 	HTTPAddr string
+	// Leader, when non-nil, enables replication subscriptions on this
+	// server (and quorum write gating when the leader is configured for
+	// AckQuorum).
+	Leader *repl.Leader
+	// Follower, when non-nil, puts the server in read-only follower mode:
+	// mutations, transactions and DDL are refused with CodeNotLeader, and
+	// reads serve from the follower's database at its applied watermark.
+	Follower *repl.Follower
+	// Promote, when non-nil, is invoked by POST /v1/promote — typically
+	// wired by hermitd to promote a follower into a leader in place.
+	Promote func() error
 }
 
 func (o Options) sanitized() Options {
@@ -88,6 +101,16 @@ type StatsSnapshot struct {
 	TxnsOpen      int64 `json:"txns_open"`
 
 	Storage engine.StorageStats `json:"storage"`
+	Repl    *ReplStats          `json:"repl,omitempty"`
+}
+
+// ReplStats is the replication section of StatsSnapshot: the node's role
+// plus the matching side's watermarks (per-follower lag on a leader, the
+// applied/durable LSNs on a follower).
+type ReplStats struct {
+	Role     string              `json:"role"` // "leader" | "follower"
+	Leader   *repl.LeaderStats   `json:"leader,omitempty"`
+	Follower *repl.FollowerStats `json:"follower,omitempty"`
 }
 
 // tenantQuota is one tenant's remaining op budget.
@@ -115,9 +138,16 @@ type Server struct{ s *server }
 // server is the implementation (kept unexported so the session/backend
 // files talk to a narrow internal surface).
 type server struct {
-	opts    Options
-	backend *backend
-	stats   Stats
+	opts  Options
+	stats Stats
+
+	// backend is swappable: a follower's snapshot bootstrap replaces the
+	// engine underneath the server (see SwapEngine), and promotion can
+	// change the node's role. Sessions re-read these per request.
+	backend  atomic.Pointer[backend]
+	leader   atomic.Pointer[repl.Leader]
+	follower atomic.Pointer[repl.Follower]
+	promote  func() error
 
 	inflight chan struct{}
 
@@ -144,13 +174,40 @@ func New(d *engine.DurableDB, opts Options) *Server {
 	opts = opts.sanitized()
 	s := &server{
 		opts:     opts,
-		backend:  newBackend(d, opts.Workers),
+		promote:  opts.Promote,
 		inflight: make(chan struct{}, opts.MaxInflight),
 		quotas:   make(map[string]*tenantQuota),
 		conns:    make(map[net.Conn]struct{}),
 		serveErr: make(chan error, 1),
 	}
+	s.backend.Store(newBackend(d, opts.Workers))
+	if opts.Leader != nil {
+		s.leader.Store(opts.Leader)
+	}
+	if opts.Follower != nil {
+		s.follower.Store(opts.Follower)
+	}
 	return &Server{s: s}
+}
+
+// be returns the current backend (re-read per request: snapshot bootstrap
+// swaps it).
+func (sv *server) be() *backend { return sv.backend.Load() }
+
+// SwapEngine re-points the server at a new database — the follower-mode
+// hook for snapshot bootstrap, where the local database is wiped and
+// rebuilt. Follower sessions hold no transactions (writes are refused),
+// so in-flight requests at worst answer from the outgoing engine.
+func (s *Server) SwapEngine(d *engine.DurableDB) {
+	s.s.backend.Store(newBackend(d, s.s.opts.Workers))
+}
+
+// BecomeLeader switches a follower-mode server into leader mode in place
+// (after repl.Follower.Promote): writes are accepted again and l serves
+// replication subscriptions.
+func (s *Server) BecomeLeader(l *repl.Leader) {
+	s.s.leader.Store(l)
+	s.s.follower.Store(nil)
 }
 
 // ErrServerClosed is returned by Serve after Close begins shutdown.
@@ -221,10 +278,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		sv.register(conn)
 		sv.wg.Add(1)
 		sess := &session{
-			srv:  sv,
-			conn: conn,
-			bw:   bufio.NewWriterSize(conn, 64<<10),
-			txns: make(map[uint64]*engine.DurableTxn),
+			srv:     sv,
+			conn:    conn,
+			bw:      bufio.NewWriterSize(conn, 64<<10),
+			txns:    make(map[uint64]*engine.DurableTxn),
+			subStop: make(chan struct{}),
 		}
 		go sess.serve()
 	}
@@ -253,7 +311,7 @@ func (s *Server) HTTPAddr() net.Addr {
 // Stats snapshots the server's counters.
 func (s *Server) Stats() StatsSnapshot {
 	st := &s.s.stats
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Conns:         st.Conns.Load(),
 		ConnsActive:   st.ConnsActive.Load(),
 		Requests:      st.Requests.Load(),
@@ -261,8 +319,16 @@ func (s *Server) Stats() StatsSnapshot {
 		Rejected:      st.Rejected.Load(),
 		QuotaRejected: st.QuotaRejected.Load(),
 		TxnsOpen:      st.TxnsOpen.Load(),
-		Storage:       s.s.backend.d.StorageStats(),
+		Storage:       s.s.be().d.StorageStats(),
 	}
+	if fo := s.s.follower.Load(); fo != nil {
+		fs := fo.Stats()
+		snap.Repl = &ReplStats{Role: "follower", Follower: &fs}
+	} else if l := s.s.leader.Load(); l != nil {
+		ls := l.Stats()
+		snap.Repl = &ReplStats{Role: "leader", Leader: &ls}
+	}
+	return snap
 }
 
 // Close gracefully drains the server: stop accepting, stop reading new
@@ -349,6 +415,24 @@ func (sv *server) acquireInflight() bool {
 
 // releaseInflight returns one admission token.
 func (sv *server) releaseInflight() { <-sv.inflight }
+
+// quorumGate holds a successful write response until a quorum of
+// followers acks the leader's log position — the AckQuorum contract: an
+// acknowledged write survives leader loss, because the promoted
+// highest-LSN follower necessarily holds it. On timeout the response is
+// replaced with an error (the write is durable locally; its replication
+// state is unknown, which the client must treat as commit-uncertain).
+func (sv *server) quorumGate(resp proto.Response) proto.Response {
+	l := sv.leader.Load()
+	if l == nil || l.AckMode() != repl.AckQuorum || resp.Type == proto.RespError {
+		return resp
+	}
+	if err := l.WaitQuorum(sv.be().d.LastLSN(), l.QuorumTimeout()); err != nil {
+		return proto.Response{Type: proto.RespError, Code: proto.CodeInternal,
+			Msg: "replication quorum not reached; commit state unknown"}
+	}
+	return resp
+}
 
 // quotaFor returns the (shared) quota bucket for a tenant.
 func (sv *server) quotaFor(tenant string) *tenantQuota {

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"net"
+	"sync"
 
 	"hermit/internal/engine"
 	"hermit/internal/server/proto"
@@ -37,11 +39,30 @@ type session struct {
 	// pin the GC horizon.
 	txns   map[uint64]*engine.DurableTxn
 	nextTx uint64
+
+	// wmu serializes connection writes: normally only the executor
+	// writes, but a replication subscription adds a second writer — the
+	// stream goroutine ServeSubscriber runs on — interleaving whole
+	// frames with the executor's responses (acks, the only requests a
+	// subscribed follower keeps sending, produce no response at all).
+	wmu sync.Mutex
+	// subStop ends replication streams on session teardown; subWG waits
+	// for them so cleanup never races a streaming write.
+	subStop chan struct{}
+	subWG   sync.WaitGroup
 }
 
 // maxCoalesce bounds one coalesced read batch (and thus response latency
 // for the op at the head of the run).
 const maxCoalesce = 64
+
+// respNone is handleOne's no-response sentinel: replication acks consume
+// no response frame, and a subscription's frames are written by its own
+// stream goroutine rather than the executor.
+const respNone proto.RespType = 0
+
+// errConnClosed reports a failed stream write (the subscriber hung up).
+var errConnClosed = errors.New("server: connection closed")
 
 // maxOpenTxns bounds a session's concurrently open transactions: each
 // pins a snapshot, so an unbounded map would let one client stall GC.
@@ -88,7 +109,9 @@ func (s *session) serve() {
 			writable, carry = s.runCoalesced(item, q)
 		default:
 			resp := s.handleOne(&item.req)
-			writable = s.write(resp)
+			if resp.Type != respNone {
+				writable = s.write(resp)
+			}
 			if item.admitted {
 				s.srv.releaseInflight()
 			}
@@ -192,7 +215,7 @@ gather:
 	}
 	if len(runReqs) > 0 {
 		s.srv.stats.Coalesced.Add(int64(len(runReqs) - 1))
-		out := s.srv.backend.runReads(s.tenant, runReqs)
+		out := s.srv.be().runReads(s.tenant, runReqs)
 		for k, i := range runIdx {
 			resps[i] = out[k]
 		}
@@ -224,12 +247,37 @@ func (s *session) checkQuota(r *proto.Request) (proto.Response, bool) {
 	return proto.Response{}, true
 }
 
-// handleOne runs one non-coalesced request to a response.
+// isMutating reports whether a request changes state — the kinds a
+// read-only follower refuses with CodeNotLeader. Transactions count
+// (their commits could not be logged locally), as does any batch carrying
+// a mutation; read-only batches pass.
+func isMutating(r *proto.Request) bool {
+	switch r.Type {
+	case proto.ReqInsert, proto.ReqUpdate, proto.ReqDelete,
+		proto.ReqTxnBegin, proto.ReqCreateTable, proto.ReqCreateIndex:
+		return true
+	case proto.ReqBatch:
+		for i := range r.Ops {
+			switch r.Ops[i].Type {
+			case proto.ReqInsert, proto.ReqUpdate, proto.ReqDelete:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// handleOne runs one non-coalesced request to a response (or respNone for
+// requests that answer out-of-band or not at all).
 func (s *session) handleOne(r *proto.Request) proto.Response {
 	if resp, ok := s.checkQuota(r); !ok {
 		return resp
 	}
-	b := s.srv.backend
+	b := s.srv.be()
+	if s.srv.follower.Load() != nil && isMutating(r) {
+		return errorResponse(reject(proto.CodeNotLeader,
+			"node is a read-only follower; send writes to the leader"))
+	}
 	switch r.Type {
 	case proto.ReqHello:
 		if err := validTenant(r.Tenant); err != nil {
@@ -255,13 +303,17 @@ func (s *session) handleOne(r *proto.Request) proto.Response {
 			}
 			return runTxnMutation(s.tenant, tx, r)
 		}
-		return b.runMutation(s.tenant, r)
+		return s.srv.quorumGate(b.runMutation(s.tenant, r))
 	case proto.ReqBatch:
 		if r.Txn != 0 {
 			return errorResponse(reject(proto.CodeBadRequest,
 				"batches are their own transaction; Txn must be 0"))
 		}
-		return b.runBatch(s.tenant, r)
+		resp := b.runBatch(s.tenant, r)
+		if isMutating(r) {
+			resp = s.srv.quorumGate(resp)
+		}
+		return resp
 	case proto.ReqTxnBegin:
 		if s.srv.draining.Load() {
 			return errorResponse(reject(proto.CodeDraining, "server draining"))
@@ -284,7 +336,7 @@ func (s *session) handleOne(r *proto.Request) proto.Response {
 		if err := tx.Commit(); err != nil {
 			return errorResponse(err)
 		}
-		return proto.Response{Type: proto.RespOK}
+		return s.srv.quorumGate(proto.Response{Type: proto.RespOK})
 	case proto.ReqTxnRollback:
 		tx, ok := s.txns[r.Txn]
 		if !ok {
@@ -295,15 +347,62 @@ func (s *session) handleOne(r *proto.Request) proto.Response {
 		tx.Rollback()
 		return proto.Response{Type: proto.RespOK}
 	case proto.ReqCreateTable, proto.ReqCreateIndex:
-		return b.runDDL(s.tenant, r)
+		return s.srv.quorumGate(b.runDDL(s.tenant, r))
+	case proto.ReqLSN:
+		if fo := s.srv.follower.Load(); fo != nil {
+			return proto.Response{Type: proto.RespLSN, LSN: fo.AppliedLSN()}
+		}
+		return proto.Response{Type: proto.RespLSN, LSN: b.d.LastLSN()}
+	case proto.ReqReplSubscribe:
+		return s.startSubscription(r)
+	case proto.ReqReplAck:
+		if l := s.srv.leader.Load(); l != nil {
+			l.Ack(r.Follower, r.LSN)
+		}
+		return proto.Response{Type: respNone}
 	}
 	return errorResponse(reject(proto.CodeBadRequest, "unknown request type %d", r.Type))
+}
+
+// startSubscription hands the connection's write side to a replication
+// stream goroutine. The executor keeps running — the only requests a
+// subscribed follower sends afterwards are acks, which answer nothing —
+// and the write mutex keeps stream frames and any responses whole.
+func (s *session) startSubscription(r *proto.Request) proto.Response {
+	l := s.srv.leader.Load()
+	if l == nil {
+		if s.srv.follower.Load() != nil {
+			return errorResponse(reject(proto.CodeNotLeader,
+				"followers do not serve replication; subscribe to the leader"))
+		}
+		return errorResponse(reject(proto.CodeBadRequest, "replication not enabled"))
+	}
+	if r.Follower == "" {
+		return errorResponse(reject(proto.CodeBadRequest, "subscription needs a follower id"))
+	}
+	fromLSN, epoch, id := r.LSN, r.Epoch, r.Follower
+	s.subWG.Add(1)
+	go func() {
+		defer s.subWG.Done()
+		l.ServeSubscriber(fromLSN, epoch, id, s.send, s.subStop)
+	}()
+	return proto.Response{Type: respNone}
+}
+
+// send adapts write to the stream goroutine's error-returning signature.
+func (s *session) send(resp *proto.Response) error {
+	if !s.write(*resp) {
+		return errConnClosed
+	}
+	return nil
 }
 
 // write encodes one response frame. Flushing per response keeps one-shot
 // clients snappy; the bufio layer still batches a coalesced run's
 // responses written back-to-back.
 func (s *session) write(resp proto.Response) bool {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if err := proto.WriteResponse(s.bw, &resp); err != nil {
 		return false
 	}
@@ -315,6 +414,8 @@ func (s *session) write(resp proto.Response) bool {
 // transaction's snapshot registration, letting Clock.OldestActive advance
 // past it.
 func (s *session) cleanup() {
+	close(s.subStop)
+	s.subWG.Wait()
 	for id, tx := range s.txns {
 		tx.Rollback()
 		delete(s.txns, id)

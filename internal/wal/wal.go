@@ -103,6 +103,10 @@ var (
 	// frame layout has changed across versions and a silent truncation
 	// would read as an empty log.
 	ErrBadFormat = errors.New("wal: not a log of this format version (migrate or discard it)")
+	// ErrStaleLSN is returned by SubmitRaw for a record whose caller-assigned
+	// LSN does not advance past the log's last LSN — appending it would break
+	// the strictly-increasing LSN invariant replay depends on.
+	ErrStaleLSN = errors.New("wal: raw record LSN not past the log's last LSN")
 )
 
 // walMagic heads every log file: "HWAL" plus a big-endian format version.
@@ -150,6 +154,13 @@ type Options struct {
 	// GroupInterval is the group-commit interval for SyncGroup
 	// (DefaultGroupInterval when zero).
 	GroupInterval time.Duration
+	// BaseLSN continues a global LSN sequence across segment files: the
+	// appender numbers from max(BaseLSN, last LSN found in the file). A
+	// rotation passes the previous segment's last LSN here so that LSNs
+	// stay strictly increasing across the whole segment chain — the
+	// property replication subscriptions key on. Zero preserves the
+	// historical per-segment numbering (fresh segments start at 1).
+	BaseLSN uint64
 }
 
 func (o Options) interval() time.Duration {
@@ -168,6 +179,12 @@ type Log struct {
 	// size is the log's byte length: header plus every frame the appender
 	// has written. Readable without the appender via Size.
 	size atomic.Int64
+	// last is the LSN of the most recently written frame (or the scanned /
+	// base LSN for an empty log). Readable without the appender via LastLSN.
+	last atomic.Uint64
+
+	watchMu  sync.Mutex
+	watchers []chan struct{}
 
 	reqs chan request // unbuffered: a completed send is owned by the appender
 	quit chan struct{}
@@ -183,6 +200,10 @@ type reqKind uint8
 const (
 	reqAppend reqKind = iota
 	reqSync
+	// reqRaw appends a record that carries its own LSN (replication
+	// mirroring); the appender validates it advances the sequence instead
+	// of assigning one.
+	reqRaw
 )
 
 type request struct {
@@ -252,7 +273,11 @@ func OpenWith(path string, opts Options) (*Log, error) {
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	if opts.BaseLSN > lastLSN {
+		lastLSN = opts.BaseLSN
+	}
 	l.size.Store(validLen)
+	l.last.Store(lastLSN)
 	go l.run(lastLSN)
 	return l, nil
 }
@@ -262,6 +287,43 @@ func OpenWith(path string, opts Options) (*Log, error) {
 // after a Sync the value covers every acknowledged record — the offset a
 // checkpoint manifest records as its replay start.
 func (l *Log) Size() int64 { return l.size.Load() }
+
+// LastLSN returns the LSN of the last frame written (the base / scanned
+// LSN if nothing has been appended yet). Like Size, it is updated after
+// the frame write, so a (Size, LastLSN) pair read in either order is
+// never ahead of the bytes on disk.
+func (l *Log) LastLSN() uint64 { return l.last.Load() }
+
+// Watch registers ch to receive a non-blocking notification after the
+// appender writes new frames. Notifications coalesce: one token may cover
+// many appends, and a slow receiver loses tokens, not data — a woken tailer
+// must read to the current Size regardless. There is no Unwatch; watchers
+// live as long as the Log (a rotation re-registers them on the new one).
+func (l *Log) Watch(ch chan struct{}) {
+	l.watchMu.Lock()
+	defer l.watchMu.Unlock()
+	l.watchers = append(l.watchers, ch)
+}
+
+// Watchers returns the registered watcher channels (for handing off to a
+// successor segment on rotation).
+func (l *Log) Watchers() []chan struct{} {
+	l.watchMu.Lock()
+	defer l.watchMu.Unlock()
+	return append([]chan struct{}(nil), l.watchers...)
+}
+
+func (l *Log) notify() {
+	l.watchMu.Lock()
+	ws := l.watchers
+	l.watchMu.Unlock()
+	for _, ch := range ws {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
 
 // RepairTail truncates the file at path to its last valid frame (or to
 // zero for a torn header) and returns the resulting length. A missing
@@ -304,6 +366,31 @@ func (l *Log) Submit(rec Record) (*Ticket, error) {
 		return nil, ErrRecordTooLarge
 	}
 	req := request{kind: reqAppend, rec: rec, ch: make(chan result, 1)}
+	select {
+	case l.reqs <- req:
+		return &Ticket{ch: req.ch}, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// SubmitRaw enqueues a record that keeps its caller-assigned LSN instead
+// of receiving the appender's next one — the replication mirror path,
+// where a follower's log must reproduce the leader's frames byte for
+// byte. The LSN must advance strictly past the log's last LSN or the
+// append is rejected with ErrStaleLSN (reported via the Ticket, so
+// submission order is still append order).
+func (l *Log) SubmitRaw(rec Record) (*Ticket, error) {
+	if rec.LSN == 0 {
+		return nil, ErrStaleLSN
+	}
+	if len(rec.Table) > 1<<16-1 {
+		return nil, ErrTableNameTooLong
+	}
+	if minBodyLen+len(rec.Table)+len(rec.Payload) > maxBodyLen {
+		return nil, ErrRecordTooLarge
+	}
+	req := request{kind: reqRaw, rec: rec, ch: make(chan result, 1)}
 	select {
 	case l.reqs <- req:
 		return &Ticket{ch: req.ch}, nil
@@ -403,25 +490,37 @@ func (l *Log) run(lastLSN uint64) {
 		}
 		flush()
 	}
+	wrote := false // frames written since the last watcher notification
 	handle := func(req request) {
 		switch req.kind {
 		case reqSync:
 			flush()
 			req.ch <- result{lsn, sticky}
-		case reqAppend:
+		case reqAppend, reqRaw:
 			if sticky != nil {
 				req.ch <- result{0, sticky}
 				return
 			}
-			lsn++
+			prev := lsn
+			if req.kind == reqRaw {
+				if req.rec.LSN <= lsn {
+					req.ch <- result{0, ErrStaleLSN}
+					return
+				}
+				lsn = req.rec.LSN
+			} else {
+				lsn++
+			}
 			frame := encodeFrame(req.rec, lsn)
 			if _, err := l.f.Write(frame); err != nil {
 				sticky = fmt.Errorf("wal: append: %w", err)
-				lsn--
+				lsn = prev
 				req.ch <- result{0, sticky}
 				return
 			}
 			l.size.Add(int64(len(frame)))
+			l.last.Store(lsn)
+			wrote = true
 			switch l.opts.Policy {
 			case SyncNever:
 				req.ch <- result{lsn, nil}
@@ -453,12 +552,19 @@ func (l *Log) run(lastLSN uint64) {
 					groupFlush()
 				}
 			}
+			if wrote {
+				wrote = false
+				l.notify()
+			}
 		case <-timerC:
 			timer, timerC = nil, nil
 			flush()
 		case <-l.quit:
 			drain()
 			flush()
+			if wrote {
+				l.notify()
+			}
 			l.finalErr = sticky
 			close(l.done)
 			return
