@@ -15,7 +15,7 @@ STATICCHECK_VERSION = 2025.1.1
 
 # BENCH_EXPERIMENTS is every experiment whose BENCH_*.json artifact CI
 # records; bench-all runs them in one invocation after the fig4 smoke.
-BENCH_EXPERIMENTS = concurrency,durability,compaction,advisor,partition,txn,server,repl
+BENCH_EXPERIMENTS = concurrency,durability,compaction,advisor,partition,txn,server,repl,scenarios
 
 # Propagate a `make bench-all GOMAXPROCS=4` override into the spawned
 # bench processes (make variables are not exported to children by
@@ -24,7 +24,7 @@ ifdef GOMAXPROCS
 export GOMAXPROCS
 endif
 
-.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-compaction bench-advisor bench-partition bench-txn bench-server bench-repl fmt fmt-check vet staticcheck doc-check ci
+.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-compaction bench-advisor bench-partition bench-txn bench-server bench-repl bench-scenarios fmt fmt-check vet staticcheck doc-check ci
 
 build:
 	$(GO) build ./...
@@ -115,6 +115,11 @@ bench-server: build
 bench-repl: build
 	$(GO) run ./cmd/hermit-bench -exp repl
 
+# Trace-driven scenario replays (per-phase p50/p99/p999 and determinism
+# hashes for every canned spec) with BENCH_scenarios.json.
+bench-scenarios: build
+	$(GO) run ./cmd/hermit-bench -exp scenarios
+
 fmt:
 	gofmt -w .
 
@@ -139,6 +144,6 @@ staticcheck:
 # Godoc lint: every exported identifier in the public API and the engine
 # must carry a doc comment.
 doc-check:
-	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/block ./internal/advisor ./internal/partition ./internal/difftest ./internal/server ./internal/server/proto ./internal/client ./internal/repl
+	$(GO) run ./internal/tools/doccheck . ./internal/engine ./internal/block ./internal/advisor ./internal/partition ./internal/difftest ./internal/server ./internal/server/proto ./internal/client ./internal/repl ./internal/scenario
 
 ci: fmt-check vet staticcheck doc-check cover build-examples bench-all bench-check difftest

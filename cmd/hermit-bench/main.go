@@ -8,6 +8,15 @@
 //	hermit-bench -exp fig16,fig17,fig18 -scale 0.1 -measure 1s
 //	hermit-bench -exp concurrency -concurrency 16
 //	hermit-bench -exp durability -measure 500ms
+//	hermit-bench -scenario timeseries
+//	hermit-bench -scenario my-workload.json -scale 0.1
+//	hermit-bench -scenario zipf-oltp -addr 127.0.0.1:7707
+//
+// -scenario replays one trace-driven scenario (a canned name or a JSON
+// spec file; see internal/scenario) and prints per-phase p50/p99/p999.
+// -exp scenarios replays every canned scenario and records
+// BENCH_scenarios.json. -addr points a wire-target spec at a running
+// hermitd instead of a self-hosted one.
 //
 // -scale 1.0 restores the paper's dataset sizes (20M-row synthetic sweeps);
 // the default 0.02 completes the full suite on a laptop in minutes. Shapes
@@ -23,6 +32,7 @@ import (
 	"time"
 
 	"hermit/internal/bench"
+	"hermit/internal/scenario"
 )
 
 func main() {
@@ -34,8 +44,29 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload generation seed")
 		concurrency = flag.Int("concurrency", 8, "max goroutines for the concurrency throughput sweep")
 		jsonDir     = flag.String("json", ".", "directory for machine-readable BENCH_*.json results ('' disables)")
+		scen        = flag.String("scenario", "", "replay one scenario: a canned name or a JSON spec file")
+		addr        = flag.String("addr", "", "with -scenario: address of a running hermitd for wire-target specs")
 	)
 	flag.Parse()
+
+	if *scen != "" {
+		cfg := bench.DefaultConfig(os.Stdout)
+		cfg.Scale = *scale
+		cfg.MeasureFor = *measure
+		cfg.Seed = *seed
+		cfg.Concurrency = *concurrency
+		cfg.JSONDir = *jsonDir
+		spec, err := loadScenario(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := bench.RunScenarioSpec(cfg, spec, *addr); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario %s failed: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -77,4 +108,15 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// loadScenario resolves -scenario: a path to a JSON spec file when one
+// exists (or the argument looks like one), else a canned scenario name.
+func loadScenario(arg string) (*scenario.Spec, error) {
+	if data, err := os.ReadFile(arg); err == nil {
+		return scenario.Parse(data)
+	} else if strings.ContainsAny(arg, "/.") {
+		return nil, fmt.Errorf("read scenario spec %s: %w", arg, err)
+	}
+	return scenario.Canned(arg)
 }

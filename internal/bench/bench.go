@@ -11,6 +11,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"hermit/internal/engine"
@@ -125,6 +126,7 @@ var Registry = []Experiment{
 	{"txn", "MVCC transactions: scan-under-writes, abort rate, snapshot overhead", RunTxn},
 	{"server", "Network serving tier: loopback throughput/latency vs clients", RunServer},
 	{"repl", "Replication: follower read scaling; lag vs write rate", RunRepl},
+	{"scenarios", "Trace-driven scenarios: per-phase SLO quantiles", RunScenarios},
 }
 
 // ByID returns the experiment with the given id.
@@ -217,6 +219,42 @@ func aggregateBreakdown(tb *engine.Table, col int, lo, hi, sel float64, nq int, 
 
 // defaultParams returns the paper's default TRS-Tree configuration (§7.1).
 func defaultParams() trstree.Params { return trstree.DefaultParams() }
+
+// quantile returns the q-quantile (0 <= q <= 1) of sorted samples by
+// linear interpolation between the two nearest ranks. The old per-file
+// helpers used truncating nearest-rank indexing (int(q*(len-1))), which
+// biases high quantiles low at small sample counts — at 100 samples p99
+// truncated to the 99th of 100 ranks exactly, but p999 collapsed onto it,
+// and at 50 samples p99 landed on rank 48 of 49. Interpolation is the
+// standard estimator (type 7, the R/numpy default) and can express p999
+// at any sample count.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// quantiles sorts the samples in place and returns their interpolated
+// (p50, p99, p999) — the shared latency summary every experiment that
+// records per-op latencies (server, repl, scenarios) reports.
+func quantiles(lats []float64) (p50, p99, p999 float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(lats)
+	return quantile(lats, 0.50), quantile(lats, 0.99), quantile(lats, 0.999)
+}
 
 // fmtBytes renders a byte count in MB with two decimals, the unit the
 // paper's memory figures use.

@@ -40,11 +40,12 @@ const replLagSampleEvery = 2 * time.Millisecond
 
 // replReadPoint is one follower-count cell of the read-scaling sweep.
 type replReadPoint struct {
-	Followers int     `json:"followers"`
-	Clients   int     `json:"clients"`
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50Micros float64 `json:"p50_us"`
-	P99Micros float64 `json:"p99_us"`
+	Followers  int     `json:"followers"`
+	Clients    int     `json:"clients"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
 }
 
 // replLagPoint is one write-rate cell of the lag sweep.
@@ -318,7 +319,7 @@ func measureReplReads(cfg Config, c *replCluster, nf, rowsN int) (replReadPoint,
 		Clients:   cfg.Concurrency,
 		OpsPerSec: float64(totalOps) / el,
 	}
-	p.P50Micros, p.P99Micros = quantiles(lats)
+	p.P50Micros, p.P99Micros, p.P999Micros = quantiles(lats)
 	return p, nil
 }
 

@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -40,12 +39,13 @@ const serverPipelineDepth = 32
 
 // serverSweepPoint is one (clients, mode, workload) cell of the sweep.
 type serverSweepPoint struct {
-	Clients   int     `json:"clients"`
-	Mode      string  `json:"mode"`     // "oneshot" | "pipelined"
-	Workload  string  `json:"workload"` // "point" | "mixed"
-	OpsPerSec float64 `json:"ops_per_sec"`
-	P50Micros float64 `json:"p50_us"`
-	P99Micros float64 `json:"p99_us"`
+	Clients    int     `json:"clients"`
+	Mode       string  `json:"mode"`     // "oneshot" | "pipelined"
+	Workload   string  `json:"workload"` // "point" | "mixed"
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
 }
 
 // serverReport is the schema of BENCH_server.json.
@@ -205,7 +205,7 @@ func measureServing(cfg Config, addr string, clients int, mode, wl string, rowsN
 		Workload:  wl,
 		OpsPerSec: float64(totalOps) / el,
 	}
-	p.P50Micros, p.P99Micros = quantiles(lats)
+	p.P50Micros, p.P99Micros, p.P999Micros = quantiles(lats)
 	return p, nil
 }
 
@@ -266,17 +266,4 @@ func driveClient(cfg Config, addr, mode, wl string, rowsN, w int, stopped func()
 		return 0, nil, fmt.Errorf("bench: unknown mode %q", mode)
 	}
 	return ops, lats, nil
-}
-
-// quantiles returns the (p50, p99) of the samples, zero when empty.
-func quantiles(lats []float64) (p50, p99 float64) {
-	if len(lats) == 0 {
-		return 0, 0
-	}
-	sort.Float64s(lats)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(lats)-1))
-		return lats[i]
-	}
-	return at(0.50), at(0.99)
 }

@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the replayer. It executes a compiled trace against a
+// Target phase by phase, recording one latency sample per op so callers
+// can report tail quantiles. Two arrival modes:
+//
+//   - Closed-loop: Workers goroutines drain the op sequence back to
+//     back; a sample is pure service time.
+//   - Open-loop: a dispatcher releases ops on the compiled Poisson
+//     schedule into a Workers-sized executor pool, and a sample runs
+//     from the op's *scheduled* arrival to its completion — queueing
+//     delay counts, so an overloaded target shows its real tail instead
+//     of the coordinated-omission artifact where slow responses throttle
+//     the load that would have measured them.
+
+// PhaseResult is one phase's replay outcome.
+type PhaseResult struct {
+	// Name is the phase name.
+	Name string `json:"name"`
+	// OpenLoop reports the arrival mode replayed.
+	OpenLoop bool `json:"open_loop"`
+	// Ops is how many ops executed (txn batches count once).
+	Ops int `json:"ops"`
+	// Rows is the total rows touched (query matches + mutations).
+	Rows int64 `json:"rows"`
+	// Aborts counts transaction aborts — expected under contention.
+	Aborts int `json:"aborts"`
+	// Errors counts non-abort op failures.
+	Errors int `json:"errors"`
+	// Elapsed is the phase's wall-clock time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// LatenciesUS holds one sample per op, in microseconds, in
+	// completion order (callers sort for quantiles).
+	LatenciesUS []float64 `json:"-"`
+}
+
+// OpsPerSec is the phase's completed-op throughput.
+func (p *PhaseResult) OpsPerSec() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.Elapsed.Seconds()
+}
+
+// Result is a full scenario replay.
+type Result struct {
+	// Scenario is the spec name.
+	Scenario string `json:"scenario"`
+	// SpecHash identifies the spec replayed.
+	SpecHash string `json:"spec_hash"`
+	// TraceHash is the hash of the op stream this replay executed,
+	// recomputed from the trace by the replayer itself — compare it
+	// across runs (or targets) to prove both executed the same ops.
+	TraceHash string `json:"trace_hash"`
+	// Phases are the per-phase outcomes, in trace order.
+	Phases []PhaseResult `json:"phases"`
+}
+
+// Replay executes the trace against the target: Setup, then each phase
+// in order. The target is NOT closed — the caller owns it (it may want
+// to inspect state, e.g. advisor-created indexes, before teardown).
+func Replay(tr *Trace, tg Target) (*Result, error) {
+	if err := tg.Setup(tr.Spec); err != nil {
+		return nil, fmt.Errorf("scenario %s: setup: %w", tr.Spec.Name, err)
+	}
+	res := &Result{
+		Scenario: tr.Spec.Name,
+		SpecHash: tr.SpecHash,
+		// Recompute rather than copy: the replayer vouches for the ops
+		// it actually walked, not for what Compile claimed.
+		TraceHash: tr.Hash(),
+	}
+	for i := range tr.Phases {
+		pr, err := replayPhase(&tr.Phases[i], tg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s/%s: %w", tr.Spec.Name, tr.Phases[i].Name, err)
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	return res, nil
+}
+
+// replayPhase runs one phase with per-worker sessions.
+func replayPhase(ph *Phase, tg Target) (PhaseResult, error) {
+	workers := ph.Workers
+	if workers > len(ph.Ops) {
+		workers = len(ph.Ops)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sessions := make([]Session, workers)
+	for i := range sessions {
+		s, err := tg.Session()
+		if err != nil {
+			for _, open := range sessions[:i] {
+				open.Close()
+			}
+			return PhaseResult{}, fmt.Errorf("session: %w", err)
+		}
+		sessions[i] = s
+	}
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	if ph.OpenLoop {
+		return replayOpen(ph, sessions)
+	}
+	return replayClosed(ph, sessions)
+}
+
+// workerTally accumulates one worker's counts locally so the hot loop
+// takes no locks; tallies merge after the pool drains.
+type workerTally struct {
+	rows   int64
+	aborts int
+	errs   int
+	lats   []float64
+	err    error
+}
+
+// apply executes one op into the tally; sched is the latency origin.
+func (w *workerTally) apply(s Session, op *Op, sched time.Time) {
+	rows, err := s.Apply(op)
+	// Nanosecond-resolution samples in float microseconds: embedded ops
+	// finish well under 1us, and truncation would collapse their p50 to 0.
+	w.lats = append(w.lats, float64(time.Since(sched).Nanoseconds())/1e3)
+	switch {
+	case err == nil:
+		w.rows += int64(rows)
+	case IsAbort(err):
+		w.aborts++
+	default:
+		w.errs++
+		if w.err == nil {
+			w.err = err
+		}
+	}
+}
+
+// replayClosed drains the op sequence across the sessions back to back.
+func replayClosed(ph *Phase, sessions []Session) (PhaseResult, error) {
+	var next atomic.Int64
+	tallies := make([]workerTally, len(sessions))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := range sessions {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ph.Ops) {
+					return
+				}
+				tallies[w].apply(sessions[w], &ph.Ops[i], time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	return merge(ph, tallies, time.Since(start))
+}
+
+// replayOpen releases ops on the compiled schedule into an executor
+// pool. The dispatcher never blocks on a slow executor — the channel is
+// sized for the whole phase — so arrivals stay on schedule and queueing
+// delay lands in the samples, where it belongs.
+func replayOpen(ph *Phase, sessions []Session) (PhaseResult, error) {
+	type job struct {
+		op    *Op
+		sched time.Time
+	}
+	jobs := make(chan job, len(ph.Ops))
+	tallies := make([]workerTally, len(sessions))
+	var wg sync.WaitGroup
+	for w := range sessions {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := range jobs {
+				tallies[w].apply(sessions[w], j.op, j.sched)
+			}
+		}(w)
+	}
+	start := time.Now()
+	for i := range ph.Ops {
+		op := &ph.Ops[i]
+		sched := start.Add(time.Duration(op.ArrivalUS) * time.Microsecond)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- job{op: op, sched: sched}
+	}
+	close(jobs)
+	wg.Wait()
+	return merge(ph, tallies, time.Since(start))
+}
+
+// merge folds the worker tallies into the phase result. A phase with
+// nothing but errors fails loudly; scattered errors are reported in the
+// counts and left to the caller's judgement.
+func merge(ph *Phase, tallies []workerTally, elapsed time.Duration) (PhaseResult, error) {
+	pr := PhaseResult{
+		Name:     ph.Name,
+		OpenLoop: ph.OpenLoop,
+		Ops:      len(ph.Ops),
+		Elapsed:  elapsed,
+	}
+	var firstErr error
+	for i := range tallies {
+		t := &tallies[i]
+		pr.Rows += t.rows
+		pr.Aborts += t.aborts
+		pr.Errors += t.errs
+		pr.LatenciesUS = append(pr.LatenciesUS, t.lats...)
+		if firstErr == nil {
+			firstErr = t.err
+		}
+	}
+	if pr.Errors > 0 && pr.Errors >= pr.Ops/2 {
+		return pr, fmt.Errorf("%d of %d ops failed; first: %w", pr.Errors, pr.Ops, firstErr)
+	}
+	return pr, nil
+}

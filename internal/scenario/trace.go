@@ -1,0 +1,459 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"math/rand"
+)
+
+// This file is the trace compiler. Compile turns a Spec into the exact op
+// sequence replay will execute: every random draw (tenant, key, op kind,
+// predicate, value, arrival time) is made here from the spec's seed, so
+// the trace — and its hash — is a pure function of (spec, scale). Replay
+// spends no randomness at all; two replays of one trace against two
+// different targets execute byte-identical op streams.
+
+// Compiler defaults, applied at compile time so the spec hash covers the
+// raw spec exactly as written.
+const (
+	defaultWorkers     = 4
+	defaultTxnOps      = 4
+	defaultSelectivity = 0.01
+	defaultZipfS       = 1.2
+	defaultHotFraction = 0.05
+	defaultHotProb     = 0.9
+	// opsFloor keeps per-phase sample counts statistically meaningful at
+	// tiny scales (mirrors bench.Config.rows's floor).
+	opsFloor = 200
+	// valueDomain is the half-open range [0, valueDomain) payload columns
+	// draw from (col 1 is 2*col2+100 when the table is correlated).
+	valueDomain = 1000.0
+)
+
+// OpKind is a compiled op's kind.
+type OpKind uint8
+
+// Compiled op kinds.
+const (
+	// OpPoint is an equality read on Col at Key.
+	OpPoint OpKind = iota
+	// OpRange is a range read on Col over [Lo, Hi].
+	OpRange
+	// OpInsert appends Row (Row[0] is the sequential key).
+	OpInsert
+	// OpUpdate sets Col of the row keyed Key to Val.
+	OpUpdate
+	// OpDelete removes the row keyed Key.
+	OpDelete
+	// OpTxn atomically executes Members (a read-modify-write batch);
+	// first-committer-wins conflicts abort the whole batch.
+	OpTxn
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpPoint:
+		return "point"
+	case OpRange:
+		return "range"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return "txn"
+	}
+}
+
+// Op is one compiled operation. Exactly the fields its Kind names are
+// meaningful; the rest stay zero so the encoding is canonical.
+type Op struct {
+	// Tenant selects the target table (TableName(Tenant)).
+	Tenant int
+	// Kind is the op kind.
+	Kind OpKind
+	// Col is the predicate or update column.
+	Col int
+	// Key is the point/update/delete key.
+	Key float64
+	// Lo, Hi bound a range predicate.
+	Lo, Hi float64
+	// Val is the update value.
+	Val float64
+	// Row is the insert payload (Row[0] = key).
+	Row []float64
+	// Members are a txn's inner ops (never nested).
+	Members []Op
+	// ArrivalUS is the scheduled arrival offset from phase start in
+	// microseconds (open-loop phases only; -1 when closed-loop).
+	ArrivalUS int64
+}
+
+// Phase is one compiled phase: the ops plus the replay parameters that
+// survived default application.
+type Phase struct {
+	// Name is the phase's spec name.
+	Name string
+	// OpenLoop reports Poisson-scheduled arrivals (ArrivalUS set).
+	OpenLoop bool
+	// Workers is the replay concurrency.
+	Workers int
+	// Ops is the compiled op sequence, in arrival order.
+	Ops []Op
+}
+
+// Trace is a compiled scenario.
+type Trace struct {
+	// Spec is the source spec.
+	Spec *Spec
+	// SpecHash is Spec.Hash().
+	SpecHash string
+	// TraceHash is Hash() — the determinism witness.
+	TraceHash string
+	// Phases are the compiled phases, in spec order.
+	Phases []Phase
+}
+
+// Ops returns the total op count across phases.
+func (tr *Trace) Ops() int {
+	n := 0
+	for _, ph := range tr.Phases {
+		n += len(ph.Ops)
+	}
+	return n
+}
+
+// Compile expands the spec into its deterministic op trace. scale
+// multiplies every phase's op budget (<= 0 means 1.0) with a floor of
+// 200 ops per phase; it is part of the trace identity, so a trace hash
+// only reproduces at the same scale.
+func Compile(spec *Spec, scale float64) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	c := &compiler{
+		spec:      spec,
+		rng:       rand.New(rand.NewSource(spec.Seed)),
+		populated: make([]int, spec.tenantCount()),
+	}
+	tr := &Trace{Spec: spec, SpecHash: spec.Hash()}
+	for i := range spec.Phases {
+		ph, err := c.compilePhase(&spec.Phases[i], scale)
+		if err != nil {
+			return nil, err
+		}
+		tr.Phases = append(tr.Phases, ph)
+	}
+	tr.TraceHash = tr.Hash()
+	return tr, nil
+}
+
+// compiler carries the evolving compile state: one rng for every draw and
+// the per-tenant populated key counts (inserts append key = populated).
+type compiler struct {
+	spec      *Spec
+	rng       *rand.Rand
+	populated []int
+}
+
+// compilePhase expands one phase.
+func (c *compiler) compilePhase(ps *PhaseSpec, scale float64) (Phase, error) {
+	n := int(float64(ps.Ops) * scale)
+	if n < opsFloor {
+		n = opsFloor
+	}
+	workers := ps.Arrival.Workers
+	if workers <= 0 {
+		workers = defaultWorkers
+	}
+	ph := Phase{
+		Name:     ps.Name,
+		OpenLoop: ps.Arrival.Kind == ArrivalPoisson,
+		Workers:  workers,
+		Ops:      make([]Op, 0, n),
+	}
+	arrive := c.arrivals(ps, n)
+	for i := 0; i < n; i++ {
+		op := c.compileOp(ps)
+		op.ArrivalUS = arrive[i]
+		ph.Ops = append(ph.Ops, op)
+	}
+	return ph, nil
+}
+
+// arrivals precomputes the phase's arrival offsets: -1 for every op when
+// closed-loop, else a Poisson schedule at RatePerSec with the burst
+// overlay multiplying the instantaneous rate.
+func (c *compiler) arrivals(ps *PhaseSpec, n int) []int64 {
+	out := make([]int64, n)
+	if ps.Arrival.Kind != ArrivalPoisson {
+		for i := range out {
+			out[i] = -1
+		}
+		return out
+	}
+	tUS := 0.0
+	for i := 0; i < n; i++ {
+		rate := ps.Arrival.RatePerSec
+		if b := ps.Arrival.Burst; b != nil {
+			period := float64(b.EveryMS) * 1000
+			if math.Mod(tUS, period) < float64(b.DurationMS)*1000 {
+				rate *= b.Factor
+			}
+		}
+		// Inverse-CDF exponential inter-arrival; 1-U avoids ln(0).
+		dtSec := -math.Log(1-c.rng.Float64()) / rate
+		tUS += dtSec * 1e6
+		out[i] = int64(tUS)
+	}
+	return out
+}
+
+// compileOp draws one op from the phase's mix. Ops that need an existing
+// key compile as inserts while the chosen tenant's table is still empty,
+// so a trace can never read ahead of its own writes.
+func (c *compiler) compileOp(ps *PhaseSpec) Op {
+	tenant := c.drawTenant(ps)
+	kind := c.drawKind(ps)
+	if c.populated[tenant] == 0 && kind != OpInsert {
+		kind = OpInsert
+	}
+	switch kind {
+	case OpInsert:
+		return Op{Tenant: tenant, Kind: OpInsert, Row: c.nextRow(tenant)}
+	case OpPoint:
+		return Op{Tenant: tenant, Kind: OpPoint, Col: 0, Key: float64(c.drawKey(ps, tenant))}
+	case OpRange:
+		lo, hi, col := c.rangePredicate(ps, tenant)
+		return Op{Tenant: tenant, Kind: OpRange, Col: col, Lo: lo, Hi: hi}
+	case OpUpdate:
+		return Op{
+			Tenant: tenant, Kind: OpUpdate, Col: 1,
+			Key: float64(c.drawKey(ps, tenant)),
+			Val: c.rng.Float64() * valueDomain,
+		}
+	case OpDelete:
+		// Deletes target a drawn key but never shrink populated: the key
+		// space stays append-only so later draws remain in range (a
+		// second delete of the same key is a found=false no-op).
+		return Op{Tenant: tenant, Kind: OpDelete, Key: float64(c.drawKey(ps, tenant))}
+	default: // OpTxn
+		txnOps := ps.TxnOps
+		if txnOps <= 0 {
+			txnOps = defaultTxnOps
+		}
+		members := make([]Op, 0, txnOps+1)
+		first := float64(c.drawKey(ps, tenant))
+		// Read-modify-write: one read anchors the snapshot, then txnOps
+		// updates on distribution-drawn keys; under contention two such
+		// batches collide on hot keys and one aborts.
+		members = append(members, Op{Tenant: tenant, Kind: OpPoint, Col: 0, Key: first})
+		for j := 0; j < txnOps; j++ {
+			key := first
+			if j > 0 {
+				key = float64(c.drawKey(ps, tenant))
+			}
+			members = append(members, Op{
+				Tenant: tenant, Kind: OpUpdate, Col: 1,
+				Key: key, Val: c.rng.Float64() * valueDomain,
+			})
+		}
+		return Op{Tenant: tenant, Kind: OpTxn, Members: members}
+	}
+}
+
+// drawTenant picks the op's tenant, biased by TenantWeights when set.
+func (c *compiler) drawTenant(ps *PhaseSpec) int {
+	n := c.spec.tenantCount()
+	if n == 1 {
+		return 0
+	}
+	if len(ps.TenantWeights) == 0 {
+		return c.rng.Intn(n)
+	}
+	var total float64
+	for _, w := range ps.TenantWeights {
+		total += w
+	}
+	r := c.rng.Float64() * total
+	for i, w := range ps.TenantWeights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return n - 1
+}
+
+// drawKind picks the op's kind from the normalized mix weights.
+func (c *compiler) drawKind(ps *PhaseSpec) OpKind {
+	m := ps.Mix
+	r := c.rng.Float64() * m.sum()
+	for _, e := range []struct {
+		w float64
+		k OpKind
+	}{
+		{m.Point, OpPoint}, {m.Range, OpRange}, {m.Insert, OpInsert},
+		{m.Update, OpUpdate}, {m.Delete, OpDelete}, {m.Txn, OpTxn},
+	} {
+		if e.w <= 0 {
+			continue
+		}
+		if r < e.w {
+			return e.k
+		}
+		r -= e.w
+	}
+	return OpPoint
+}
+
+// drawKey draws an existing key index for the tenant from the phase's
+// distribution over [0, populated).
+func (c *compiler) drawKey(ps *PhaseSpec, tenant int) int {
+	pop := c.populated[tenant]
+	if pop <= 1 {
+		return 0
+	}
+	switch ps.Keys.Kind {
+	case KeyZipf:
+		return c.zipfRank(ps, pop)
+	case KeyRecent:
+		// Rank 0 = newest key: the time-series pattern where readers
+		// chase the append head.
+		return pop - 1 - c.zipfRank(ps, pop)
+	case KeyHotset:
+		hotProb := ps.Keys.HotProb
+		if hotProb == 0 {
+			hotProb = defaultHotProb
+		}
+		hotFrac := ps.Keys.HotFraction
+		if hotFrac == 0 {
+			hotFrac = defaultHotFraction
+		}
+		if c.rng.Float64() < hotProb {
+			hot := int(hotFrac * float64(pop))
+			if hot < 1 {
+				hot = 1
+			}
+			return c.rng.Intn(hot)
+		}
+		return c.rng.Intn(pop)
+	default: // uniform
+		return c.rng.Intn(pop)
+	}
+}
+
+// zipfRank draws a Zipf rank in [0, pop). rand.NewZipf carries no state
+// of its own (all state is in the rng), so constructing one per draw with
+// the current key-space size stays deterministic.
+func (c *compiler) zipfRank(ps *PhaseSpec, pop int) int {
+	s := ps.Keys.Zipf
+	if s == 0 {
+		s = defaultZipfS
+	}
+	z := rand.NewZipf(c.rng, s, 1, uint64(pop-1))
+	return int(z.Uint64())
+}
+
+// rangePredicate builds a range predicate for the phase: over the
+// populated key space when QueryCol is 0 (start drawn from the key
+// distribution, so skew concentrates scans too), else over the payload
+// value domain.
+func (c *compiler) rangePredicate(ps *PhaseSpec, tenant int) (lo, hi float64, col int) {
+	sel := ps.Selectivity
+	if sel == 0 {
+		sel = defaultSelectivity
+	}
+	if ps.QueryCol == 0 {
+		pop := float64(c.populated[tenant])
+		width := sel * pop
+		start := float64(c.drawKey(ps, tenant))
+		if start+width > pop {
+			start = pop - width
+			if start < 0 {
+				start = 0
+			}
+		}
+		return start, start + width, 0
+	}
+	width := sel * valueDomain
+	start := c.rng.Float64() * (valueDomain - width)
+	return start, start + width, ps.QueryCol
+}
+
+// nextRow builds the tenant's next insert row: sequential key, payload
+// columns uniform over the value domain — except the correlated pair,
+// where col1 = 2*col2 + 100 (the paper's Synthetic-Linear shape).
+func (c *compiler) nextRow(tenant int) []float64 {
+	key := float64(c.populated[tenant])
+	c.populated[tenant]++
+	row := make([]float64, 1+c.spec.Table.ValueCols)
+	row[0] = key
+	for i := 1; i < len(row); i++ {
+		row[i] = c.rng.Float64() * valueDomain
+	}
+	if c.spec.Table.Correlated {
+		row[2] = c.rng.Float64() * valueDomain
+		row[1] = 2*row[2] + 100
+	}
+	return row
+}
+
+// Hash returns the trace's determinism witness: sha256 over a canonical
+// binary encoding of every phase and op in compile order, truncated to
+// 16 hex digits. Two Compile calls agree on it iff they produced
+// byte-identical op streams.
+func (tr *Trace) Hash() string {
+	h := sha256.New()
+	for _, ph := range tr.Phases {
+		h.Write([]byte(ph.Name))
+		writeU64(h, uint64(len(ph.Ops)))
+		for i := range ph.Ops {
+			encodeOp(h, &ph.Ops[i])
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// encodeOp writes one op's canonical encoding (members one level deep;
+// the compiler never nests txns).
+func encodeOp(h hash.Hash, op *Op) {
+	h.Write([]byte{byte(op.Kind)})
+	writeU64(h, uint64(op.Tenant))
+	writeU64(h, uint64(op.Col))
+	writeF64(h, op.Key)
+	writeF64(h, op.Lo)
+	writeF64(h, op.Hi)
+	writeF64(h, op.Val)
+	writeU64(h, uint64(op.ArrivalUS))
+	writeU64(h, uint64(len(op.Row)))
+	for _, v := range op.Row {
+		writeF64(h, v)
+	}
+	writeU64(h, uint64(len(op.Members)))
+	for i := range op.Members {
+		if len(op.Members[i].Members) != 0 {
+			panic(fmt.Sprintf("scenario: nested txn members in %v", op.Kind))
+		}
+		encodeOp(h, &op.Members[i])
+	}
+}
+
+func writeU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func writeF64(h hash.Hash, v float64) { writeU64(h, math.Float64bits(v)) }

@@ -6,6 +6,11 @@
 // after `make bench-all` via `make bench-check`; the multi-core lane
 // additionally pins the expected GOMAXPROCS.
 //
+// BENCH_scenarios.json gets deeper validation: at least four scenarios,
+// each with a spec hash, matching trace_hash and trace_hash_recheck (the
+// compile-determinism proof), and per-phase quantiles present and
+// ordered p50 <= p99 <= p999.
+//
 // Usage:
 //
 //	go run ./internal/tools/benchcheck [-dir .] [-expect-gomaxprocs N]
@@ -90,6 +95,69 @@ func check(path string, expectGomaxprocs int) error {
 	if expectGomaxprocs > 0 && a.GOMAXPROCS != expectGomaxprocs {
 		return fmt.Errorf("\"gomaxprocs\" is %d, want %d (was the bench run with GOMAXPROCS set?)",
 			a.GOMAXPROCS, expectGomaxprocs)
+	}
+	if a.Experiment == "scenarios" {
+		return checkScenarios(raw)
+	}
+	return nil
+}
+
+// scenariosArtifact is the slice of BENCH_scenarios.json benchcheck
+// verifies beyond the shared header.
+type scenariosArtifact struct {
+	Scenarios []struct {
+		Name             string `json:"name"`
+		Target           string `json:"target"`
+		SpecHash         string `json:"spec_hash"`
+		TraceHash        string `json:"trace_hash"`
+		TraceHashRecheck string `json:"trace_hash_recheck"`
+		Phases           []struct {
+			Name       string   `json:"name"`
+			Ops        int      `json:"ops"`
+			P50Micros  *float64 `json:"p50_us"`
+			P99Micros  *float64 `json:"p99_us"`
+			P999Micros *float64 `json:"p999_us"`
+		} `json:"phases"`
+	} `json:"scenarios"`
+}
+
+// checkScenarios enforces the scenario artifact's extra contract: the
+// canned-spec coverage floor, the trace-hash determinism proof, and
+// complete, ordered tail quantiles per phase.
+func checkScenarios(raw []byte) error {
+	var sa scenariosArtifact
+	if err := json.Unmarshal(raw, &sa); err != nil {
+		return fmt.Errorf("scenarios block: %v", err)
+	}
+	if len(sa.Scenarios) < 4 {
+		return fmt.Errorf("only %d scenarios recorded, want >= 4", len(sa.Scenarios))
+	}
+	for _, s := range sa.Scenarios {
+		if s.Name == "" || s.Target == "" {
+			return fmt.Errorf("scenario with empty name/target")
+		}
+		if s.SpecHash == "" || s.TraceHash == "" || s.TraceHashRecheck == "" {
+			return fmt.Errorf("%s: missing spec/trace hashes", s.Name)
+		}
+		if s.TraceHash != s.TraceHashRecheck {
+			return fmt.Errorf("%s: trace_hash %s != trace_hash_recheck %s — op trace is not deterministic",
+				s.Name, s.TraceHash, s.TraceHashRecheck)
+		}
+		if len(s.Phases) == 0 {
+			return fmt.Errorf("%s: no phases", s.Name)
+		}
+		for _, ph := range s.Phases {
+			if ph.Ops <= 0 {
+				return fmt.Errorf("%s/%s: no ops recorded", s.Name, ph.Name)
+			}
+			if ph.P50Micros == nil || ph.P99Micros == nil || ph.P999Micros == nil {
+				return fmt.Errorf("%s/%s: missing p50/p99/p999", s.Name, ph.Name)
+			}
+			if *ph.P50Micros <= 0 || *ph.P99Micros < *ph.P50Micros || *ph.P999Micros < *ph.P99Micros {
+				return fmt.Errorf("%s/%s: quantiles out of order: p50=%g p99=%g p999=%g",
+					s.Name, ph.Name, *ph.P50Micros, *ph.P99Micros, *ph.P999Micros)
+			}
+		}
 	}
 	return nil
 }

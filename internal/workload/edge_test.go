@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// This file is the PR 9 correctness pass over the generators: QueryGen's
+// degenerate-span/selectivity clamp (the old code computed negative slack
+// at selectivity >= 1, so starts landed below lo and predicates inverted)
+// and seed-determinism of every generator the scenario harness replays.
+
+func sameRows(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestQueryGenSelectivityOne: at selectivity 1 every query must be
+// exactly [lo, hi] — the regression the old width arithmetic inverted.
+func TestQueryGenSelectivityOne(t *testing.T) {
+	gen := QueryGen(10, 30, 1.0, 7)
+	for i := 0; i < 100; i++ {
+		q := gen()
+		if q.Lo != 10 || q.Hi != 30 {
+			t.Fatalf("query %d: got [%g, %g], want [10, 30]", i, q.Lo, q.Hi)
+		}
+	}
+}
+
+// TestQueryGenSelectivityAboveOne clamps the width to the span instead of
+// letting the start underflow lo.
+func TestQueryGenSelectivityAboveOne(t *testing.T) {
+	gen := QueryGen(-5, 5, 2.5, 7)
+	for i := 0; i < 100; i++ {
+		q := gen()
+		if q.Lo != -5 || q.Hi != 5 {
+			t.Fatalf("query %d: got [%g, %g], want [-5, 5]", i, q.Lo, q.Hi)
+		}
+	}
+}
+
+// TestQueryGenDegenerateSpan guards lo == hi (and inverted lo > hi): the
+// generated predicate must collapse to the span, never invert.
+func TestQueryGenDegenerateSpan(t *testing.T) {
+	for _, tc := range []struct{ lo, hi, sel float64 }{
+		{42, 42, 0.5},
+		{42, 42, 1},
+		{42, 42, 0},
+		{10, 3, 0.5}, // inverted input: treated as an empty span at lo
+	} {
+		gen := QueryGen(tc.lo, tc.hi, tc.sel, 3)
+		for i := 0; i < 50; i++ {
+			q := gen()
+			if q.Lo != tc.lo || q.Hi != tc.lo {
+				t.Fatalf("lo=%g hi=%g sel=%g: query %d is [%g, %g], want [%g, %g]",
+					tc.lo, tc.hi, tc.sel, i, q.Lo, q.Hi, tc.lo, tc.lo)
+			}
+		}
+	}
+}
+
+// TestQueryGenSelectivityZero yields zero-width predicates inside the
+// span.
+func TestQueryGenSelectivityZero(t *testing.T) {
+	gen := QueryGen(0, 100, 0, 11)
+	for i := 0; i < 100; i++ {
+		q := gen()
+		if q.Lo != q.Hi {
+			t.Fatalf("query %d: width %g, want 0", i, q.Hi-q.Lo)
+		}
+		if q.Lo < 0 || q.Lo > 100 {
+			t.Fatalf("query %d: start %g outside [0, 100]", i, q.Lo)
+		}
+	}
+}
+
+// TestQueryGenBounds checks every generated predicate stays inside
+// [lo, hi] at the requested width across ordinary selectivities.
+func TestQueryGenBounds(t *testing.T) {
+	const lo, hi = -100.0, 300.0
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5, 0.9, 0.999} {
+		gen := QueryGen(lo, hi, sel, 5)
+		want := (hi - lo) * sel
+		for i := 0; i < 200; i++ {
+			q := gen()
+			if q.Lo < lo || q.Hi > hi || q.Lo > q.Hi {
+				t.Fatalf("sel=%g query %d: [%g, %g] escapes [%g, %g]", sel, i, q.Lo, q.Hi, lo, hi)
+			}
+			if math.Abs((q.Hi-q.Lo)-want) > 1e-9 {
+				t.Fatalf("sel=%g query %d: width %g, want %g", sel, i, q.Hi-q.Lo, want)
+			}
+		}
+	}
+}
+
+// TestQueryGenDeterminism: the same (bounds, selectivity, seed) must
+// reproduce the same predicate stream call for call.
+func TestQueryGenDeterminism(t *testing.T) {
+	a := QueryGen(0, 1000, 0.05, 99)
+	b := QueryGen(0, 1000, 0.05, 99)
+	for i := 0; i < 500; i++ {
+		qa, qb := a(), b()
+		if qa != qb {
+			t.Fatalf("query %d diverged: %+v vs %+v", i, qa, qb)
+		}
+	}
+}
+
+// TestPointGenDeterminismAndBounds covers the point generator the same
+// way.
+func TestPointGenDeterminismAndBounds(t *testing.T) {
+	a := PointGen(5, 25, 13)
+	b := PointGen(5, 25, 13)
+	for i := 0; i < 500; i++ {
+		va, vb := a(), b()
+		if va != vb {
+			t.Fatalf("point %d diverged: %g vs %g", i, va, vb)
+		}
+		if va < 5 || va >= 25 {
+			t.Fatalf("point %d: %g outside [5, 25)", i, va)
+		}
+	}
+}
+
+// TestGenerateDeterminism: every dataset generator must stream identical
+// rows for identical specs, and different rows for different seeds (the
+// scenario replayer and every bench artifact depend on it).
+func TestGenerateDeterminism(t *testing.T) {
+	stock := StockSpec{Stocks: 5, Days: 200, Seed: 42, CrashProb: 0.01}
+	if !sameRows(collect(t, stock.Generate), collect(t, stock.Generate)) {
+		t.Fatal("StockSpec.Generate is not deterministic for a fixed seed")
+	}
+	sensor := SensorSpec{Rows: 300, Sensors: 4, Seed: 42, GlitchProb: 0.01}
+	if !sameRows(collect(t, sensor.Generate), collect(t, sensor.Generate)) {
+		t.Fatal("SensorSpec.Generate is not deterministic for a fixed seed")
+	}
+	syn := SyntheticSpec{Rows: 500, Fn: Sigmoid, Noise: 0.05, Seed: 42}
+	syn2 := syn
+	syn2.Seed = 43
+	if sameRows(collect(t, syn.Generate), collect(t, syn2.Generate)) {
+		t.Fatal("SyntheticSpec.Generate ignores its seed")
+	}
+}

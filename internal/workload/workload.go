@@ -266,15 +266,33 @@ type RangeQuery struct{ Lo, Hi float64 }
 
 // QueryGen yields range predicates over [lo, hi] whose width is
 // selectivity*(hi-lo) — the paper's selectivity knob, exact for uniformly
-// distributed columns and approximate otherwise.
+// distributed columns and approximate otherwise. The width is clamped to
+// [0, hi-lo]: selectivity >= 1 (or a degenerate lo == hi span) yields the
+// whole [lo, hi] interval rather than a predicate whose start underflows
+// lo and inverts.
 func QueryGen(lo, hi, selectivity float64, seed int64) func() RangeQuery {
 	rng := rand.New(rand.NewSource(seed))
-	width := (hi - lo) * selectivity
-	if width < 0 {
-		width = 0
+	span := hi - lo
+	if span < 0 {
+		span = 0
 	}
+	width := span * selectivity
+	switch {
+	case width < 0 || math.IsNaN(width):
+		width = 0
+	case width > span:
+		width = span
+	}
+	slack := span - width
 	return func() RangeQuery {
-		start := lo + rng.Float64()*(hi-lo-width)
+		if slack <= 0 {
+			// Degenerate span or selectivity 1: every query is [lo, hi]
+			// (still consuming one draw so the stream stays aligned with
+			// other selectivities at the same seed).
+			rng.Float64()
+			return RangeQuery{Lo: lo, Hi: lo + width}
+		}
+		start := lo + rng.Float64()*slack
 		return RangeQuery{Lo: start, Hi: start + width}
 	}
 }
