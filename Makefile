@@ -15,7 +15,11 @@ STATICCHECK_VERSION = 2025.1.1
 
 # BENCH_EXPERIMENTS is every experiment whose BENCH_*.json artifact CI
 # records; bench-all runs them in one invocation after the fig4 smoke.
-BENCH_EXPERIMENTS = concurrency,durability,compaction,advisor,partition,txn,server,repl,scenarios
+BENCH_EXPERIMENTS = concurrency,durability,compaction,advisor,partition,txn,server,repl,scenarios,hotpath
+
+# PROFILE_DIR receives the pb.gz profiles `make profile` captures; CI
+# uploads it as the profiles artifact.
+PROFILE_DIR = profiles
 
 # Propagate a `make bench-all GOMAXPROCS=4` override into the spawned
 # bench processes (make variables are not exported to children by
@@ -24,7 +28,7 @@ ifdef GOMAXPROCS
 export GOMAXPROCS
 endif
 
-.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-compaction bench-advisor bench-partition bench-txn bench-server bench-repl bench-scenarios fmt fmt-check vet staticcheck doc-check ci
+.PHONY: build build-examples test race cover difftest bench bench-all bench-check bench-concurrency bench-durability bench-compaction bench-advisor bench-partition bench-txn bench-server bench-repl bench-scenarios bench-hotpath profile fmt fmt-check vet staticcheck doc-check ci
 
 build:
 	$(GO) build ./...
@@ -119,6 +123,28 @@ bench-repl: build
 # hashes for every canned spec) with BENCH_scenarios.json.
 bench-scenarios: build
 	$(GO) run ./cmd/hermit-bench -exp scenarios
+
+# Hot-path allocation/latency sweep (allocs/op, ns/op, throughput at
+# GOMAXPROCS 1 vs 4 for the five hottest operations) with
+# BENCH_hotpath.json.
+bench-hotpath: build
+	$(GO) run ./cmd/hermit-bench -exp hotpath
+
+# Capture labeled CPU + allocation profiles (pb.gz) from the zipf-oltp and
+# timeseries scenario replays. Inspect with `go tool pprof
+# $(PROFILE_DIR)/cpu_zipf-oltp.pb.gz`; CI uploads the directory.
+profile: build
+	@mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/hermit-bench -scenario zipf-oltp -json '' \
+		-cpuprofile $(PROFILE_DIR)/cpu_zipf-oltp.pb.gz \
+		-memprofile $(PROFILE_DIR)/mem_zipf-oltp.pb.gz
+	$(GO) run ./cmd/hermit-bench -scenario timeseries -json '' \
+		-cpuprofile $(PROFILE_DIR)/cpu_timeseries.pb.gz \
+		-memprofile $(PROFILE_DIR)/mem_timeseries.pb.gz
+	$(GO) run ./cmd/hermit-bench -exp hotpath -json '' \
+		-cpuprofile $(PROFILE_DIR)/cpu_hotpath.pb.gz \
+		-memprofile $(PROFILE_DIR)/mem_hotpath.pb.gz
+	@ls -l $(PROFILE_DIR)
 
 fmt:
 	gofmt -w .

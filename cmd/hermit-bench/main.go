@@ -25,9 +25,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,8 +49,17 @@ func main() {
 		jsonDir     = flag.String("json", ".", "directory for machine-readable BENCH_*.json results ('' disables)")
 		scen        = flag.String("scenario", "", "replay one scenario: a canned name or a JSON spec file")
 		addr        = flag.String("addr", "", "with -scenario: address of a running hermitd for wire-target specs")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile (pb.gz) covering the run to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile (pb.gz) at exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProfiles()
 
 	if *scen != "" {
 		cfg := bench.DefaultConfig(os.Stdout)
@@ -61,8 +73,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if err := bench.RunScenarioSpec(cfg, spec, *addr); err != nil {
-			fmt.Fprintf(os.Stderr, "scenario %s failed: %v\n", spec.Name, err)
+		var runErr error
+		pprof.Do(context.Background(), pprof.Labels("scenario", spec.Name), func(context.Context) {
+			runErr = bench.RunScenarioSpec(cfg, spec, *addr)
+		})
+		if runErr != nil {
+			stopProfiles()
+			fmt.Fprintf(os.Stderr, "scenario %s failed: %v\n", spec.Name, runErr)
 			os.Exit(1)
 		}
 		return
@@ -102,12 +119,57 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		if err := e.Run(cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+		var runErr error
+		pprof.Do(context.Background(), pprof.Labels("experiment", id), func(context.Context) {
+			runErr = e.Run(cfg)
+		})
+		if runErr != nil {
+			stopProfiles()
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, runErr)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// startProfiles begins CPU profiling and arranges the allocation profile
+// dump; the returned stop function (idempotent) finishes both. Profiles
+// are the gzipped protobuf go tool pprof reads directly.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers; alloc totals are cumulative
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 // loadScenario resolves -scenario: a path to a JSON spec file when one

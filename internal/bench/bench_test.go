@@ -46,7 +46,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "tab1",
 		"fig26", "fig27", "fig28", "fig29", "fig30", "ablation",
 		"concurrency", "durability", "compaction", "advisor", "partition",
-		"txn", "server", "repl", "scenarios",
+		"txn", "server", "repl", "scenarios", "hotpath",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

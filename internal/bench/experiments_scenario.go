@@ -53,10 +53,16 @@ type scenarioResult struct {
 	// TraceHash is reported by the replayer from the ops it walked;
 	// TraceHashRecheck comes from an independent recompile of the spec.
 	// benchcheck requires them equal — the determinism proof.
-	TraceHash        string          `json:"trace_hash"`
-	TraceHashRecheck string          `json:"trace_hash_recheck"`
-	Ops              int             `json:"ops"`
-	Phases           []scenarioPhase `json:"phases"`
+	TraceHash        string `json:"trace_hash"`
+	TraceHashRecheck string `json:"trace_hash_recheck"`
+	Ops              int    `json:"ops"`
+	// Allocator pressure over the whole replay (runtime.ReadMemStats
+	// deltas): heap objects allocated and summed stop-the-world GC pause.
+	// Process-wide, so meaningful for in-process targets and indicative
+	// (client side only) for wire targets.
+	Mallocs       uint64          `json:"mallocs"`
+	GCPauseMicros float64         `json:"gc_pause_us"`
+	Phases        []scenarioPhase `json:"phases"`
 }
 
 // scenarioReport is the schema of BENCH_scenarios.json.
@@ -99,6 +105,8 @@ func RunScenarios(cfg Config) error {
 		rep.Scenarios = append(rep.Scenarios, sr)
 		fmt.Fprintf(cfg.Out, "\n%s (target=%s, spec=%s, trace=%s)\n",
 			sr.Name, sr.Target, sr.SpecHash, sr.TraceHash)
+		fmt.Fprintf(cfg.Out, "  allocator: %d mallocs, %.1fus GC pause total\n",
+			sr.Mallocs, sr.GCPauseMicros)
 		fmt.Fprintf(cfg.Out, "  %-12s %-6s %8s %14s %9s %9s %9s %7s\n",
 			"phase", "loop", "ops", "throughput", "p50", "p99", "p999", "aborts")
 		for _, ph := range sr.Phases {
@@ -235,10 +243,13 @@ func replayScenario(cfg Config, spec *scenario.Spec, kind string, opts scenario.
 		return scenarioResult{}, err
 	}
 	defer tg.Close()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	res, err := scenario.Replay(tr, tg)
 	if err != nil {
 		return scenarioResult{}, err
 	}
+	runtime.ReadMemStats(&m1)
 	recheck, err := scenario.Compile(spec, cfg.Scale)
 	if err != nil {
 		return scenarioResult{}, err
@@ -250,6 +261,8 @@ func replayScenario(cfg Config, spec *scenario.Spec, kind string, opts scenario.
 		TraceHash:        res.TraceHash,
 		TraceHashRecheck: recheck.TraceHash,
 		Ops:              tr.Ops(),
+		Mallocs:          m1.Mallocs - m0.Mallocs,
+		GCPauseMicros:    float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e3,
 	}
 	for i := range res.Phases {
 		ph := &res.Phases[i]

@@ -92,7 +92,17 @@ type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+
+	// wbuf/rbuf are the frame encode/decode scratch buffers. The Conn is
+	// single-goroutine by contract, so plain fields suffice; oversized
+	// buffers are dropped after use (see maxRetainedBuf).
+	wbuf, rbuf []byte
 }
+
+// maxRetainedBuf caps the frame scratch a Conn keeps between requests
+// (frames run up to proto.MaxFrame = 16 MiB; a rare huge row set should
+// not pin that footprint on an idle connection).
+const maxRetainedBuf = 64 << 10
 
 // Dial connects to a hermitd address and binds the tenant namespace.
 func Dial(addr string, opts Options) (*Conn, error) {
@@ -123,9 +133,20 @@ func Dial(addr string, opts Options) (*Conn, error) {
 func (c *Conn) Close() error { return c.c.Close() }
 
 // roundTrip writes one request, flushes, and reads one response,
-// converting RespError into *Error.
+// converting RespError into *Error. Request frames encode into the
+// connection's reused scratch, so a steady-state round trip allocates
+// only the decoded response.
 func (c *Conn) roundTrip(r *proto.Request) (proto.Response, error) {
-	if err := proto.WriteRequest(c.bw, r); err != nil {
+	frame, err := proto.AppendRequest(c.wbuf[:0], r)
+	if err != nil {
+		return proto.Response{}, err
+	}
+	if cap(frame) <= maxRetainedBuf {
+		c.wbuf = frame
+	} else {
+		c.wbuf = nil
+	}
+	if _, err := c.bw.Write(frame); err != nil {
 		return proto.Response{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -135,7 +156,16 @@ func (c *Conn) roundTrip(r *proto.Request) (proto.Response, error) {
 }
 
 func (c *Conn) readResponse() (proto.Response, error) {
-	resp, err := proto.ReadResponse(c.br)
+	payload, err := proto.ReadFrameBuf(c.br, c.rbuf)
+	if err != nil {
+		return proto.Response{}, err
+	}
+	if cap(payload) <= maxRetainedBuf {
+		c.rbuf = payload // decoded responses never alias the payload
+	} else {
+		c.rbuf = nil
+	}
+	resp, err := proto.DecodeResponse(payload)
 	if err != nil {
 		return proto.Response{}, err
 	}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"hermit/internal/hermit"
+	"hermit/internal/storage"
+)
+
+// Allocation regression guards for the read hot paths. The zero-alloc
+// contract is part of the engine's performance surface (see
+// ARCHITECTURE.md "Hot paths & allocation discipline"): a PK point read
+// with a reused result buffer and a warm snapshot read must not allocate
+// at steady state. testing.AllocsPerRun under the race detector counts
+// the detector's own bookkeeping, so the guards skip under -race.
+
+// guardTable builds a small two-column table with static routing (the
+// planner's sampled latency clock reads are fine, but static routing keeps
+// the guard focused on the execution path).
+func guardTable(t testing.TB, n int) *Table {
+	t.Helper()
+	db := NewDB(hermit.PhysicalPointers)
+	tb, err := db.CreateTable("guard", []string{"pk", "val"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.SetRouting(RouteStatic)
+	row := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		row[0], row[1] = float64(i), float64(i%97)
+		if _, err := tb.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// measureAllocs runs fn under AllocsPerRun with GC pinned off so the
+// collector cannot recycle pooled scratch mid-measurement.
+func measureAllocs(t *testing.T, runs int, fn func()) float64 {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector bookkeeping under -race")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	fn() // warm pools and result buffers outside the measured window
+	return testing.AllocsPerRun(runs, fn)
+}
+
+func TestPointReadZeroAllocs(t *testing.T) {
+	tb := guardTable(t, 4096)
+	dst := make([]storage.RID, 0, 8)
+	i := 0
+	allocs := measureAllocs(t, 200, func() {
+		i = (i*31 + 17) % 4096
+		var err error
+		dst, _, err = tb.PointQueryInto(0, float64(i), dst)
+		if err != nil || len(dst) != 1 {
+			t.Fatalf("point read: %v rows=%d", err, len(dst))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PK point read allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestWarmSnapshotReadZeroAllocs(t *testing.T) {
+	tb := guardTable(t, 4096)
+	snap := tb.clock.Snapshot()
+	defer snap.Release()
+	dst := make([]storage.RID, 0, 8)
+	i := 0
+	allocs := measureAllocs(t, 200, func() {
+		i = (i*31 + 17) % 4096
+		var err error
+		dst, _, err = tb.PointQueryAtInto(snap, 0, float64(i), dst)
+		if err != nil || len(dst) != 1 {
+			t.Fatalf("snapshot read: %v rows=%d", err, len(dst))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm PointQueryAtInto allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestRangeReadIntoSteadyState pins the range path's steady state: with a
+// carried dst the only tolerated allocations are the planner/runtime
+// incidentals, and today there are none.
+func TestRangeReadIntoSteadyState(t *testing.T) {
+	tb := guardTable(t, 4096)
+	dst := make([]storage.RID, 0, 64)
+	lo := 0.0
+	allocs := measureAllocs(t, 200, func() {
+		lo += 13
+		if lo > 4000 {
+			lo = 0
+		}
+		var err error
+		dst, _, err = tb.RangeQueryInto(0, lo, lo+31, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm RangeQueryInto allocates %.2f/op, want 0", allocs)
+	}
+}

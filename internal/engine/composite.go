@@ -35,31 +35,18 @@ func (t *Table) CreateCompositeBTreeIndex(aCol, bCol int, markNew bool) (*btree.
 	if _, dup := t.composites[key]; dup {
 		return nil, ErrDupIndex
 	}
-	type entry struct {
-		a, b float64
-		id   uint64
-	}
-	entries := make([]entry, 0, t.store.Len())
+	// As in CreateBTreeIndex, fill the bulk-load arrays directly and sort
+	// them jointly rather than staging an intermediate entries slice.
+	as := make([]float64, 0, t.store.Len())
+	bs := make([]float64, 0, t.store.Len())
+	ids := make([]uint64, 0, t.store.Len())
 	t.store.Scan(func(rid storage.RID, row []float64) bool {
-		entries = append(entries, entry{a: row[aCol], b: row[bCol], id: uint64(rid)})
+		as = append(as, row[aCol])
+		bs = append(bs, row[bCol])
+		ids = append(ids, uint64(rid))
 		return true
 	})
-	sort.Slice(entries, func(x, y int) bool {
-		ex, ey := entries[x], entries[y]
-		if ex.a != ey.a {
-			return ex.a < ey.a
-		}
-		if ex.b != ey.b {
-			return ex.b < ey.b
-		}
-		return ex.id < ey.id
-	})
-	as := make([]float64, len(entries))
-	bs := make([]float64, len(entries))
-	ids := make([]uint64, len(entries))
-	for i, e := range entries {
-		as[i], bs[i], ids[i] = e.a, e.b, e.id
-	}
+	sort.Sort(abIDSorter{as: as, bs: bs, ids: ids})
 	tr := btree.NewComposite(btree.DefaultOrder)
 	if err := tr.BulkLoad(as, bs, ids); err != nil {
 		return nil, err
@@ -73,6 +60,31 @@ func (t *Table) CreateCompositeBTreeIndex(aCol, bCol int, markNew bool) (*btree.
 		t.compositeNew[key] = true
 	}
 	return tr, nil
+}
+
+// abIDSorter orders the parallel composite bulk-load arrays jointly by
+// (a, b, id), swapping all three slices in lockstep.
+type abIDSorter struct {
+	as, bs []float64
+	ids    []uint64
+}
+
+func (s abIDSorter) Len() int { return len(s.as) }
+
+func (s abIDSorter) Less(x, y int) bool {
+	if s.as[x] != s.as[y] {
+		return s.as[x] < s.as[y]
+	}
+	if s.bs[x] != s.bs[y] {
+		return s.bs[x] < s.bs[y]
+	}
+	return s.ids[x] < s.ids[y]
+}
+
+func (s abIDSorter) Swap(x, y int) {
+	s.as[x], s.as[y] = s.as[y], s.as[x]
+	s.bs[x], s.bs[y] = s.bs[y], s.bs[x]
+	s.ids[x], s.ids[y] = s.ids[y], s.ids[x]
 }
 
 // CreateCompositeHermitIndex builds a multi-column Hermit index on

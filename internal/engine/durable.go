@@ -471,6 +471,10 @@ func OpenDurableOptions(dir string, scheme hermit.PointerScheme, opts DurableOpt
 			}
 			delete(pending, rec.Txn)
 		case rec.Txn != 0:
+			// Buffered records outlive the callback (until their commit
+			// arrives, possibly forever via d.recPending), but rec.Payload
+			// aliases replay's reused scratch — copy it.
+			rec.Payload = append([]byte(nil), rec.Payload...)
 			pending[rec.Txn] = append(pending[rec.Txn], rec)
 		default:
 			applyCounted(rec)
@@ -988,7 +992,8 @@ func (d *DurableDB) mutate(table string, pk float64, apply func(tb *Table) error
 		d.mu.RUnlock()
 		return err
 	}
-	unlock := d.rows.lock(pk)
+	stripe := d.rows.mu(pk)
+	stripe.Lock()
 	var tk *wal.Ticket
 	if err = apply(tb); err == nil {
 		r := rec()
@@ -997,7 +1002,7 @@ func (d *DurableDB) mutate(table string, pk float64, apply func(tb *Table) error
 			err = fmt.Errorf("engine: wal submit after apply (in-memory state ahead of log until next checkpoint): %w", err)
 		}
 	}
-	unlock()
+	stripe.Unlock()
 	d.mu.RUnlock()
 	if err != nil {
 		return err

@@ -279,7 +279,9 @@ func (t *Table) insert(row []float64) (storage.RID, InsertStats, error) {
 	// The stripe serialises check-then-act sequences on the same key (the
 	// duplicate check against the version chain; every committer of this
 	// key holds the stripe, so the head is stable until we stamp).
-	defer t.rows.lock(pk)()
+	stripe := t.rows.mu(pk)
+	stripe.Lock()
+	defer stripe.Unlock()
 	old := t.head(pk)
 	if old != nil && old.endTS == 0 {
 		return 0, st, fmt.Errorf("%w: %v", ErrDupKey, pk)
@@ -439,7 +441,9 @@ func (t *Table) hostLatchFor(hostCol int, host *btree.Tree) *sync.RWMutex {
 func (t *Table) Delete(pk float64) (bool, error) {
 	t.catalog.RLock()
 	defer t.catalog.RUnlock()
-	defer t.rows.lock(pk)()
+	stripe := t.rows.mu(pk)
+	stripe.Lock()
+	defer stripe.Unlock()
 	cur := t.head(pk)
 	if cur == nil || cur.endTS != 0 {
 		return false, nil
@@ -469,7 +473,9 @@ func (t *Table) UpdateColumn(pk float64, col int, v float64) error {
 	}
 	t.catalog.RLock()
 	defer t.catalog.RUnlock()
-	defer t.rows.lock(pk)()
+	stripe := t.rows.mu(pk)
+	stripe.Lock()
+	defer stripe.Unlock()
 	cur := t.head(pk)
 	if cur == nil || cur.endTS != 0 {
 		return fmt.Errorf("engine: update: no row with pk %v", pk)

@@ -25,28 +25,19 @@ func (t *Table) CreateBTreeIndex(col int, markNew bool) (*btree.Tree, error) {
 	if _, dup := t.secondary[col]; dup {
 		return nil, ErrDupIndex
 	}
-	type entry struct {
-		k float64
-		v uint64
-	}
-	entries := make([]entry, 0, t.store.Len())
+	// Build the key/id arrays BulkLoad consumes directly and sort them
+	// jointly — no intermediate entries slice to materialise and copy out
+	// (the build peak is the tree plus exactly one pair of arrays).
+	keys := make([]float64, 0, t.store.Len())
+	ids := make([]uint64, 0, t.store.Len())
 	buf := make([]float64, len(t.cols))
 	t.store.Scan(func(rid storage.RID, row []float64) bool {
 		copy(buf, row)
-		entries = append(entries, entry{k: row[col], v: t.identify(rid, buf)})
+		keys = append(keys, row[col])
+		ids = append(ids, t.identify(rid, buf))
 		return true
 	})
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].k != entries[b].k {
-			return entries[a].k < entries[b].k
-		}
-		return entries[a].v < entries[b].v
-	})
-	keys := make([]float64, len(entries))
-	ids := make([]uint64, len(entries))
-	for i, e := range entries {
-		keys[i], ids[i] = e.k, e.v
-	}
+	sort.Sort(keyIDSorter{keys: keys, ids: ids})
 	tr := btree.New(btree.DefaultOrder)
 	if err := tr.BulkLoad(keys, ids); err != nil {
 		return nil, err
@@ -57,6 +48,27 @@ func (t *Table) CreateBTreeIndex(col int, markNew bool) (*btree.Tree, error) {
 		t.newCols[col] = true
 	}
 	return tr, nil
+}
+
+// keyIDSorter orders the parallel key/id bulk-load arrays jointly by
+// (key, id), swapping both slices in lockstep.
+type keyIDSorter struct {
+	keys []float64
+	ids  []uint64
+}
+
+func (s keyIDSorter) Len() int { return len(s.keys) }
+
+func (s keyIDSorter) Less(a, b int) bool {
+	if s.keys[a] != s.keys[b] {
+		return s.keys[a] < s.keys[b]
+	}
+	return s.ids[a] < s.ids[b]
+}
+
+func (s keyIDSorter) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
 }
 
 // HermitOption customises Hermit index creation.

@@ -45,9 +45,18 @@ type stripedLock struct {
 	stripes [lockStripes]sync.Mutex
 }
 
+// mu returns the stripe mutex covering pk. Callers lock/unlock it
+// directly: handing back the mutex instead of a bound unlock function
+// keeps the write path free of the method-value allocation the old
+// `lock(pk) func()` shape paid on every row mutation.
+func (s *stripedLock) mu(pk float64) *sync.Mutex {
+	return &s.stripes[stripeOf(pk)]
+}
+
 // lock acquires the stripe covering pk and returns its unlock function.
+// Prefer mu on hot paths (the returned method value allocates).
 func (s *stripedLock) lock(pk float64) func() {
-	m := &s.stripes[stripeOf(pk)]
+	m := s.mu(pk)
 	m.Lock()
 	return m.Unlock
 }

@@ -52,10 +52,20 @@ type Clock struct {
 	// commitMu serialises the stamp-and-publish step of every commit.
 	commitMu sync.Mutex
 
-	// regMu guards the live-snapshot registry.
+	// regMu guards the live-snapshot registry and the free-list.
 	regMu  sync.Mutex
 	active map[uint64]int // snapshot ts -> open snapshot count
+	// free recycles Snapshot objects returned through Recycle, so the
+	// register/deregister cycle of every auto-commit read stops feeding
+	// the allocator. Objects only enter via Recycle (whose contract
+	// forbids further use), so a pooled object can never receive a stale
+	// Release from a previous holder.
+	free []*Snapshot
 }
+
+// maxSnapshotFree bounds the per-clock snapshot free-list; beyond it
+// released snapshots are left to the garbage collector.
+const maxSnapshotFree = 64
 
 // NewClock creates a commit clock starting at timestamp 0.
 func NewClock() *Clock {
@@ -67,14 +77,25 @@ func NewClock() *Clock {
 func (c *Clock) Now() uint64 { return c.ts.Load() }
 
 // Snapshot registers and returns a read snapshot at the current commit
-// timestamp. The caller must Release it, or version GC will treat it as
-// live forever.
+// timestamp. The caller must Release (or Recycle) it, or version GC will
+// treat it as live forever. The returned object may come from the clock's
+// free-list — a recycled registration slot rather than a fresh allocation.
 func (c *Clock) Snapshot() *Snapshot {
 	c.regMu.Lock()
 	ts := c.ts.Load()
 	c.active[ts]++
+	var s *Snapshot
+	if n := len(c.free); n > 0 {
+		s, c.free[n-1] = c.free[n-1], nil
+		c.free = c.free[:n-1]
+	}
 	c.regMu.Unlock()
-	return &Snapshot{clock: c, ts: ts}
+	if s == nil {
+		return &Snapshot{clock: c, ts: ts}
+	}
+	s.ts = ts
+	s.released.Store(false)
+	return s
 }
 
 // release drops one registration of ts.
@@ -123,6 +144,30 @@ func (s *Snapshot) Release() {
 	if s != nil && !s.released.Swap(true) {
 		s.clock.release(s.ts)
 	}
+}
+
+// Recycle is Release plus free-list return: the Snapshot object goes back
+// to its clock for reuse by a later Snapshot call. Unlike Release it is
+// NOT idempotent-safe — the caller must drop every reference and must not
+// touch the snapshot (including calling Release) afterwards, because the
+// object may already be serving another reader. The engine's auto-snapshot
+// query paths use it; prefer Release when the snapshot's lifetime is not
+// strictly scoped.
+func (s *Snapshot) Recycle() {
+	if s == nil || s.released.Swap(true) {
+		return
+	}
+	c := s.clock
+	c.regMu.Lock()
+	if n := c.active[s.ts]; n <= 1 {
+		delete(c.active, s.ts)
+	} else {
+		c.active[s.ts] = n - 1
+	}
+	if len(c.free) < maxSnapshotFree {
+		c.free = append(c.free, s)
+	}
+	c.regMu.Unlock()
 }
 
 // visibleAt reports whether version v is the visible incarnation at ts.
@@ -202,11 +247,20 @@ func (t *Table) head(pk float64) *version {
 // the key has no visible incarnation.
 func (t *Table) resolveVisible(pk float64, ts uint64) *version {
 	t.verMu.RLock()
+	v := t.resolveVisibleLocked(pk, ts)
+	t.verMu.RUnlock()
+	return v
+}
+
+// resolveVisibleLocked is resolveVisible with t.verMu already held
+// (shared). The batched candidate-filtering paths in query.go use it to
+// resolve a whole harvest under one latch acquisition instead of one per
+// key.
+func (t *Table) resolveVisibleLocked(pk float64, ts uint64) *version {
 	v := t.chains[chainKey(pk)]
 	for v != nil && !visibleAt(v, ts) {
 		v = v.prev
 	}
-	t.verMu.RUnlock()
 	return v
 }
 

@@ -3,7 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -453,7 +453,7 @@ func (t *Table) planLockedForce(col int, lo, hi float64, refresh bool) (AccessPa
 		e.EstCandidates = e.EstRows
 		e.Reason = "complete B+-tree (exact)"
 		if logical {
-			e.Reason += "; +primary probe per row"
+			e.Reason = "complete B+-tree (exact); +primary probe per row"
 		}
 	} else {
 		ests[PathBTree].Reason = "no complete B+-tree on this column"
@@ -463,10 +463,10 @@ func (t *Table) planLockedForce(col int, lo, hi float64, refresh bool) (AccessPa
 		outFrac, treeH := t.hermitAux(col, hx, n, refresh)
 		rt := &t.runtime[col].paths[PathHermit]
 		fpEst := clamp(0.1+2*outFrac, 0.05, 0.95)
-		src := fmt.Sprintf("structural fp default (outlier frac %.2f)", outFrac)
-		if obs := rt.fpObs.Load(); obs >= latencyCalibrationObs {
+		observed := false
+		if rt.fpObs.Load() >= latencyCalibrationObs {
 			fpEst = clamp(ewmaValue(&rt.fp), 0, 0.95)
-			src = fmt.Sprintf("observed fp EWMA over %d queries", obs)
+			observed = true
 		}
 		bloat := 1 / (1 - fpEst)
 		estCand := estRows * bloat
@@ -475,7 +475,15 @@ func (t *Table) planLockedForce(col int, lo, hi float64, refresh bool) (AccessPa
 		e.FPEstimate = fpEst
 		e.EstCandidates = int(math.Ceil(estCand))
 		e.Cost = treeH*costLevel + estCand*(costEntry+resolve)
-		e.Reason = "TRS-Tree + host index + validation; " + src
+		// Formatted Reason strings allocate; only Explain (refresh) reads
+		// them, so the per-query planning pass skips building them.
+		if refresh {
+			if observed {
+				e.Reason = fmt.Sprintf("TRS-Tree + host index + validation; observed fp EWMA over %d queries", rt.fpObs.Load())
+			} else {
+				e.Reason = fmt.Sprintf("TRS-Tree + host index + validation; structural fp default (outlier frac %.2f)", outFrac)
+			}
+		}
 
 		ed := &ests[PathTRSDirect]
 		ed.Available = true
@@ -491,10 +499,10 @@ func (t *Table) planLockedForce(col int, lo, hi float64, refresh bool) (AccessPa
 	if t.cms[col] != nil {
 		rt := &t.runtime[col].paths[PathCM]
 		fpEst := 0.3
-		src := "structural fp default"
-		if obs := rt.fpObs.Load(); obs >= latencyCalibrationObs {
+		observed := false
+		if rt.fpObs.Load() >= latencyCalibrationObs {
 			fpEst = clamp(ewmaValue(&rt.fp), 0, 0.95)
-			src = fmt.Sprintf("observed fp EWMA over %d queries", obs)
+			observed = true
 		}
 		estCand := estRows / (1 - fpEst)
 		e := &ests[PathCM]
@@ -502,7 +510,11 @@ func (t *Table) planLockedForce(col int, lo, hi float64, refresh bool) (AccessPa
 		e.FPEstimate = fpEst
 		e.EstCandidates = int(math.Ceil(estCand))
 		e.Cost = costLevel + estCand*(costEntry+costFetch)
-		e.Reason = "Correlation Map buckets + host index + validation; " + src
+		e.Reason = "Correlation Map buckets + host index + validation; structural fp default"
+		if refresh && observed {
+			// Formatted Reasons allocate; built for Explain only.
+			e.Reason = fmt.Sprintf("Correlation Map buckets + host index + validation; observed fp EWMA over %d queries", rt.fpObs.Load())
+		}
 	} else {
 		ests[PathCM].Reason = "no Correlation Map on this column"
 	}
@@ -662,11 +674,13 @@ func (t *Table) Writes() uint64 { return t.writes.Load() }
 // falls in a predicted range, plus the buffered outliers) with
 // target-column validation and snapshot visibility resolution — no
 // host-index or primary-index latches.
-func (t *Table) trsDirectRange(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+func (t *Table) trsDirectRange(snap *Snapshot, col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	hx := t.hermits[col]
 	hostCol := t.hostOf[col]
 	tres := hx.Tree().Lookup(lo, hi)
-	var rids []storage.RID
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.rids = sc.rids[:0]
 	// Outlier identifiers resolve like Hermit candidates: directly under
 	// physical pointers, through the version chains under logical pointers
 	// (the chain, not the primary index, knows which incarnation the
@@ -674,18 +688,18 @@ func (t *Table) trsDirectRange(snap *Snapshot, col int, lo, hi float64) ([]stora
 	if t.scheme == hermit.LogicalPointers {
 		for _, pk := range tres.IDs {
 			if v := t.resolveVisible(float64(pk), snap.ts); v != nil {
-				rids = append(rids, v.rid)
+				sc.rids = append(sc.rids, v.rid)
 			}
 		}
 	} else {
 		for _, id := range tres.IDs {
-			rids = append(rids, storage.RID(id))
+			sc.rids = append(sc.rids, storage.RID(id))
 		}
 	}
 	err := t.store.ScanColumn(hostCol, func(rid storage.RID, nv float64) bool {
 		for _, r := range tres.Ranges {
 			if nv >= r.Lo && nv <= r.Hi {
-				rids = append(rids, rid)
+				sc.rids = append(sc.rids, rid)
 				break
 			}
 		}
@@ -698,11 +712,11 @@ func (t *Table) trsDirectRange(snap *Snapshot, col int, lo, hi float64) ([]stora
 	// range), then validate against the target column and resolve
 	// visibility. Every version of a matching key is its own candidate, so
 	// the visible incarnation is always present.
-	sortRIDs(rids)
+	slices.Sort(sc.rids)
 	st := QueryStats{Kind: KindHermit}
-	out := rids[:0]
+	out := resultBuf(dst, len(sc.rids))
 	var prev storage.RID
-	for i, rid := range rids {
+	for i, rid := range sc.rids {
 		if i > 0 && rid == prev {
 			continue
 		}
@@ -718,9 +732,4 @@ func (t *Table) trsDirectRange(snap *Snapshot, col int, lo, hi float64) ([]stora
 	}
 	st.Rows = len(out)
 	return out, st, nil
-}
-
-// sortRIDs orders candidates for deduplication.
-func sortRIDs(rids []storage.RID) {
-	sort.Slice(rids, func(a, b int) bool { return rids[a] < rids[b] })
 }

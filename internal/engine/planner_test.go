@@ -164,7 +164,7 @@ func TestTRSDirectPath(t *testing.T) {
 		for _, q := range [][2]float64{{100, 150}, {0, 1000}, {900, 910}} {
 			snap := tb.clock.Snapshot()
 			tb.catalog.RLock()
-			rids, st, err := tb.execPathLocked(snap, PathTRSDirect, 2, q[0], q[1])
+			rids, st, err := tb.execPathLocked(snap, PathTRSDirect, 2, q[0], q[1], nil)
 			tb.catalog.RUnlock()
 			snap.Release()
 			if err != nil {

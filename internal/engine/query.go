@@ -35,6 +35,84 @@ func (q QueryStats) FalsePositiveRatio() float64 {
 	return 1 - float64(q.Rows)/float64(q.Candidates)
 }
 
+// queryScratch holds the harvest buffers one query execution reuses. The
+// objects are pooled package-wide so a steady-state read allocates
+// nothing: candidate keys, ids, and RIDs land in recycled backing arrays,
+// and the pre-bound append callbacks (method values created once per
+// scratch object) keep index Scan calls from minting a fresh closure per
+// query. Scratch memory never escapes into query results — results go to
+// the caller's dst buffer or a fresh allocation — so returning the object
+// to the pool is always safe.
+//
+// Pool discipline: scratch is acquired after all latches the path takes
+// are decided and is released before the query returns; it interacts with
+// no latch, so it adds nothing to the lock order.
+type queryScratch struct {
+	pks  []float64
+	ids  []uint64
+	rids []storage.RID
+	res  []storage.RID
+	seen map[uint64]struct{}
+
+	// appendPK/appendID append a scanned entry into pks/ids; bound once
+	// here so Scan callbacks do not allocate per query.
+	appendPK func(pk float64, id uint64) bool
+	appendID func(key float64, id uint64) bool
+}
+
+// Scratch retention caps: a query that harvested an unusually large
+// candidate set (a full-table scan, say) must not pin that memory in the
+// pool forever.
+const (
+	maxScratchEntries = 1 << 16
+	maxScratchSeen    = 1 << 12
+)
+
+var queryScratchPool = sync.Pool{New: func() any {
+	sc := &queryScratch{seen: make(map[uint64]struct{})}
+	sc.appendPK = func(pk float64, _ uint64) bool { sc.pks = append(sc.pks, pk); return true }
+	sc.appendID = func(_ float64, id uint64) bool { sc.ids = append(sc.ids, id); return true }
+	return sc
+}}
+
+// getScratch draws a scratch object from the pool.
+func getScratch() *queryScratch { return queryScratchPool.Get().(*queryScratch) }
+
+// putScratch resets and returns a scratch object to the pool, dropping
+// oversized backing arrays.
+func putScratch(sc *queryScratch) {
+	if cap(sc.pks) > maxScratchEntries {
+		sc.pks = nil
+	}
+	if cap(sc.ids) > maxScratchEntries {
+		sc.ids = nil
+	}
+	if cap(sc.rids) > maxScratchEntries {
+		sc.rids = nil
+	}
+	if cap(sc.res) > maxScratchEntries {
+		sc.res = nil
+	}
+	sc.pks, sc.ids = sc.pks[:0], sc.ids[:0]
+	sc.rids, sc.res = sc.rids[:0], sc.res[:0]
+	if len(sc.seen) > maxScratchSeen {
+		sc.seen = make(map[uint64]struct{})
+	} else {
+		clear(sc.seen)
+	}
+	queryScratchPool.Put(sc)
+}
+
+// resultBuf returns the buffer query results are appended into: the
+// caller's dst (reset to length zero), or a fresh allocation sized for n
+// results when no dst was supplied.
+func resultBuf(dst []storage.RID, n int) []storage.RID {
+	if dst == nil && n > 0 {
+		return make([]storage.RID, 0, n)
+	}
+	return dst[:0]
+}
+
 // RangeQuery returns the RIDs of rows with lo <= col <= hi, reading at a
 // snapshot of the latest commit timestamp. It routes through the access
 // path the cost-based planner estimates cheapest (see planner.go);
@@ -48,8 +126,18 @@ func (q QueryStats) FalsePositiveRatio() float64 {
 // never block snapshot reads.
 func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
 	snap := t.clock.Snapshot()
-	defer snap.Release()
-	return t.RangeQueryAt(snap, col, lo, hi)
+	defer snap.Recycle()
+	return t.RangeQueryAtInto(snap, col, lo, hi, nil)
+}
+
+// RangeQueryInto is RangeQuery with a caller-supplied result buffer: the
+// matching RIDs are appended into dst[:0] and the (possibly grown) buffer
+// is returned. A caller that carries dst across queries amortises the
+// result allocation away entirely; dst may be nil for a fresh buffer.
+func (t *Table) RangeQueryInto(col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
+	snap := t.clock.Snapshot()
+	defer snap.Recycle()
+	return t.RangeQueryAtInto(snap, col, lo, hi, dst)
 }
 
 // RangeQueryAt is RangeQuery reading at the caller's snapshot: every index
@@ -57,6 +145,13 @@ func (t *Table) RangeQuery(col int, lo, hi float64) ([]storage.RID, QueryStats, 
 // against the snapshot's commit timestamp, so the result reflects exactly
 // the state at Snapshot time no matter what commits concurrently.
 func (t *Table) RangeQueryAt(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+	return t.RangeQueryAtInto(snap, col, lo, hi, nil)
+}
+
+// RangeQueryAtInto is RangeQueryAt with a caller-supplied result buffer
+// (see RangeQueryInto for the dst contract). With a reused dst a warm
+// query on an exact path allocates nothing.
+func (t *Table) RangeQueryAtInto(snap *Snapshot, col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	if col < 0 || col >= len(t.cols) {
 		return nil, QueryStats{}, ErrNoSuchColumn
 	}
@@ -78,7 +173,7 @@ func (t *Table) RangeQueryAt(snap *Snapshot, col int, lo, hi float64) ([]storage
 	if timed {
 		t0 = time.Now()
 	}
-	rids, st, err := t.execPathLocked(snap, chosen, col, lo, hi)
+	rids, st, err := t.execPathLocked(snap, chosen, col, lo, hi, dst)
 	if err != nil {
 		return nil, st, err
 	}
@@ -101,17 +196,19 @@ func (t *Table) staticPathLocked(col int) AccessPath {
 // priority; t.catalog is held shared. (The composite two-column fallback
 // uses it so RangeQuery2's behaviour is independent of the planner.)
 func (t *Table) rangeQueryLocked(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
-	return t.execPathLocked(snap, t.staticPathLocked(col), col, lo, hi)
+	return t.execPathLocked(snap, t.staticPathLocked(col), col, lo, hi, nil)
 }
 
 // execPathLocked executes the predicate over one access path at the given
 // snapshot; t.catalog is held shared. The caller guarantees the path is
-// available (planLocked or staticPathLocked).
-func (t *Table) execPathLocked(snap *Snapshot, path AccessPath, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+// available (planLocked or staticPathLocked). Results are appended into
+// dst when non-nil (see RangeQueryInto); with nil dst each path falls back
+// to its own allocation.
+func (t *Table) execPathLocked(snap *Snapshot, path AccessPath, col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	switch path {
 	case PathHermit:
 		if t.scheme == hermit.LogicalPointers {
-			return t.hermitLogicalRange(snap, col, lo, hi)
+			return t.hermitLogicalRange(snap, col, lo, hi, dst)
 		}
 		// The Hermit lookup traverses its self-latching TRS-Tree, then the
 		// host index; both candidate harvesting and validation run against
@@ -120,7 +217,12 @@ func (t *Table) execPathLocked(snap *Snapshot, path AccessPath, col int, lo, hi 
 		hostMu.RLock()
 		res := t.hermits[col].Lookup(lo, hi)
 		hostMu.RUnlock()
-		rids := t.filterVersions(snap, res.RIDs)
+		var rids []storage.RID
+		if dst != nil {
+			rids = t.filterVersionsAppend(snap, res.RIDs, dst)
+		} else {
+			rids = t.filterVersions(snap, res.RIDs)
+		}
 		return rids, QueryStats{
 			Kind:       KindHermit,
 			Rows:       len(rids),
@@ -137,33 +239,55 @@ func (t *Table) execPathLocked(snap *Snapshot, path AccessPath, col int, lo, hi 
 		res := t.cms[col].Lookup(lo, hi)
 		hostMu.RUnlock()
 		cmMu.RUnlock()
-		rids := t.filterVersions(snap, res.RIDs)
+		var rids []storage.RID
+		if dst != nil {
+			rids = t.filterVersionsAppend(snap, res.RIDs, dst)
+		} else {
+			rids = t.filterVersions(snap, res.RIDs)
+		}
 		return rids, QueryStats{
 			Kind:       KindCM,
 			Rows:       len(rids),
 			Candidates: res.Candidates,
 		}, nil
 	case PathBTree:
-		return t.baselineRange(snap, t.secondary[col], t.secondaryMu.get(col), KindBTree, col, lo, hi)
+		return t.baselineRange(snap, t.secondary[col], t.secondaryMu.get(col), KindBTree, col, lo, hi, dst)
 	case PathPrimary:
-		return t.primaryRange(snap, lo, hi)
+		return t.primaryRange(snap, lo, hi, dst)
 	case PathTRSDirect:
-		return t.trsDirectRange(snap, col, lo, hi)
+		return t.trsDirectRange(snap, col, lo, hi, dst)
 	default:
-		return t.scanRange(snap, col, lo, hi)
+		return t.scanRange(snap, col, lo, hi, dst)
 	}
 }
 
 // filterVersions keeps the candidates whose version is visible at the
-// snapshot. Exact for candidate sets that are per-version (every index
-// keeps one entry per version, and a version's row is immutable, so a
-// validated candidate either is the visible incarnation of its key or is
-// filtered here; the visible incarnation always appears among the
-// candidates through its own entries).
+// snapshot, filtering in place (the caller owns rids). Exact for candidate
+// sets that are per-version (every index keeps one entry per version, and
+// a version's row is immutable, so a validated candidate either is the
+// visible incarnation of its key or is filtered here; the visible
+// incarnation always appears among the candidates through its own
+// entries).
 func (t *Table) filterVersions(snap *Snapshot, rids []storage.RID) []storage.RID {
 	out := rids[:0]
 	t.verMu.RLock()
 	for _, rid := range rids {
+		if visibleAt(t.verOf[rid], snap.ts) {
+			out = append(out, rid)
+		}
+	}
+	t.verMu.RUnlock()
+	return out
+}
+
+// filterVersionsAppend is filterVersions into a separate buffer: the
+// visible candidates are appended into dst[:0] (freshly allocated when dst
+// is nil), leaving src intact — the form the pooled-scratch paths need,
+// since scratch memory must never escape into results.
+func (t *Table) filterVersionsAppend(snap *Snapshot, src, dst []storage.RID) []storage.RID {
+	out := resultBuf(dst, len(src))
+	t.verMu.RLock()
+	for _, rid := range src {
 		if visibleAt(t.verOf[rid], snap.ts) {
 			out = append(out, rid)
 		}
@@ -178,7 +302,7 @@ func (t *Table) filterVersions(snap *Snapshot, rids []storage.RID) []storage.RID
 // version chains to the incarnation visible at the snapshot (instead of
 // the primary index's newest entry), which is then validated against the
 // target predicate.
-func (t *Table) hermitLogicalRange(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+func (t *Table) hermitLogicalRange(snap *Snapshot, col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	hx := t.hermits[col]
 	st := QueryStats{Kind: KindHermit}
 	profile := t.profile.Load()
@@ -191,7 +315,12 @@ func (t *Table) hermitLogicalRange(snap *Snapshot, col int, lo, hi float64) ([]s
 		st.Breakdown[hermit.PhaseTRSTree] += time.Since(t0)
 		t0 = time.Now()
 	}
-	ids := tres.IDs // outlier identifiers are primary keys under this scheme
+	sc := getScratch()
+	defer putScratch(sc)
+	// Outlier identifiers are primary keys under this scheme. Harvest into
+	// the scratch so the host-index appends never grow the index-owned
+	// backing array.
+	sc.ids = append(sc.ids[:0], tres.IDs...)
 	hostMu := t.hermitHostMu[col]
 	hostMu.RLock()
 	host := t.secondary[t.hostOf[col]]
@@ -202,10 +331,7 @@ func (t *Table) hermitLogicalRange(snap *Snapshot, col int, lo, hi float64) ([]s
 		return nil, st, ErrNoHostIndex
 	}
 	for _, r := range tres.Ranges {
-		host.Scan(r.Lo, r.Hi, func(_ float64, id uint64) bool {
-			ids = append(ids, id)
-			return true
-		})
+		host.Scan(r.Lo, r.Hi, sc.appendID)
 	}
 	hostMu.RUnlock()
 	if profile {
@@ -213,36 +339,38 @@ func (t *Table) hermitLogicalRange(snap *Snapshot, col int, lo, hi float64) ([]s
 		t0 = time.Now()
 	}
 	// Resolve each candidate key to its visible incarnation (the MVCC
-	// replacement for the primary-index hop) ...
-	seen := make(map[uint64]struct{}, len(ids))
-	resolved := make([]storage.RID, 0, len(ids))
-	for _, id := range ids {
-		if _, dup := seen[id]; dup {
+	// replacement for the primary-index hop), batched under one chain-latch
+	// acquisition instead of one per key ...
+	sc.res = sc.res[:0]
+	t.verMu.RLock()
+	for _, id := range sc.ids {
+		if _, dup := sc.seen[id]; dup {
 			continue
 		}
-		seen[id] = struct{}{}
-		if v := t.resolveVisible(float64(id), snap.ts); v != nil {
-			resolved = append(resolved, v.rid)
+		sc.seen[id] = struct{}{}
+		if v := t.resolveVisibleLocked(float64(id), snap.ts); v != nil {
+			sc.res = append(sc.res, v.rid)
 		}
 	}
-	st.Candidates = len(seen)
+	t.verMu.RUnlock()
+	st.Candidates = len(sc.seen)
 	if profile {
 		st.Breakdown[hermit.PhasePrimaryIndex] += time.Since(t0)
 		t0 = time.Now()
 	}
 	// ... then validate the target predicate against the base table.
-	rids := resolved[:0]
-	for _, rid := range resolved {
+	out := resultBuf(dst, len(sc.res))
+	for _, rid := range sc.res {
 		m, err := t.store.Value(rid, col)
 		if err == nil && m >= lo && m <= hi {
-			rids = append(rids, rid)
+			out = append(out, rid)
 		}
 	}
 	if profile {
 		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
 	}
-	st.Rows = len(rids)
-	return rids, st, nil
+	st.Rows = len(out)
+	return out, st, nil
 }
 
 // PointQuery returns the RIDs of rows with col == v at a snapshot of the
@@ -256,6 +384,18 @@ func (t *Table) PointQueryAt(snap *Snapshot, col int, v float64) ([]storage.RID,
 	return t.RangeQueryAt(snap, col, v, v)
 }
 
+// PointQueryInto is PointQuery with a caller-supplied result buffer (see
+// RangeQueryInto for the dst contract).
+func (t *Table) PointQueryInto(col int, v float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
+	return t.RangeQueryInto(col, v, v, dst)
+}
+
+// PointQueryAtInto is PointQueryAt with a caller-supplied result buffer
+// (see RangeQueryInto for the dst contract).
+func (t *Table) PointQueryAtInto(snap *Snapshot, col int, v float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
+	return t.RangeQueryAtInto(snap, col, v, v, dst)
+}
+
 // baselineRange executes the conventional secondary-index plan: index
 // scan, then visibility resolution. This is the Baseline of every figure.
 // mu is the scanned index's latch. Under physical pointers candidates are
@@ -265,59 +405,63 @@ func (t *Table) PointQueryAt(snap *Snapshot, col int, v float64) ([]storage.RID,
 // entry's version).
 func (t *Table) baselineRange(snap *Snapshot, idx interface {
 	Scan(lo, hi float64, fn func(key float64, id uint64) bool)
-}, mu *sync.RWMutex, kind IndexKind, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+}, mu *sync.RWMutex, kind IndexKind, col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: kind}
 	profile := t.profile.Load()
 	var t0 time.Time
 	if profile {
 		t0 = time.Now()
 	}
-	var ids []uint64
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ids = sc.ids[:0]
 	mu.RLock()
-	idx.Scan(lo, hi, func(_ float64, id uint64) bool {
-		ids = append(ids, id)
-		return true
-	})
+	idx.Scan(lo, hi, sc.appendID)
 	mu.RUnlock()
 	if profile {
 		st.Breakdown[hermit.PhaseHostIndex] += time.Since(t0)
 		t0 = time.Now()
 	}
-	var rids []storage.RID
 	if t.scheme == hermit.LogicalPointers {
-		rids = make([]storage.RID, 0, len(ids))
-		seen := make(map[uint64]struct{}, len(ids))
-		for _, pk := range ids {
-			if _, dup := seen[pk]; dup {
+		// Resolve the harvested keys through the version chains under one
+		// latch hold, then re-check the predicate on the visible
+		// incarnations.
+		sc.res = sc.res[:0]
+		t.verMu.RLock()
+		for _, pk := range sc.ids {
+			if _, dup := sc.seen[pk]; dup {
 				continue
 			}
-			seen[pk] = struct{}{}
-			v := t.resolveVisible(float64(pk), snap.ts)
-			if v == nil {
-				continue
+			sc.seen[pk] = struct{}{}
+			if v := t.resolveVisibleLocked(float64(pk), snap.ts); v != nil {
+				sc.res = append(sc.res, v.rid)
 			}
-			m, err := t.store.Value(v.rid, col)
+		}
+		t.verMu.RUnlock()
+		out := resultBuf(dst, len(sc.res))
+		for _, rid := range sc.res {
+			m, err := t.store.Value(rid, col)
 			if err == nil && m >= lo && m <= hi {
-				rids = append(rids, v.rid)
+				out = append(out, rid)
 			}
 		}
 		if profile {
 			st.Breakdown[hermit.PhasePrimaryIndex] += time.Since(t0)
 			t0 = time.Now()
 		}
-		st.Rows, st.Candidates = len(rids), len(seen)
-		return rids, st, nil
+		st.Rows, st.Candidates = len(out), len(sc.seen)
+		return out, st, nil
 	}
-	rids = make([]storage.RID, len(ids))
-	for i, id := range ids {
-		rids[i] = storage.RID(id)
+	sc.rids = sc.rids[:0]
+	for _, id := range sc.ids {
+		sc.rids = append(sc.rids, storage.RID(id))
 	}
-	out := t.filterVersions(snap, rids)
+	out := t.filterVersionsAppend(snap, sc.rids, dst)
 	if profile {
 		st.Breakdown[hermit.PhaseBaseTable] += time.Since(t0)
 	}
 	st.Rows = len(out)
-	st.Candidates = len(ids)
+	st.Candidates = len(sc.ids)
 	return out, st, nil
 }
 
@@ -325,44 +469,48 @@ func (t *Table) baselineRange(snap *Snapshot, idx interface {
 // primary index keeps one entry per key (pointing at the newest version),
 // so each harvested key resolves through its version chain to the
 // incarnation visible at the snapshot; the key value itself is shared by
-// every version, so no predicate re-check is needed.
-func (t *Table) primaryRange(snap *Snapshot, lo, hi float64) ([]storage.RID, QueryStats, error) {
+// every version, so no predicate re-check is needed. With a reused dst
+// this path — the PK point read — allocates nothing.
+func (t *Table) primaryRange(snap *Snapshot, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindPrimary}
-	var pks []float64
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.pks = sc.pks[:0]
 	t.primaryMu.RLock()
-	t.primary.Scan(lo, hi, func(pk float64, _ uint64) bool {
-		pks = append(pks, pk)
-		return true
-	})
+	t.primary.Scan(lo, hi, sc.appendPK)
 	t.primaryMu.RUnlock()
-	rids := make([]storage.RID, 0, len(pks))
-	for _, pk := range pks {
-		if v := t.resolveVisible(pk, snap.ts); v != nil {
-			rids = append(rids, v.rid)
+	out := resultBuf(dst, len(sc.pks))
+	t.verMu.RLock()
+	for _, pk := range sc.pks {
+		if v := t.resolveVisibleLocked(pk, snap.ts); v != nil {
+			out = append(out, v.rid)
 		}
 	}
-	st.Rows, st.Candidates = len(rids), len(pks)
-	return rids, st, nil
+	t.verMu.RUnlock()
+	st.Rows, st.Candidates = len(out), len(sc.pks)
+	return out, st, nil
 }
 
 // scanRange is the unindexed fallback: a full table scan over every
 // version row, filtered by predicate and visibility.
-func (t *Table) scanRange(snap *Snapshot, col int, lo, hi float64) ([]storage.RID, QueryStats, error) {
+func (t *Table) scanRange(snap *Snapshot, col int, lo, hi float64, dst []storage.RID) ([]storage.RID, QueryStats, error) {
 	st := QueryStats{Kind: KindNone}
-	var rids []storage.RID
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.rids = sc.rids[:0]
 	err := t.store.ScanColumn(col, func(rid storage.RID, v float64) bool {
 		if v >= lo && v <= hi {
-			rids = append(rids, rid)
+			sc.rids = append(sc.rids, rid)
 		}
 		return true
 	})
 	if err != nil {
 		return nil, st, err
 	}
-	st.Candidates = len(rids)
-	rids = t.filterVersions(snap, rids)
-	st.Rows = len(rids)
-	return rids, st, nil
+	st.Candidates = len(sc.rids)
+	out := t.filterVersionsAppend(snap, sc.rids, dst)
+	st.Rows = len(out)
+	return out, st, nil
 }
 
 // FetchRows materialises rows for a RID list (what a real query plan would

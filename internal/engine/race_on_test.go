@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; allocation-count guards skip under it.
+const raceEnabled = true

@@ -26,8 +26,10 @@
 package partition
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -292,8 +294,8 @@ func (t *Table) RangeQueryAt(snap *engine.Snapshot, col int, lo, hi float64) ([]
 	if col == t.pkCol && lo == hi {
 		return t.routed(snap, col, lo, hi)
 	}
-	return t.gather(col, func(p *engine.Table) ([]storage.RID, engine.QueryStats, error) {
-		return p.RangeQueryAt(snap, col, lo, hi)
+	return t.gather(col, func(p *engine.Table, dst []storage.RID) ([]storage.RID, engine.QueryStats, error) {
+		return p.RangeQueryAtInto(snap, col, lo, hi, dst)
 	})
 }
 
@@ -308,7 +310,9 @@ func (t *Table) RangeQuery2(col int, lo, hi float64, bcol int, blo, bhi float64)
 
 // RangeQuery2At is RangeQuery2 reading at the caller's snapshot.
 func (t *Table) RangeQuery2At(snap *engine.Snapshot, col int, lo, hi float64, bcol int, blo, bhi float64) ([]RID, Stats, error) {
-	return t.gather(col, func(p *engine.Table) ([]storage.RID, engine.QueryStats, error) {
+	return t.gather(col, func(p *engine.Table, _ []storage.RID) ([]storage.RID, engine.QueryStats, error) {
+		// The composite path has no Into variant; its fan-out legs allocate
+		// their results as before.
 		return p.RangeQuery2At(snap, col, lo, hi, bcol, blo, bhi)
 	})
 }
@@ -336,13 +340,69 @@ type entry struct {
 	rid RID
 }
 
+// gatherScratch holds one scatter-gather execution's fan-out buffers —
+// per-partition result and merge-entry slices, the error slate, and the
+// merge heap — pooled so a steady-state range query stops allocating
+// O(partitions + candidate rows) per call. The returned RID list and
+// Stats.PerPartition escape to the caller and are always fresh; nothing
+// handed out aliases scratch memory. Per-partition slots are written by
+// the fan-out goroutines at disjoint indexes and the WaitGroup barrier
+// orders those writes before reuse.
+type gatherScratch struct {
+	lists [][]entry
+	rids  [][]storage.RID
+	errs  []error
+	heads []mergeHead
+}
+
+// maxGatherEntries caps the per-slot buffer capacity retained in the
+// pool, so one huge scan does not pin its footprint forever.
+const maxGatherEntries = 1 << 16
+
+var gatherPool = sync.Pool{New: func() any { return &gatherScratch{} }}
+
+// slots sizes the per-partition slots for a fan-out of n, preserving the
+// pooled backing buffers inside each slot.
+func (sc *gatherScratch) slots(n int) {
+	for cap(sc.lists) < n {
+		sc.lists = append(sc.lists[:cap(sc.lists)], nil)
+	}
+	for cap(sc.rids) < n {
+		sc.rids = append(sc.rids[:cap(sc.rids)], nil)
+	}
+	for cap(sc.errs) < n {
+		sc.errs = append(sc.errs[:cap(sc.errs)], nil)
+	}
+	sc.lists, sc.rids, sc.errs = sc.lists[:n], sc.rids[:n], sc.errs[:n]
+	for i := 0; i < n; i++ {
+		sc.errs[i] = nil
+	}
+}
+
+func putGatherScratch(sc *gatherScratch) {
+	for i := range sc.lists {
+		if cap(sc.lists[i]) > maxGatherEntries {
+			sc.lists[i] = nil
+		}
+	}
+	for i := range sc.rids {
+		if cap(sc.rids[i]) > maxGatherEntries {
+			sc.rids[i] = nil
+		}
+	}
+	gatherPool.Put(sc)
+}
+
 // gather scatters run across every partition on the bounded pool, orders
-// each partition's hits by the predicate column, and k-way merges.
-func (t *Table) gather(col int, run func(p *engine.Table) ([]storage.RID, engine.QueryStats, error)) ([]RID, Stats, error) {
+// each partition's hits by the predicate column, and k-way merges. run
+// receives a reusable result buffer (the Into contract: results are
+// appended into dst[:0]); legs without an Into variant may ignore it.
+func (t *Table) gather(col int, run func(p *engine.Table, dst []storage.RID) ([]storage.RID, engine.QueryStats, error)) ([]RID, Stats, error) {
 	n := len(t.parts)
-	lists := make([][]entry, n)
-	stats := make([]engine.QueryStats, n)
-	errs := make([]error, n)
+	sc := gatherPool.Get().(*gatherScratch)
+	defer putGatherScratch(sc)
+	sc.slots(n)
+	stats := make([]engine.QueryStats, n) // escapes via Stats.PerPartition
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -350,18 +410,19 @@ func (t *Table) gather(col int, run func(p *engine.Table) ([]storage.RID, engine
 			defer wg.Done()
 			t.sem <- struct{}{} // bounded pool: at most Workers tasks in flight
 			defer func() { <-t.sem }()
-			rids, qs, err := run(t.parts[i])
+			rids, qs, err := run(t.parts[i], sc.rids[i])
+			sc.rids[i] = rids[:0] // keep the (possibly regrown) buffer pooled
 			if err != nil {
-				errs[i] = err
+				sc.errs[i] = err
 				return
 			}
 			stats[i] = qs
-			lists[i] = t.keyed(i, col, rids)
+			sc.lists[i] = t.keyedInto(i, col, rids, sc.lists[i])
 		}(i)
 	}
 	wg.Wait()
 	st := Stats{FanOut: n, PerPartition: stats}
-	for _, err := range errs {
+	for _, err := range sc.errs {
 		if err != nil {
 			return nil, st, err
 		}
@@ -369,19 +430,21 @@ func (t *Table) gather(col int, run func(p *engine.Table) ([]storage.RID, engine
 	for _, qs := range stats {
 		st.Candidates += qs.Candidates
 	}
-	out := mergeSorted(lists)
+	var out []RID
+	out, sc.heads = mergeSorted(sc.lists, sc.heads)
 	st.Rows = len(out)
 	return out, st, nil
 }
 
-// keyed pairs each hit with its ordering key and sorts the partition's
-// list (index paths already return key order; scan paths return RID
-// order). Version rows are immutable, so the keys are exactly the values
-// the snapshot query matched; a row reclaimed by a racing GC pass (only
-// possible once no snapshot needs it) is dropped.
-func (t *Table) keyed(part, col int, rids []storage.RID) []entry {
+// keyedInto pairs each hit with its ordering key and sorts the
+// partition's list (index paths already return key order; scan paths
+// return RID order), appending into buf[:0]. Version rows are immutable,
+// so the keys are exactly the values the snapshot query matched; a row
+// reclaimed by a racing GC pass (only possible once no snapshot needs it)
+// is dropped.
+func (t *Table) keyedInto(part, col int, rids []storage.RID, buf []entry) []entry {
 	store := t.parts[part].Store()
-	out := make([]entry, 0, len(rids))
+	out := buf[:0]
 	for _, rid := range rids {
 		v, err := store.Value(rid, col)
 		if err != nil {
@@ -389,13 +452,19 @@ func (t *Table) keyed(part, col int, rids []storage.RID) []entry {
 		}
 		out = append(out, entry{key: v, rid: RID{Part: part, RID: rid}})
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].key != out[b].key {
-			return out[a].key < out[b].key
-		}
-		return out[a].rid.RID < out[b].rid.RID
-	})
+	slices.SortFunc(out, cmpEntry)
 	return out
+}
+
+// cmpEntry orders one partition's merge entries by (key, RID); within a
+// partition the partition component is constant.
+func cmpEntry(a, b entry) int {
+	switch {
+	case a.key != b.key:
+		return cmp.Compare(a.key, b.key)
+	default:
+		return cmp.Compare(a.rid.RID, b.rid.RID)
+	}
 }
 
 // less orders merge entries by (key, partition, RID) — a total,
@@ -410,53 +479,62 @@ func less(a, b entry) bool {
 	return a.rid.RID < b.rid.RID
 }
 
-// mergeSorted k-way merges per-partition sorted lists with a binary heap
-// of list heads.
-func mergeSorted(lists [][]entry) []RID {
-	type head struct {
-		list, pos int
+// mergeHead is one per-list cursor in the k-way merge heap.
+type mergeHead struct {
+	list, pos int
+}
+
+// headAt dereferences a heap cursor.
+func headAt(lists [][]entry, h mergeHead) entry { return lists[h.list][h.pos] }
+
+// siftDown restores the min-heap property at index i (top-level rather
+// than a closure so the merge loop allocates nothing).
+func siftDown(lists [][]entry, heap []mergeHead, i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(heap) && less(headAt(lists, heap[l]), headAt(lists, heap[min])) {
+			min = l
+		}
+		if r < len(heap) && less(headAt(lists, heap[r]), headAt(lists, heap[min])) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		heap[i], heap[min] = heap[min], heap[i]
+		i = min
 	}
+}
+
+// mergeSorted k-way merges per-partition sorted lists with a binary heap
+// of list heads. The heap buffer is caller-supplied and returned for
+// reuse; the merged RID list is freshly allocated (it escapes to the
+// query's caller).
+func mergeSorted(lists [][]entry, heap []mergeHead) ([]RID, []mergeHead) {
+	heap = heap[:0]
 	total := 0
-	var heap []head
 	for i, l := range lists {
 		total += len(l)
 		if len(l) > 0 {
-			heap = append(heap, head{i, 0})
-		}
-	}
-	at := func(h head) entry { return lists[h.list][h.pos] }
-	down := func(i int) {
-		for {
-			l, r, min := 2*i+1, 2*i+2, i
-			if l < len(heap) && less(at(heap[l]), at(heap[min])) {
-				min = l
-			}
-			if r < len(heap) && less(at(heap[r]), at(heap[min])) {
-				min = r
-			}
-			if min == i {
-				return
-			}
-			heap[i], heap[min] = heap[min], heap[i]
-			i = min
+			heap = append(heap, mergeHead{i, 0})
 		}
 	}
 	for i := len(heap)/2 - 1; i >= 0; i-- {
-		down(i)
+		siftDown(lists, heap, i)
 	}
 	out := make([]RID, 0, total)
 	for len(heap) > 0 {
 		h := heap[0]
-		out = append(out, at(h).rid)
+		out = append(out, headAt(lists, h).rid)
 		if h.pos+1 < len(lists[h.list]) {
 			heap[0].pos++
 		} else {
 			heap[0] = heap[len(heap)-1]
 			heap = heap[:len(heap)-1]
 		}
-		down(0)
+		siftDown(lists, heap, 0)
 	}
-	return out
+	return out, heap
 }
 
 // FetchRow materialises the row behind a partitioned RID.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"hermit/internal/server/proto"
@@ -14,9 +15,10 @@ import (
 // state a stateless POST cannot carry), mapped onto one POST route. It
 // exists for debuggability — curl a running hermitd — not performance.
 //
-//	POST /v1/exec   {"op":"range","table":"t","col":1,"lo":0,"hi":9}
-//	GET  /v1/stats  server counters as JSON
-//	GET  /healthz   200 once serving
+//	POST /v1/exec          {"op":"range","table":"t","col":1,"lo":0,"hi":9}
+//	GET  /v1/stats         server counters as JSON
+//	GET  /healthz          200 once serving
+//	GET  /debug/pprof/...  live profiling (net/http/pprof handlers)
 //
 // Supported ops: ping, point, range, range2, insert, update, delete,
 // batch (ops array of the six data ops), create-table, create-index.
@@ -227,6 +229,14 @@ func (sv *server) serveHTTP(addr string) (func() error, net.Listener, error) {
 		}
 		w.Write([]byte("ok\n"))
 	})
+	// Live profiling endpoints (go tool pprof http://addr/debug/pprof/...).
+	// The custom mux never sees net/http/pprof's DefaultServeMux
+	// registrations, so the handlers are wired explicitly.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go hs.Serve(ln)
 	return func() error { return hs.Close() }, ln, nil

@@ -1,0 +1,89 @@
+package proto
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// Allocation guards for the wire hot path: encoding into a reused buffer
+// must not allocate at all (frames build directly in dst — reserve the
+// length prefix, append the body, patch the length), and decoding must
+// allocate only the copied-out message fields, never scratch.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("AllocsPerRun counts race-detector bookkeeping under -race")
+	}
+}
+
+func TestAppendRequestZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	req := Request{Type: ReqPoint, Table: "orders", Col: 2, Lo: 17}
+	buf, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(200, func() {
+		b, err := AppendRequest(buf[:0], &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendRequest into reused buffer allocates %.2f/op, want 0", allocs)
+	}
+}
+
+func TestAppendResponseZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	rows := [][]float64{{1, 2}, {3, 4}}
+	resp := Response{Type: RespRows, Rows: rows}
+	buf, err := AppendResponse(nil, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(200, func() {
+		b, err := AppendResponse(buf[:0], &resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendResponse into reused buffer allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestRoundTripSteadyStateAllocs pins the full encode+decode round trip
+// for a point query: the only tolerated allocations are the decoded
+// request's own copied-out fields (its table name), never encode or
+// cursor scratch.
+func TestRoundTripSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	req := Request{Type: ReqPoint, Table: "orders", Col: 2, Lo: 17}
+	buf, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(200, func() {
+		b, err := AppendRequest(buf[:0], &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+		got, err := DecodeRequest(buf[4:]) // past the length prefix
+		if err != nil || got.Table != "orders" {
+			t.Fatalf("decode: %v %+v", err, got)
+		}
+	})
+	// One allocation: the decoded Table string (copied out of the payload
+	// so the frame buffer can be reused).
+	if allocs > 1 {
+		t.Fatalf("point-read round trip allocates %.2f/op, want <= 1", allocs)
+	}
+}

@@ -428,31 +428,41 @@ func appendResponseBody(b []byte, r *Response, nested bool) ([]byte, error) {
 	}
 }
 
-// appendFrame wraps an encoded payload in the length prefix.
-func appendFrame(dst, payload []byte) ([]byte, error) {
-	if len(payload) > MaxFrame {
+// AppendRequest appends r as one complete frame (length prefix included).
+// The message encodes directly into dst — reserve the prefix, append the
+// body, patch the length — so a caller reusing dst across frames encodes
+// without any intermediate allocation.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	start := len(dst)
+	dst = appendU32(dst, 0) // length, patched below
+	out, err := appendRequestBody(append(dst, Version), r, false)
+	if err != nil {
+		return nil, err
+	}
+	return patchFrameLen(out, start)
+}
+
+// AppendResponse appends r as one complete frame (length prefix
+// included), encoding directly into dst (see AppendRequest).
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	start := len(dst)
+	dst = appendU32(dst, 0) // length, patched below
+	out, err := appendResponseBody(append(dst, Version), r, false)
+	if err != nil {
+		return nil, err
+	}
+	return patchFrameLen(out, start)
+}
+
+// patchFrameLen writes the payload length into the prefix reserved at
+// start, validating it against MaxFrame.
+func patchFrameLen(b []byte, start int) ([]byte, error) {
+	n := len(b) - start - 4
+	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	dst = appendU32(dst, uint32(len(payload)))
-	return append(dst, payload...), nil
-}
-
-// AppendRequest appends r as one complete frame (length prefix included).
-func AppendRequest(dst []byte, r *Request) ([]byte, error) {
-	payload, err := appendRequestBody([]byte{Version}, r, false)
-	if err != nil {
-		return nil, err
-	}
-	return appendFrame(dst, payload)
-}
-
-// AppendResponse appends r as one complete frame (length prefix included).
-func AppendResponse(dst []byte, r *Response) ([]byte, error) {
-	payload, err := appendResponseBody([]byte{Version}, r, false)
-	if err != nil {
-		return nil, err
-	}
-	return appendFrame(dst, payload)
+	binary.LittleEndian.PutUint32(b[start:start+4], uint32(n))
+	return b, nil
 }
 
 // WriteRequest writes r to w as one frame.
@@ -732,40 +742,46 @@ func decodeResponseBody(c *cursor, nested bool) (Response, error) {
 }
 
 // DecodeRequest parses one frame payload (version byte onward — the bytes
-// ReadFrame returns). The whole payload must be consumed.
+// ReadFrame returns). The whole payload must be consumed. Decoded
+// messages never alias the payload (strings, float slices and blobs are
+// all copied out), so the caller may reuse the payload buffer.
 func DecodeRequest(payload []byte) (Request, error) {
 	c, err := payloadCursor(payload)
 	if err != nil {
 		return Request{}, err
 	}
-	r, err := decodeRequestBody(c, false)
+	r, err := decodeRequestBody(&c, false)
 	if err != nil {
 		return r, err
 	}
 	return r, c.done()
 }
 
-// DecodeResponse parses one frame payload (version byte onward).
+// DecodeResponse parses one frame payload (version byte onward). Like
+// DecodeRequest, the result never aliases the payload.
 func DecodeResponse(payload []byte) (Response, error) {
 	c, err := payloadCursor(payload)
 	if err != nil {
 		return Response{}, err
 	}
-	r, err := decodeResponseBody(c, false)
+	r, err := decodeResponseBody(&c, false)
 	if err != nil {
 		return r, err
 	}
 	return r, c.done()
 }
 
-func payloadCursor(payload []byte) (*cursor, error) {
+// payloadCursor validates the version byte and positions a cursor over
+// the body. The cursor is a value (it never escapes the decode call), so
+// setting one up costs no allocation.
+func payloadCursor(payload []byte) (cursor, error) {
 	if len(payload) == 0 {
-		return nil, ErrTruncated
+		return cursor{}, ErrTruncated
 	}
 	if payload[0] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrVersion, payload[0])
+		return cursor{}, fmt.Errorf("%w: %d", ErrVersion, payload[0])
 	}
-	return &cursor{b: payload[1:]}, nil
+	return cursor{b: payload[1:]}, nil
 }
 
 // ReadFrame reads exactly one frame from r and returns its payload
@@ -773,6 +789,15 @@ func payloadCursor(payload []byte) (*cursor, error) {
 // exactly that many bytes — never more, so a bad frame cannot desync the
 // caller's stream position past its own declared length.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameBuf(r, nil)
+}
+
+// ReadFrameBuf is ReadFrame into a caller-supplied buffer: the payload
+// lands in buf when it fits (buf is grown otherwise — never past
+// MaxFrame, which the length prefix is checked against first) and the
+// filled slice is returned. Decoded messages never alias the payload, so
+// one buffer can serve a connection's whole read loop.
+func ReadFrameBuf(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -781,14 +806,17 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n == 0 || n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
 	}
-	return payload, nil
+	return buf, nil
 }
 
 // ReadRequest reads and decodes one request frame.

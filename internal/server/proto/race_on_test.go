@@ -1,0 +1,7 @@
+//go:build race
+
+package proto
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; allocation-count guards skip under it.
+const raceEnabled = true

@@ -50,7 +50,18 @@ type session struct {
 	// for them so cleanup never races a streaming write.
 	subStop chan struct{}
 	subWG   sync.WaitGroup
+
+	// wbuf is the response encode scratch, guarded by wmu like the writes
+	// it feeds. Oversized buffers are released after the write (see
+	// maxRetainedBuf) so one huge response does not pin 16 MiB per session.
+	wbuf []byte
 }
+
+// maxRetainedBuf caps the frame scratch a session keeps between
+// requests. Frames run up to proto.MaxFrame (16 MiB); holding that per
+// connection would dwarf the sessions themselves, so larger buffers are
+// dropped after use and re-grown on demand.
+const maxRetainedBuf = 64 << 10
 
 // maxCoalesce bounds one coalesced read batch (and thus response latency
 // for the op at the head of the run).
@@ -137,11 +148,20 @@ func (s *session) serve() {
 func (s *session) read(q chan queued) {
 	defer close(q)
 	br := bufio.NewReaderSize(s.conn, 64<<10)
+	var payload []byte // frame read scratch; decoded requests never alias it
 	for {
 		if s.srv.draining.Load() {
 			return
 		}
-		req, err := proto.ReadRequest(br)
+		var err error
+		payload, err = proto.ReadFrameBuf(br, payload)
+		if err != nil {
+			return
+		}
+		req, err := proto.DecodeRequest(payload)
+		if cap(payload) > maxRetainedBuf {
+			payload = nil // drop oversized buffers (16 MiB cap policy)
+		}
 		if err != nil {
 			// A clean EOF is the client hanging up; anything else —
 			// malformed frame, bad version, torn read — also ends the
@@ -397,13 +417,23 @@ func (s *session) send(resp *proto.Response) error {
 	return nil
 }
 
-// write encodes one response frame. Flushing per response keeps one-shot
-// clients snappy; the bufio layer still batches a coalesced run's
-// responses written back-to-back.
+// write encodes one response frame into the session's reused scratch and
+// writes it out. Flushing per response keeps one-shot clients snappy; the
+// bufio layer still batches a coalesced run's responses written
+// back-to-back.
 func (s *session) write(resp proto.Response) bool {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if err := proto.WriteResponse(s.bw, &resp); err != nil {
+	frame, err := proto.AppendResponse(s.wbuf[:0], &resp)
+	if err != nil {
+		return false
+	}
+	if cap(frame) <= maxRetainedBuf {
+		s.wbuf = frame
+	} else {
+		s.wbuf = nil
+	}
+	if _, err := s.bw.Write(frame); err != nil {
 		return false
 	}
 	return s.bw.Flush() == nil

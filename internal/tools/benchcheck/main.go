@@ -99,6 +99,73 @@ func check(path string, expectGomaxprocs int) error {
 	if a.Experiment == "scenarios" {
 		return checkScenarios(raw)
 	}
+	if a.Experiment == "hotpath" {
+		return checkHotpath(raw)
+	}
+	return nil
+}
+
+// hotpathArtifact is the slice of BENCH_hotpath.json benchcheck verifies
+// beyond the shared header.
+type hotpathArtifact struct {
+	Lanes []struct {
+		Workload    string   `json:"workload"`
+		GOMAXPROCS  int      `json:"gomaxprocs"`
+		Ops         int      `json:"ops"`
+		NsPerOp     *float64 `json:"ns_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
+		OpsPerSec   *float64 `json:"ops_per_sec"`
+	} `json:"lanes"`
+}
+
+// hotpathLaneProcs are the GOMAXPROCS values every hotpath workload must
+// record a lane for — the single-core number and the multi-core proof.
+var hotpathLaneProcs = []int{1, 4}
+
+// checkHotpath enforces the hotpath artifact's extra contract: every
+// workload carries a complete measurement (ops, ns/op, allocs/op,
+// throughput) at both GOMAXPROCS lanes, so allocation regressions and
+// multi-core claims are both checkable from the stored artifact.
+func checkHotpath(raw []byte) error {
+	var ha hotpathArtifact
+	if err := json.Unmarshal(raw, &ha); err != nil {
+		return fmt.Errorf("hotpath block: %v", err)
+	}
+	if len(ha.Lanes) == 0 {
+		return fmt.Errorf("no lanes recorded")
+	}
+	procsSeen := map[string]map[int]bool{}
+	for _, l := range ha.Lanes {
+		if l.Workload == "" {
+			return fmt.Errorf("lane with empty workload")
+		}
+		if l.GOMAXPROCS <= 0 {
+			return fmt.Errorf("%s: lane \"gomaxprocs\" is %d, want > 0", l.Workload, l.GOMAXPROCS)
+		}
+		if l.Ops <= 0 {
+			return fmt.Errorf("%s@%d: no ops recorded", l.Workload, l.GOMAXPROCS)
+		}
+		if l.NsPerOp == nil || *l.NsPerOp <= 0 {
+			return fmt.Errorf("%s@%d: missing ns_per_op", l.Workload, l.GOMAXPROCS)
+		}
+		if l.AllocsPerOp == nil || *l.AllocsPerOp < 0 {
+			return fmt.Errorf("%s@%d: missing allocs_per_op", l.Workload, l.GOMAXPROCS)
+		}
+		if l.OpsPerSec == nil || *l.OpsPerSec <= 0 {
+			return fmt.Errorf("%s@%d: missing ops_per_sec", l.Workload, l.GOMAXPROCS)
+		}
+		if procsSeen[l.Workload] == nil {
+			procsSeen[l.Workload] = map[int]bool{}
+		}
+		procsSeen[l.Workload][l.GOMAXPROCS] = true
+	}
+	for w, seen := range procsSeen {
+		for _, p := range hotpathLaneProcs {
+			if !seen[p] {
+				return fmt.Errorf("%s: no GOMAXPROCS=%d lane (multi-core numbers must be recorded)", w, p)
+			}
+		}
+	}
 	return nil
 }
 

@@ -219,11 +219,25 @@ type result struct {
 
 // Ticket is the handle for one submitted record; Wait blocks until the
 // record is acknowledged under the log's sync policy.
+//
+// Tickets are pooled: Wait recycles the ticket, so call it at most once
+// and drop every reference afterwards. A ticket that is never waited on
+// is simply garbage-collected (the transaction path waits only on its
+// commit record's ticket, for example).
 type Ticket struct{ ch chan result }
 
-// Wait returns the record's LSN once it is acknowledged.
+// ticketPool recycles tickets (and their buffered ack channels) across
+// submissions. The appender sends exactly one result per request and Wait
+// receives it, so a recycled ticket's channel is always empty.
+var ticketPool = sync.Pool{New: func() any {
+	return &Ticket{ch: make(chan result, 1)}
+}}
+
+// Wait returns the record's LSN once it is acknowledged. It must be
+// called at most once per ticket: the ticket is recycled on return.
 func (t *Ticket) Wait() (uint64, error) {
 	r := <-t.ch
+	ticketPool.Put(t)
 	return r.lsn, r.err
 }
 
@@ -365,11 +379,12 @@ func (l *Log) Submit(rec Record) (*Ticket, error) {
 	if minBodyLen+len(rec.Table)+len(rec.Payload) > maxBodyLen {
 		return nil, ErrRecordTooLarge
 	}
-	req := request{kind: reqAppend, rec: rec, ch: make(chan result, 1)}
+	tk := ticketPool.Get().(*Ticket)
 	select {
-	case l.reqs <- req:
-		return &Ticket{ch: req.ch}, nil
+	case l.reqs <- request{kind: reqAppend, rec: rec, ch: tk.ch}:
+		return tk, nil
 	case <-l.done:
+		ticketPool.Put(tk) // never enqueued; the channel stays empty
 		return nil, ErrClosed
 	}
 }
@@ -390,11 +405,12 @@ func (l *Log) SubmitRaw(rec Record) (*Ticket, error) {
 	if minBodyLen+len(rec.Table)+len(rec.Payload) > maxBodyLen {
 		return nil, ErrRecordTooLarge
 	}
-	req := request{kind: reqRaw, rec: rec, ch: make(chan result, 1)}
+	tk := ticketPool.Get().(*Ticket)
 	select {
-	case l.reqs <- req:
-		return &Ticket{ch: req.ch}, nil
+	case l.reqs <- request{kind: reqRaw, rec: rec, ch: tk.ch}:
+		return tk, nil
 	case <-l.done:
+		ticketPool.Put(tk) // never enqueued; the channel stays empty
 		return nil, ErrClosed
 	}
 }
@@ -491,6 +507,10 @@ func (l *Log) run(lastLSN uint64) {
 		flush()
 	}
 	wrote := false // frames written since the last watcher notification
+	// The appender is the only goroutine encoding frames and the file
+	// write copies the bytes out synchronously, so one grow-only buffer
+	// serves every append — no per-record frame allocation.
+	var frameBuf []byte
 	handle := func(req request) {
 		switch req.kind {
 		case reqSync:
@@ -511,7 +531,8 @@ func (l *Log) run(lastLSN uint64) {
 			} else {
 				lsn++
 			}
-			frame := encodeFrame(req.rec, lsn)
+			frameBuf = encodeFrameInto(frameBuf[:0], req.rec, lsn)
+			frame := frameBuf
 			if _, err := l.f.Write(frame); err != nil {
 				sticky = fmt.Errorf("wal: append: %w", err)
 				lsn = prev
@@ -582,9 +603,17 @@ const (
 	maxBodyLen  = 64 << 20
 )
 
-func encodeFrame(rec Record, lsn uint64) []byte {
+// encodeFrameInto appends the record's frame to dst (pass dst[:0] to
+// reuse a buffer) and returns the extended slice.
+func encodeFrameInto(dst []byte, rec Record, lsn uint64) []byte {
 	bodyLen := minBodyLen + len(rec.Table) + len(rec.Payload)
-	frame := make([]byte, frameHdrLen+bodyLen)
+	total := frameHdrLen + bodyLen
+	if cap(dst)-len(dst) < total {
+		grown := make([]byte, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	frame := dst[len(dst) : len(dst)+total]
 	body := frame[frameHdrLen:]
 	binary.LittleEndian.PutUint64(body[0:8], lsn)
 	body[8] = byte(rec.Op)
@@ -595,7 +624,7 @@ func encodeFrame(rec Record, lsn uint64) []byte {
 	copy(body[23+len(rec.Table):], rec.Payload)
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(bodyLen))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
-	return frame
+	return dst[:len(dst)+total]
 }
 
 // decodeBody parses a checksum-verified body. ok=false flags a structurally
@@ -621,7 +650,8 @@ func decodeBody(body []byte) (Record, bool) {
 // Replay reads records from the log at path in append order, invoking fn
 // for each. A truncated or checksum-failing tail ends replay without error
 // (crash semantics); an error from fn aborts replay and is returned.
-// A missing file replays zero records.
+// A missing file replays zero records. The record's Payload is only valid
+// during fn (see readFrames); copy it to retain it.
 func Replay(path string, fn func(Record) error) error {
 	return ReplayFrom(path, 0, fn)
 }
@@ -669,8 +699,12 @@ func ReplayFrom(path string, off int64, fn func(Record) error) error {
 }
 
 // readFrames decodes frames from r until EOF, corruption, or fn stops it.
+// The record's Payload aliases a scratch buffer reused for the next frame
+// and is only valid during fn — a callback that retains the record past
+// its return must copy the payload (Table is already a fresh string).
 func readFrames(r io.Reader, fn func(Record) (bool, error)) error {
 	var hdr [frameHdrLen]byte
+	var body []byte // grow-only scratch; one buffer serves the whole replay
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return nil // clean EOF or torn header: end of usable log
@@ -680,7 +714,10 @@ func readFrames(r io.Reader, fn func(Record) (bool, error)) error {
 		if bodyLen < minBodyLen || bodyLen > maxBodyLen {
 			return nil // corrupt length: stop
 		}
-		body := make([]byte, bodyLen)
+		if uint32(cap(body)) < bodyLen {
+			body = make([]byte, bodyLen)
+		}
+		body = body[:bodyLen]
 		if _, err := io.ReadFull(r, body); err != nil {
 			return nil // torn body
 		}

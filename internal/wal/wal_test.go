@@ -50,7 +50,11 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []Record
-	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+	if err := Replay(path, func(r Record) error {
+		r.Payload = append([]byte(nil), r.Payload...) // Payload is only valid during fn
+		got = append(got, r)
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(want) {
@@ -138,7 +142,11 @@ func TestOpenRepairsTornTailBeforeAppend(t *testing.T) {
 	}
 	l2.Close()
 	var got []Record
-	if err := Replay(path, func(r Record) error { got = append(got, r); return nil }); err != nil {
+	if err := Replay(path, func(r Record) error {
+		r.Payload = append([]byte(nil), r.Payload...) // Payload is only valid during fn
+		got = append(got, r)
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 12 {
